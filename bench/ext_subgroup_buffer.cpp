@@ -1,0 +1,40 @@
+// Extension (section V-B): master buffer peak vs number of sub-groups.
+// The paper derives M_buf = (r t_d / 2)(1 + 1/n_g) per stream under uniform
+// arrivals and equal distribution; the measured peak should approach half
+// the n_g=1 value as n_g grows.
+#include "bench_common.h"
+
+int main() {
+  using namespace sjoin;
+  SystemConfig base = bench::ScaledConfig();
+  // One slave per sub-group slot at the largest n_g, so every slot serves
+  // someone (empty slots would re-inflate the buffer).
+  base.num_slaves = 8;
+  base.workload.lambda = 4000;
+  bench::Header("Ext V-B", "master buffer peak vs sub-group count",
+                "peak buffer ~ (1 + 1/n_g)/2 of the single-group case: "
+                "halves as n_g grows (plus Poisson slack)",
+                base);
+
+  // Combined arrival rate r of both streams, tuples/sec.
+  const double r = 2.0 * base.workload.lambda;
+  const double td_s = UsToSeconds(base.epoch.t_dist);
+  const std::size_t tuple_bytes = base.workload.tuple_bytes;
+
+  std::printf("%-6s %14s %16s %10s\n", "n_g", "peak_bytes",
+              "formula_bytes", "ratio");
+  double base_peak = 0;
+  for (std::uint32_t ng : {1u, 2u, 4u, 8u}) {
+    SystemConfig cfg = base;
+    cfg.epoch.num_subgroups = ng;
+    RunMetrics rm = bench::Run(cfg);
+    const double formula =
+        r * td_s / 2.0 * (1.0 + 1.0 / ng) * static_cast<double>(tuple_bytes);
+    if (ng == 1) base_peak = static_cast<double>(rm.master_buffer_peak_bytes);
+    std::printf("%-6u %14zu %16.0f %10.2f\n", ng,
+                rm.master_buffer_peak_bytes, formula,
+                static_cast<double>(rm.master_buffer_peak_bytes) / base_peak);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 5: average production delay vs stream arrival rate, 1-2 slaves.
+#include "bench_common.h"
+
+int main() {
+  using namespace sjoin;
+  SystemConfig base = bench::ScaledConfig();
+  bench::Header("Fig 5", "average delay vs arrival rate (1-2 slaves)",
+                "flat (few seconds) until the saturation knee; knee near "
+                "1500-2000 t/s for 1 slave and ~2x that for 2 slaves",
+                base);
+
+  const double rates[] = {1000, 1250, 1500, 1750, 2000,
+                          2500, 3000, 3500};
+  const std::uint32_t slave_counts[] = {1, 2};
+
+  std::printf("%-8s", "rate");
+  for (std::uint32_t n : slave_counts) std::printf(" delay_s_n%u", n);
+  std::printf("\n");
+
+  for (double rate : rates) {
+    std::printf("%-8.0f", rate);
+    for (std::uint32_t n : slave_counts) {
+      SystemConfig cfg = base;
+      cfg.num_slaves = n;
+      cfg.workload.lambda = rate;
+      RunMetrics rm = bench::Run(cfg);
+      std::printf(" %10.2f", rm.AvgDelaySec());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

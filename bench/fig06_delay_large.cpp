@@ -1,0 +1,33 @@
+// Figure 6: average production delay vs stream arrival rate, 3-5 slaves.
+#include "bench_common.h"
+
+int main() {
+  using namespace sjoin;
+  SystemConfig base = bench::ScaledConfig();
+  bench::Header("Fig 6", "average delay vs arrival rate (3-5 slaves)",
+                "delay stays low (~2 s) until a knee that moves right with "
+                "the slave count: ~5000 for 3 slaves, ~6500 for 4, beyond "
+                "7000 for 5",
+                base);
+
+  const double rates[] = {1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000};
+  const std::uint32_t slave_counts[] = {3, 4, 5};
+
+  std::printf("%-8s", "rate");
+  for (std::uint32_t n : slave_counts) std::printf(" delay_s_n%u", n);
+  std::printf("\n");
+
+  for (double rate : rates) {
+    std::printf("%-8.0f", rate);
+    for (std::uint32_t n : slave_counts) {
+      SystemConfig cfg = base;
+      cfg.num_slaves = n;
+      cfg.workload.lambda = rate;
+      RunMetrics rm = bench::Run(cfg);
+      std::printf(" %10.2f", rm.AvgDelaySec());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 8: average production delay vs arrival rate WITHOUT fine-grained
+// partition tuning (4 slaves). Compare with Fig 6's 4-slave curve: the paper
+// reports ~48 s at 4000 t/s untuned vs ~2 s tuned.
+#include "bench_common.h"
+
+int main() {
+  using namespace sjoin;
+  SystemConfig base = bench::ScaledConfig();
+  base.num_slaves = 4;
+  base.join.fine_tuning = false;
+  bench::Header("Fig 8",
+                "average delay vs arrival rate, NO fine tuning (4 slaves)",
+                "delay blows up near 4000 t/s (~48 s in the paper) where the "
+                "tuned system (Fig 6) still sits near 2 s",
+                base);
+
+  const double rates[] = {1500, 2000, 2500, 3000, 3500, 4000};
+
+  std::printf("%-8s %10s\n", "rate", "delay_s");
+  for (double rate : rates) {
+    SystemConfig cfg = base;
+    cfg.workload.lambda = rate;
+    RunMetrics rm = bench::Run(cfg);
+    std::printf("%-8.0f %10.2f\n", rate, rm.AvgDelaySec());
+    std::fflush(stdout);
+  }
+  return 0;
+}

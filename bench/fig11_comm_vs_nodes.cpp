@@ -1,0 +1,35 @@
+// Figure 11: communication time vs degree of declustering (rate fixed at
+// 1500 t/s/stream): per-node comm falls with more nodes, aggregate comm
+// grows roughly linearly, and adaptive declustering keeps the aggregate low
+// by not using nodes it does not need.
+#include "bench_common.h"
+
+int main() {
+  using namespace sjoin;
+  SystemConfig base = bench::ScaledConfig();
+  bench::Header("Fig 11", "communication time vs total nodes (rate 1500)",
+                "per-node comm decreases with node count; aggregate "
+                "increases ~linearly; the adaptive system's aggregate stays "
+                "near the 1-node cost because it sheds unneeded slaves",
+                base);
+
+  std::printf("%-6s %12s %12s %18s %15s\n", "nodes", "aggregate_s",
+              "per_node_s", "adaptive_agg_s", "adaptive_nodes");
+  for (std::uint32_t n = 1; n <= 5; ++n) {
+    SystemConfig cfg = base;
+    cfg.num_slaves = n;
+    RunMetrics fixed = bench::Run(cfg);
+
+    SystemConfig acfg = cfg;
+    acfg.balance.adaptive_declustering = true;
+    RunMetrics adaptive = bench::Run(acfg);
+
+    std::printf("%-6u %12.1f %12.1f %18.1f %15.2f\n", n,
+                UsToSeconds(fixed.TotalComm()),
+                bench::PerSlaveSec(fixed, fixed.TotalComm()),
+                UsToSeconds(adaptive.TotalComm()),
+                adaptive.avg_active_slaves);
+    std::fflush(stdout);
+  }
+  return 0;
+}

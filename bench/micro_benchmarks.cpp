@@ -1,0 +1,100 @@
+// Google-benchmark micro-benchmarks of the substrates: generator throughput,
+// extendible-hash operations, join-module tuple processing, and the message
+// codecs. These bound the host-side cost of the execution-driven simulation
+// (they are NOT paper figures; the fig*/ext* binaries are).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "gen/stream_source.h"
+#include "hash/extendible.h"
+#include "join/join_module.h"
+#include "net/codec.h"
+
+namespace sjoin {
+namespace {
+
+void BM_BModelNext(benchmark::State& state) {
+  BModelGenerator gen(0.7, 10'000'000, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+}
+BENCHMARK(BM_BModelNext);
+
+void BM_MergedSourceNext(benchmark::State& state) {
+  MergedSource src(5000.0, 0.7, 10'000'000, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(src.Next());
+  }
+}
+BENCHMARK(BM_MergedSourceNext);
+
+void BM_ExtendibleFindAndSplit(benchmark::State& state) {
+  using Dir = ExtendibleDirectory<std::vector<std::uint64_t>>;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Dir dir(12);
+    Pcg32 rng(7, 1);
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      std::uint64_t h = rng.NextU64();
+      dir.Find(h).bucket.push_back(h);
+      if (dir.Find(h).bucket.size() > 16) {
+        dir.Split(h, [](std::vector<std::uint64_t>&& from,
+                        std::vector<std::uint64_t>& zero,
+                        std::vector<std::uint64_t>& one, std::uint32_t bit) {
+          for (std::uint64_t v : from) ((v >> bit) & 1 ? one : zero).push_back(v);
+        });
+      }
+    }
+    benchmark::DoNotOptimize(dir.BucketCount());
+  }
+}
+BENCHMARK(BM_ExtendibleFindAndSplit);
+
+void BM_JoinModuleProcessTuple(benchmark::State& state) {
+  SystemConfig cfg;
+  cfg.join.window = 10 * kUsPerSec;
+  cfg.join.num_partitions = 16;
+  StatsSink sink;
+  JoinModule jm(cfg, &sink);
+  MergedSource src(5000.0, 0.7, 100'000, 3);
+  std::vector<Rec> batch;
+  Time horizon = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    batch.clear();
+    horizon += kUsPerSec;
+    src.DrainUntil(horizon, batch);
+    state.ResumeTiming();
+    jm.EnqueueBatch(batch);
+    jm.ProcessFor(horizon, 3600 * kUsPerSec);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jm.TuplesProcessed()));
+}
+BENCHMARK(BM_JoinModuleProcessTuple)->Unit(benchmark::kMillisecond);
+
+void BM_TupleBatchEncodeDecode(benchmark::State& state) {
+  TupleBatchMsg msg;
+  Pcg32 rng(5, 9);
+  for (int i = 0; i < 1000; ++i) {
+    msg.recs.push_back(Rec{i, rng.NextU64(), static_cast<StreamId>(i % 2)});
+  }
+  for (auto _ : state) {
+    Writer w(64 * 1024);
+    Encode(w, msg, 64);
+    Reader r(w.Bytes());
+    TupleBatchMsg back = DecodeTupleBatch(r, 64);
+    benchmark::DoNotOptimize(back.recs.size());
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(TupleBatchMsg::WireSize(1000, 64)));
+}
+BENCHMARK(BM_TupleBatchEncodeDecode);
+
+}  // namespace
+}  // namespace sjoin
+
+BENCHMARK_MAIN();

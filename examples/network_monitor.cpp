@@ -1,0 +1,56 @@
+// Network monitoring (another of the paper's motivating applications):
+// correlate flow records observed at two vantage points of a network to
+// detect flows traversing both, on a cluster whose load varies -- showing
+// adaptive degree-of-declustering reacting to a traffic surge.
+//
+// The run sweeps three phases: quiet (500 t/s), surge (5000 t/s), quiet.
+// With adaptive declustering on, the cluster grows during the surge and
+// sheds slaves afterwards.
+#include <cstdio>
+
+#include "core/sim_driver.h"
+
+int main() {
+  using namespace sjoin;
+
+  SystemConfig base;
+  base.num_slaves = 5;
+  base.initial_active_slaves = 2;
+  base.join.window = 30 * kUsPerSec;
+  base.join.theta_bytes = 100 * 1024;
+  base.balance.adaptive_declustering = true;
+  base.balance.th_sup = 0.3;
+  base.workload.key_domain = 1 << 20;  // flow-hash space
+
+  std::printf("adaptive cluster: %s\n\n", Summarize(base).c_str());
+  std::printf("%-10s %-10s %12s %12s %12s\n", "phase", "rate", "active_end",
+              "delay_s", "migrations");
+
+  struct Phase {
+    const char* name;
+    double rate;
+  };
+  // Each phase runs as its own measurement window; the active-slave count at
+  // the end of a phase seeds the next (gradual scale-out and scale-in).
+  std::uint32_t active = base.initial_active_slaves;
+  for (Phase phase : {Phase{"quiet", 500.0}, Phase{"surge", 5000.0},
+                      Phase{"quiet", 500.0}}) {
+    SystemConfig cfg = base;
+    cfg.initial_active_slaves = active;
+    cfg.workload.lambda = phase.rate;
+    SimOptions opts;
+    opts.warmup = 40 * kUsPerSec;
+    opts.measure = 80 * kUsPerSec;
+    SimDriver driver(cfg, opts);
+    RunMetrics rm = driver.Run();
+    std::printf("%-10s %-10.0f %12u %12.2f %12llu\n", phase.name, phase.rate,
+                rm.active_slaves_end, rm.AvgDelaySec(),
+                static_cast<unsigned long long>(rm.migrations));
+    active = rm.active_slaves_end == 0 ? 1 : rm.active_slaves_end;
+  }
+
+  std::printf(
+      "\nThe surge phase should end with more active slaves than the quiet\n"
+      "phases (degree of declustering follows the load, section V-A).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// sim_cli: run any cluster configuration from the command line and print
+// the full metric set -- the swiss-army knife for exploring the system
+// beyond the canned benches.
+//
+//   ./build/examples/sim_cli --slaves=4 --rate=3000 --window-s=60
+//       --theta-kb=150 --t-dist-s=2 --subgroups=2 --adaptive
+//       --warmup-s=90 --measure-s=120
+//
+// Run with --help for the full flag list.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/sim_driver.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "sim_cli -- parallel windowed stream join simulator\n\n"
+      "cluster:   --slaves=N --active0=N --adaptive [--beta=F]\n"
+      "join:      --window-s=F --partitions=N --theta-kb=N --block-b=N\n"
+      "           --no-tuning\n"
+      "epochs:    --t-dist-s=F --t-rep-s=F --subgroups=N --tune-epoch\n"
+      "workload:  --rate=F --skew=F --keys=N --seed=N\n"
+      "balance:   --th-sup=F --th-con=F\n"
+      "run:       --warmup-s=F --measure-s=F\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sjoin;
+  FlagSet flags;
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n", flags.Error().c_str());
+    return 1;
+  }
+  if (flags.Has("help")) {
+    PrintHelp();
+    return 0;
+  }
+
+  SystemConfig cfg;
+  cfg.num_slaves = static_cast<std::uint32_t>(flags.GetInt("slaves", 4));
+  cfg.initial_active_slaves =
+      static_cast<std::uint32_t>(flags.GetInt("active0", 0));
+  cfg.balance.adaptive_declustering = flags.GetBool("adaptive", false);
+  cfg.balance.beta = flags.GetDouble("beta", cfg.balance.beta);
+  cfg.balance.th_sup = flags.GetDouble("th-sup", cfg.balance.th_sup);
+  cfg.balance.th_con = flags.GetDouble("th-con", cfg.balance.th_con);
+
+  cfg.join.window = SecondsToUs(flags.GetDouble("window-s", 60.0));
+  cfg.join.num_partitions =
+      static_cast<std::uint32_t>(flags.GetInt("partitions", 60));
+  cfg.join.theta_bytes =
+      static_cast<std::size_t>(flags.GetInt("theta-kb", 150)) * 1024;
+  cfg.join.block_bytes = static_cast<std::size_t>(
+      flags.GetInt("block-b", static_cast<std::int64_t>(cfg.join.block_bytes)));
+  cfg.join.fine_tuning = !flags.GetBool("no-tuning", false);
+
+  cfg.epoch.t_dist = SecondsToUs(flags.GetDouble("t-dist-s", 2.0));
+  cfg.epoch.t_rep = SecondsToUs(flags.GetDouble("t-rep-s", 20.0));
+  cfg.epoch.num_subgroups =
+      static_cast<std::uint32_t>(flags.GetInt("subgroups", 1));
+  cfg.epoch_tuner.enabled = flags.GetBool("tune-epoch", false);
+
+  cfg.workload.lambda = flags.GetDouble("rate", 1500.0);
+  cfg.workload.b_skew = flags.GetDouble("skew", 0.7);
+  cfg.workload.key_domain =
+      static_cast<std::uint64_t>(flags.GetInt("keys", 10'000'000));
+  cfg.workload.seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 0x5EED5EED));
+
+  SimOptions opts;
+  opts.warmup = SecondsToUs(flags.GetDouble("warmup-s", 90.0));
+  opts.measure = SecondsToUs(flags.GetDouble("measure-s", 120.0));
+
+  if (!flags.Error().empty()) {
+    std::fprintf(stderr, "error: %s\n", flags.Error().c_str());
+    return 1;
+  }
+  for (const std::string& unused : flags.UnusedFlags()) {
+    std::fprintf(stderr, "error: unknown flag --%s (see --help)\n",
+                 unused.c_str());
+    return 1;
+  }
+
+  std::printf("config: %s\n", Summarize(cfg).c_str());
+  SimDriver driver(cfg, opts);
+  RunMetrics rm = driver.Run();
+
+  std::printf("\navg_delay_s        %10.3f\n", rm.AvgDelaySec());
+  std::printf("outputs            %10llu\n",
+              static_cast<unsigned long long>(rm.TotalOutputs()));
+  std::printf("tuples_generated   %10llu\n",
+              static_cast<unsigned long long>(rm.tuples_generated));
+  std::printf("comparisons        %10llu\n",
+              static_cast<unsigned long long>(rm.TotalComparisons()));
+  std::printf("cpu_total_s        %10.1f\n", UsToSeconds(rm.TotalCpu()));
+  std::printf("idle_total_s       %10.1f\n", UsToSeconds(rm.TotalIdle()));
+  std::printf("comm_total_s       %10.1f\n", UsToSeconds(rm.TotalComm()));
+  std::printf("master_cpu_s       %10.1f\n", UsToSeconds(rm.master_cpu));
+  std::printf("master_buf_peak_kb %10zu\n",
+              rm.master_buffer_peak_bytes / 1024);
+  std::printf("migrations         %10llu\n",
+              static_cast<unsigned long long>(rm.migrations));
+  std::printf("splits/merges      %6llu / %llu\n",
+              static_cast<unsigned long long>(rm.splits),
+              static_cast<unsigned long long>(rm.merges));
+  std::printf("active_end         %10u (avg %.2f)\n", rm.active_slaves_end,
+              rm.avg_active_slaves);
+  if (cfg.epoch_tuner.enabled) {
+    std::printf("final_t_dist_s     %10.2f (+%llu/-%llu)\n",
+                UsToSeconds(rm.final_t_dist),
+                static_cast<unsigned long long>(rm.epoch_grows),
+                static_cast<unsigned long long>(rm.epoch_shrinks));
+  }
+  std::printf("\nper-slave: cpu_s idle_s comm_s outputs window_max occ\n");
+  for (std::size_t i = 0; i < rm.slaves.size(); ++i) {
+    const SlaveStats& s = rm.slaves[i];
+    std::printf("  slave%-2zu %7.1f %7.1f %7.1f %9llu %10zu %5.3f\n", i,
+                UsToSeconds(s.cpu_busy), UsToSeconds(s.idle),
+                UsToSeconds(s.CommTotal()),
+                static_cast<unsigned long long>(s.outputs),
+                s.window_tuples_max, s.avg_occupancy);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Stock-trading surveillance (one of the paper's motivating applications):
+// correlate trades (stream 0) with quotes (stream 1) on the same instrument
+// within a 5-second sliding window, using the join core directly as a
+// library -- no cluster, just JoinModule + a collecting sink.
+//
+// Demonstrates: driving JoinModule with your own tuples, retrieving matched
+// pairs, and reading production-delay statistics.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "join/join_module.h"
+
+int main() {
+  using namespace sjoin;
+
+  SystemConfig cfg;
+  cfg.join.window = kUsPerSec;  // correlate within 1 second
+  cfg.join.num_partitions = 16;
+  cfg.join.theta_bytes = 8 * 1024;  // tune hot symbols' partitions finely
+  cfg.workload.tuple_bytes = 64;
+
+  CollectSink matches;
+  StatsSink stats;
+  TeeSink tee({&matches, &stats});
+  JoinModule join(cfg, &tee);
+
+  // Synthesize a morning of activity on 50 instruments: quotes are dense,
+  // trades sparse, hot symbols (low ids) dominate -- an 80/20 workload.
+  constexpr std::uint64_t kSymbols = 50;
+  Pcg32 rng(2024, 6);
+  std::vector<Rec> tape;
+  Time now = 0;
+  for (int i = 0; i < 200'000; ++i) {
+    now += 50 + rng.NextBounded(400);  // ~4 events/ms
+    const bool is_trade = rng.NextBounded(10) == 0;  // 10% trades
+    std::uint64_t symbol = rng.NextBounded(kSymbols);
+    if (rng.NextBounded(4) == 0) symbol = rng.NextBounded(5);  // hot top-5
+    tape.push_back(Rec{now, symbol, static_cast<StreamId>(is_trade ? 0 : 1)});
+  }
+
+  join.EnqueueBatch(tape);
+  join.ProcessFor(now, 365LL * 24 * 3600 * kUsPerSec);
+
+  std::printf("events ingested     : %zu over %.1f s\n", tape.size(),
+              UsToSeconds(now));
+  std::printf("trade-quote matches : %zu\n", matches.Outputs().size());
+  std::printf("comparisons charged : %llu (BNL-equivalent work)\n",
+              static_cast<unsigned long long>(join.Comparisons()));
+  std::printf("mini-group splits   : %llu (hot symbols get tuned)\n",
+              static_cast<unsigned long long>(join.Splits()));
+
+  std::printf("\nfirst five matches (trade_ts, quote_ts, symbol):\n");
+  for (std::size_t i = 0; i < matches.Outputs().size() && i < 5; ++i) {
+    const JoinOutput& o = matches.Outputs()[i];
+    std::printf("  %.6fs  %.6fs  sym=%llu  (gap %.3f ms)\n",
+                UsToSeconds(o.left.ts), UsToSeconds(o.right.ts),
+                static_cast<unsigned long long>(o.left.key),
+                static_cast<double>(o.left.ts > o.right.ts
+                                        ? o.left.ts - o.right.ts
+                                        : o.right.ts - o.left.ts) /
+                    1000.0);
+  }
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "baseline/atr.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "gen/stream_source.h"
+#include "join/join_module.h"
+#include "net/codec.h"
+#include "window/state_codec.h"
+
+namespace sjoin {
+
+namespace {
+
+struct AtrNode {
+  std::unique_ptr<StatsSink> sink;
+  std::unique_ptr<JoinModule> join;
+  Time free_at = 0;
+  SlaveStats stats;
+  std::uint64_t snap_outputs = 0;
+  std::uint64_t snap_cmp = 0;
+  std::uint64_t snap_proc = 0;
+};
+
+}  // namespace
+
+RunMetrics RunAtr(const SystemConfig& cfg, const AtrOptions& opts) {
+  const Duration segment =
+      opts.segment > 0 ? opts.segment : 2 * cfg.join.window;
+  const Duration td = cfg.epoch.t_dist;
+  const Time t_end = opts.warmup + opts.measure;
+  const CostModel& cm = cfg.cost;
+  const std::size_t tb = cfg.workload.tuple_bytes;
+  const std::uint32_t n = cfg.num_slaves;
+
+  MergedSource source(cfg.workload.lambda, cfg.workload.b_skew,
+                      cfg.workload.key_domain, cfg.workload.seed);
+  std::vector<AtrNode> nodes(n);
+  for (AtrNode& node : nodes) {
+    node.sink = std::make_unique<StatsSink>();
+    node.join = std::make_unique<JoinModule>(cfg, node.sink.get());
+  }
+
+  RunMetrics rm;
+  rm.measured = opts.measure;
+  bool measuring = opts.warmup == 0;
+  std::uint32_t owner = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t state_moved = 0;
+  std::uint64_t generated = 0;
+
+  std::vector<Rec> batch;
+  for (Time t = 0; t < t_end; t += td) {
+    const Time t_next = std::min<Time>(t + td, t_end);
+
+    if (!measuring && t >= opts.warmup) {
+      measuring = true;
+      migrations = 0;
+      state_moved = 0;
+      generated = 0;
+      for (AtrNode& node : nodes) {
+        node.sink->Reset();
+        node.stats = SlaveStats{};
+        node.stats.window_tuples_max = node.join->Store().TotalCount();
+        node.snap_outputs = node.join->Outputs();
+        node.snap_cmp = node.join->Comparisons();
+        node.snap_proc = node.join->TuplesProcessed();
+      }
+    }
+
+    // Segment handover: the whole accumulated window moves to the new owner.
+    const auto new_owner = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(t) / static_cast<std::uint64_t>(segment)) %
+        n);
+    if (new_owner != owner && n > 1) {
+      AtrNode& src = nodes[owner];
+      AtrNode& dst = nodes[new_owner];
+      for (PartitionId pid : src.join->Store().OwnedPartitions()) {
+        Duration extract_cost = 0;
+        std::vector<Rec> pending;
+        auto group = src.join->ExtractGroup(pid, std::max(src.free_at, t),
+                                            extract_cost, pending);
+        Writer w;
+        EncodeGroupState(w, *group);
+        const std::size_t bytes = w.Size() + pending.size() * tb + 9;
+        const Duration hop = cm.MessageCost(bytes);
+        state_moved += group->TotalCount();
+
+        src.stats.cpu_busy += extract_cost;
+        src.stats.comm_xfer += hop;
+        src.free_at = std::max(src.free_at, t) + extract_cost + hop;
+
+        Reader r(w.Bytes());
+        auto rebuilt = DecodeGroupState(r, cfg.join, tb);
+        const Duration install = cm.MoveCost(rebuilt->TotalCount());
+        dst.stats.comm_xfer += hop;
+        dst.stats.cpu_busy += install;
+        dst.free_at = std::max(dst.free_at, t) + hop + install;
+        dst.join->InstallGroup(pid, std::move(rebuilt));
+        dst.join->EnqueueBatch(pending);
+        ++migrations;
+      }
+      owner = new_owner;
+    }
+
+    batch.clear();
+    source.DrainUntil(t, batch);
+    if (measuring) generated += batch.size();
+
+    // Slave-stream tuples take an extra forwarding hop through the
+    // non-owner node aligned with their slave-stream segment.
+    std::size_t fwd_tuples = 0;
+    for (const Rec& rec : batch) {
+      if (rec.stream == 1) ++fwd_tuples;
+    }
+    if (n > 1 && fwd_tuples > 0) {
+      const std::size_t fwd_bytes =
+          TupleBatchMsg::WireSize(fwd_tuples, tb) + 9;
+      const auto forwarder = static_cast<std::uint32_t>((owner + 1) % n);
+      const Duration hop = cm.MessageCost(fwd_bytes);
+      nodes[forwarder].stats.comm_xfer += hop;
+      nodes[forwarder].free_at =
+          std::max(nodes[forwarder].free_at, t) + hop;
+    }
+
+    // The owner receives everything (direct + forwarded) and joins it.
+    AtrNode& own = nodes[owner];
+    const std::size_t bytes = TupleBatchMsg::WireSize(batch.size(), tb) + 9;
+    const Duration hop = cm.MessageCost(bytes);
+    own.stats.comm_xfer += hop;
+    own.free_at = std::max(own.free_at, t) + hop;
+    own.join->EnqueueBatch(batch);
+
+    for (AtrNode& node : nodes) {
+      const Time busy_start = std::max(node.free_at, t);
+      if (busy_start < t_next) {
+        const Duration cost =
+            node.join->ProcessFor(busy_start, t_next - busy_start);
+        node.free_at = busy_start + cost;
+        node.stats.cpu_busy += cost;
+        if (node.join->BufferedTuples() == 0 && node.free_at < t_next) {
+          node.stats.idle += t_next - node.free_at;
+        }
+      }
+      node.stats.window_tuples_max = std::max(
+          node.stats.window_tuples_max, node.join->Store().TotalCount());
+    }
+  }
+
+  rm.migrations = migrations;
+  rm.state_moved_tuples = state_moved;
+  rm.tuples_generated = generated;
+  rm.active_slaves_end = n;
+  rm.avg_active_slaves = n;
+  for (AtrNode& node : nodes) {
+    SlaveStats st = node.stats;
+    st.outputs = node.join->Outputs() - node.snap_outputs;
+    st.comparisons = node.join->Comparisons() - node.snap_cmp;
+    st.processed = node.join->TuplesProcessed() - node.snap_proc;
+    st.delay_us = node.sink->DelayUs();
+    st.active_at_end = true;
+    rm.delay_us.Merge(st.delay_us);
+    rm.slaves.push_back(st);
+  }
+  return rm;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,35 @@
+// Aligned Tuple Routing (ATR) baseline -- Gu, Yu & Wang, ICDE 2007 --
+// reconstructed from the paper's description in section VII for the
+// related-work comparison.
+//
+// ATR designates one stream the *master stream* and splits it into
+// time-segments of length L (which must be much larger than the window).
+// Each segment is assigned to one node; during the segment that node
+// performs ALL join processing: master-stream tuples are routed to it
+// directly and every other node merely forwards slave-stream tuples to it
+// (an extra network hop). At a segment boundary the accumulated stream
+// windows must be handed to the next owner. The criticisms the paper levels
+// at this scheme -- load circulation instead of load balancing, full-window
+// state transfers, a single node bearing the entire processing load -- all
+// reproduce measurably in this implementation (bench/ext_atr_baseline).
+#pragma once
+
+#include "common/config.h"
+#include "core/metrics.h"
+
+namespace sjoin {
+
+struct AtrOptions {
+  /// Segment length L (>> window; the paper notes small segments force a
+  /// full window re-route at every boundary).
+  Duration segment = 0;  ///< 0 => 2 * window
+
+  Duration warmup = 2 * kUsPerMin;
+  Duration measure = 3 * kUsPerMin;
+};
+
+/// Runs the ATR strategy over the same workload, cost model, and epoch
+/// cadence as the proposed system and returns comparable metrics.
+RunMetrics RunAtr(const SystemConfig& cfg, const AtrOptions& opts);
+
+}  // namespace sjoin

@@ -1,0 +1,36 @@
+// Coordinated Tuple Routing (CTR) baseline -- the second strategy of Gu,
+// Yu & Wang (ICDE 2007), reconstructed from this paper's section VII
+// critique.
+//
+// CTR distributes stream *segments* across the participating nodes, so each
+// node stores one share of each stream's window (a "routing hop" is the set
+// of nodes jointly holding one stream's window). The cost the paper calls
+// out: every incoming tuple must be forwarded to EVERY node of the opposite
+// hop -- the window it probes is spread over all of them -- so the network
+// traffic scales with the node count while storage stays balanced.
+//
+// This implementation keeps the join exact: a tuple is *stored* on exactly
+// one node (round-robin by time segment, so storage balances) but *probes*
+// on every node; each cross-stream pair is therefore found exactly once, on
+// whichever node stores the partner. CPU charges follow the BNL model
+// (a probe scans the node's local sealed share of the opposite window).
+#pragma once
+
+#include "common/config.h"
+#include "core/metrics.h"
+
+namespace sjoin {
+
+struct CtrOptions {
+  /// Storage segment length (the granularity of round-robin placement).
+  Duration segment = 2 * kUsPerSec;
+
+  Duration warmup = 2 * kUsPerMin;
+  Duration measure = 3 * kUsPerMin;
+};
+
+/// Runs the CTR strategy over the same workload, cost model, and epoch
+/// cadence as the proposed system and returns comparable metrics.
+RunMetrics RunCtr(const SystemConfig& cfg, const CtrOptions& opts);
+
+}  // namespace sjoin

@@ -1,0 +1,65 @@
+#include "baseline/single_node.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/stream_source.h"
+#include "join/join_module.h"
+
+namespace sjoin {
+
+SingleNodeResult RunSingleNode(const SystemConfig& cfg, Duration warmup,
+                               Duration measure) {
+  MergedSource source(cfg.workload.lambda, cfg.workload.b_skew,
+                      cfg.workload.key_domain, cfg.workload.seed);
+  StatsSink sink;
+  JoinModule join(cfg, &sink);
+
+  const Duration quantum = 100 * kUsPerMs;
+  const Time t_end = warmup + measure;
+  Time free_at = 0;
+  SingleNodeResult res;
+  std::uint64_t snap_outputs = 0;
+  std::uint64_t snap_cmp = 0;
+  std::uint64_t snap_tuples = 0;
+  bool measuring = warmup == 0;
+
+  std::vector<Rec> batch;
+  for (Time t = 0; t < t_end; t += quantum) {
+    const Time t_next = std::min<Time>(t + quantum, t_end);
+    if (!measuring && t >= warmup) {
+      measuring = true;
+      res.cpu_busy = 0;
+      res.idle = 0;
+      sink.Reset();
+      snap_outputs = join.Outputs();
+      snap_cmp = join.Comparisons();
+      snap_tuples = join.TuplesProcessed();
+      res.window_tuples_max = join.Store().TotalCount();
+    }
+    batch.clear();
+    source.DrainUntil(t, batch);
+    join.EnqueueBatch(batch);
+
+    const Time busy_start = std::max(free_at, t);
+    if (busy_start < t_next) {
+      const Duration cost = join.ProcessFor(busy_start, t_next - busy_start);
+      free_at = busy_start + cost;
+      res.cpu_busy += cost;
+      if (join.BufferedTuples() == 0 && free_at < t_next) {
+        res.idle += t_next - free_at;
+      }
+    }
+    res.window_tuples_max =
+        std::max(res.window_tuples_max, join.Store().TotalCount());
+  }
+
+  res.delay_us = sink.DelayUs();
+  res.outputs = join.Outputs() - snap_outputs;
+  res.comparisons = join.Comparisons() - snap_cmp;
+  res.tuples = join.TuplesProcessed() - snap_tuples;
+  res.backlog_tuples_end = join.BufferedTuples();
+  return res;
+}
+
+}  // namespace sjoin

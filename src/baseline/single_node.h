@@ -1,0 +1,33 @@
+// Single-node baseline: one JoinModule fed directly by the merged source,
+// with no master, no epochs, and no communication. It establishes the
+// capacity of one processing node under the cost model -- the reference
+// point for the cluster's scale-out curves (Figs. 5-6) and the calibration
+// anchor for the CostModel constants.
+#pragma once
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace sjoin {
+
+struct SingleNodeResult {
+  RunningStat delay_us;       ///< production delay over the measurement
+  Duration cpu_busy = 0;      ///< virtual CPU consumed
+  Duration idle = 0;
+  std::uint64_t outputs = 0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t tuples = 0;
+  std::size_t window_tuples_max = 0;
+  std::size_t backlog_tuples_end = 0;  ///< unprocessed input at the end
+
+  /// True when the node kept up with the input (no residual backlog).
+  bool KeptUp() const { return backlog_tuples_end == 0; }
+};
+
+/// Runs the join on one node: tuples become available at their arrival
+/// timestamps and are processed as soon as the (virtual) CPU frees up.
+SingleNodeResult RunSingleNode(const SystemConfig& cfg, Duration warmup,
+                               Duration measure);
+
+}  // namespace sjoin

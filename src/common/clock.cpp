@@ -1,0 +1,30 @@
+#include "common/clock.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace sjoin {
+
+void VirtualClock::Advance(Duration d) {
+  assert(d >= 0 && "virtual clock cannot move backwards");
+  now_ += d;
+}
+
+void VirtualClock::AdvanceTo(Time t) {
+  assert(t >= now_ && "virtual clock cannot move backwards");
+  now_ = t;
+}
+
+namespace {
+std::int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+WallClock::WallClock() : start_ns_(SteadyNowNs()) {}
+
+Time WallClock::Now() const { return (SteadyNowNs() - start_ns_) / 1000; }
+
+}  // namespace sjoin

@@ -1,0 +1,53 @@
+// Clock abstraction: every node in the system reads time exclusively through
+// a Clock so that identical node code runs either under the discrete-event
+// simulation driver (VirtualClock, advanced explicitly by the driver) or as a
+// real OS process (WallClock, backed by std::chrono::steady_clock).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace sjoin {
+
+/// Read-only time source. Implementations must be monotonic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since the run epoch.
+  virtual Time Now() const = 0;
+};
+
+/// A manually-advanced clock used by the simulation driver. The driver owns
+/// the clock and moves it forward between protocol events; node code only
+/// ever reads it.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(Time start = 0) : now_(start) {}
+
+  Time Now() const override { return now_; }
+
+  /// Moves the clock forward by `d` microseconds. `d` must be >= 0.
+  void Advance(Duration d);
+
+  /// Jumps to an absolute time `t`, which must not be in the past.
+  void AdvanceTo(Time t);
+
+ private:
+  Time now_;
+};
+
+/// Monotonic wall clock whose epoch is the moment of construction. Used by
+/// the multi-process (socket transport) deployment.
+class WallClock final : public Clock {
+ public:
+  WallClock();
+
+  Time Now() const override;
+
+ private:
+  std::int64_t start_ns_;
+};
+
+}  // namespace sjoin

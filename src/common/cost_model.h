@@ -1,0 +1,84 @@
+// Virtual-time cost model.
+//
+// Joins in this repository are executed for real (real tuples, real matches,
+// real state movement); the cost model only decides how much *virtual time*
+// each unit of work charges to the node performing it. The constants are
+// calibrated so that a single slave saturates near the arrival rate the paper
+// observed on its 930 MHz Pentium-III / mpiJava / Gigabit-Ethernet testbed
+// (Fig. 5: ~1500-2000 tuples/sec/stream for one slave), making the *shapes*
+// of every figure emergent rather than scripted. See DESIGN.md.
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.h"
+
+namespace sjoin {
+
+struct CostModel {
+  // -- CPU costs (charged to the processing node's work clock) ------------
+
+  /// Cost of one tuple-pair comparison inside the block-nested-loop join.
+  /// Java on a 930 MHz P3 manages on the order of 10 M comparisons/sec.
+  /// Calibrated (together with tuple_fixed_ns and the bench geometry in
+  /// bench/bench_common.h) so one slave saturates near 1800 tuples/s/stream
+  /// with fine tuning on -- the knee of the paper's Fig. 5, curve "1".
+  double cmp_ns = 130.0;
+
+  /// Fixed per-tuple cost: buffer handling, hashing into the partition map,
+  /// window insertion, expiry bookkeeping.
+  double tuple_fixed_ns = 30'000.0;
+
+  /// CPU cost per byte of (de)serialization of a message payload. mpiJava
+  /// marshals through the JNI boundary, which dominated the paper's
+  /// communication overhead.
+  double cpu_byte_ns = 240.0;
+
+  /// Cost per record physically moved by fine-grained partition tuning
+  /// (extendible-hash split/merge) or by window-state extraction.
+  double move_ns = 1'000.0;
+
+  // -- Network costs --------------------------------------------------------
+
+  /// Wire transfer cost per byte (Gigabit Ethernet ~ 125 MB/s => 8 ns/B).
+  double wire_byte_ns = 8.0;
+
+  /// Fixed per-message overhead: synchronization with the master, connection
+  /// servicing, MPI envelope handling.
+  Duration msg_fixed_us = 30'000;
+
+  /// Fraction of each *predecessor's* transfer time a slave spends blocked
+  /// waiting for its turn during the serial per-epoch distribution (partial
+  /// overlap due to OS socket buffering). Produces Fig. 12's min/max
+  /// divergence across slaves.
+  double serial_wait_fraction = 0.2;
+
+  // -- Helpers --------------------------------------------------------------
+
+  Duration CmpCost(std::size_t comparisons) const {
+    return static_cast<Duration>(static_cast<double>(comparisons) * cmp_ns /
+                                 1000.0);
+  }
+  Duration TupleFixedCost(std::size_t tuples) const {
+    return static_cast<Duration>(static_cast<double>(tuples) *
+                                 tuple_fixed_ns / 1000.0);
+  }
+  Duration MoveCost(std::size_t records) const {
+    return static_cast<Duration>(static_cast<double>(records) * move_ns /
+                                 1000.0);
+  }
+  Duration SerializeCost(std::size_t bytes) const {
+    return static_cast<Duration>(static_cast<double>(bytes) * cpu_byte_ns /
+                                 1000.0);
+  }
+  Duration WireCost(std::size_t bytes) const {
+    return static_cast<Duration>(static_cast<double>(bytes) * wire_byte_ns /
+                                 1000.0);
+  }
+  /// One full message hop: fixed overhead + wire + receiver deserialization.
+  Duration MessageCost(std::size_t bytes) const {
+    return msg_fixed_us + WireCost(bytes) + SerializeCost(bytes);
+  }
+};
+
+}  // namespace sjoin

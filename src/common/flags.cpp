@@ -1,0 +1,90 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace sjoin {
+
+bool FlagSet::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      error_ = "bare '--' is not a flag";
+      return false;
+    }
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";  // bare boolean flag
+    }
+  }
+  return true;
+}
+
+bool FlagSet::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+double FlagSet::GetDouble(const std::string& name, double def) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  used_[name] = true;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    error_ = "flag --" + name + ": not a number: '" + it->second + "'";
+    return def;
+  }
+  return v;
+}
+
+std::int64_t FlagSet::GetInt(const std::string& name, std::int64_t def) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  used_[name] = true;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    error_ = "flag --" + name + ": not an integer: '" + it->second + "'";
+    return def;
+  }
+  return v;
+}
+
+bool FlagSet::GetBool(const std::string& name, bool def) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  used_[name] = true;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  error_ = "flag --" + name + ": not a boolean: '" + v + "'";
+  return def;
+}
+
+std::string FlagSet::GetString(const std::string& name,
+                               const std::string& def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  used_[name] = true;
+  return it->second;
+}
+
+std::vector<std::string> FlagSet::UnusedFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (used_.find(name) == used_.end()) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace sjoin

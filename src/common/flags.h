@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for the example tools and benches:
+// --key=value / --key value / bare --bool-flag. No global state, no
+// registration macros -- parse, then query with typed getters.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sjoin {
+
+class FlagSet {
+ public:
+  /// Parses argv; returns false (and fills Error()) on malformed input.
+  /// Non-flag arguments are collected into Positional().
+  bool Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed getters: return the default when the flag is absent; set
+  /// Error() and return the default when present but unparsable.
+  double GetDouble(const std::string& name, double def);
+  std::int64_t GetInt(const std::string& name, std::int64_t def);
+  bool GetBool(const std::string& name, bool def);
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+  const std::vector<std::string>& Positional() const { return positional_; }
+  const std::string& Error() const { return error_; }
+
+  /// Flags that were provided but never queried -- typo detection for
+  /// tools that want strict checking.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace sjoin

@@ -1,0 +1,49 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace sjoin {
+
+namespace {
+
+LogLevel FromEnv() {
+  const char* v = std::getenv("SJOIN_LOG");
+  if (v == nullptr) return LogLevel::kOff;
+  if (std::strcmp(v, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(v, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(v, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(v, "error") == 0) return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+std::atomic<LogLevel> g_level{FromEnv()};
+std::mutex g_mutex;
+
+const char* Name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace detail {
+void Emit(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[sjoin %s] %s\n", Name(level), msg.c_str());
+}
+}  // namespace detail
+
+}  // namespace sjoin

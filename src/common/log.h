@@ -1,0 +1,36 @@
+// Minimal leveled logging to stderr. Off by default so benches stay clean;
+// enable with SJOIN_LOG=debug|info|warn in the environment or SetLogLevel().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sjoin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+
+/// Current threshold (initialized from the SJOIN_LOG environment variable).
+LogLevel GetLogLevel();
+
+namespace detail {
+void Emit(LogLevel level, const std::string& msg);
+}
+
+#define SJOIN_LOG_AT(level, expr)                                   \
+  do {                                                              \
+    if ((level) >= ::sjoin::GetLogLevel()) {                        \
+      std::ostringstream sjoin_log_os_;                             \
+      sjoin_log_os_ << expr;                                        \
+      ::sjoin::detail::Emit((level), sjoin_log_os_.str());          \
+    }                                                               \
+  } while (0)
+
+#define SJOIN_DEBUG(expr) SJOIN_LOG_AT(::sjoin::LogLevel::kDebug, expr)
+#define SJOIN_INFO(expr) SJOIN_LOG_AT(::sjoin::LogLevel::kInfo, expr)
+#define SJOIN_WARN(expr) SJOIN_LOG_AT(::sjoin::LogLevel::kWarn, expr)
+#define SJOIN_ERROR(expr) SJOIN_LOG_AT(::sjoin::LogLevel::kError, expr)
+
+}  // namespace sjoin

@@ -1,0 +1,20 @@
+#include "common/rng.h"
+
+namespace sjoin {
+
+std::uint32_t Pcg32::NextBounded(std::uint32_t bound) {
+  if (bound <= 1) return 0;
+  // Lemire's nearly-divisionless bounded generation.
+  std::uint64_t m = static_cast<std::uint64_t>(NextU32()) * bound;
+  auto low = static_cast<std::uint32_t>(m);
+  if (low < bound) {
+    std::uint32_t threshold = (0u - bound) % bound;
+    while (low < threshold) {
+      m = static_cast<std::uint64_t>(NextU32()) * bound;
+      low = static_cast<std::uint32_t>(m);
+    }
+  }
+  return static_cast<std::uint32_t>(m >> 32);
+}
+
+}  // namespace sjoin

@@ -1,0 +1,51 @@
+#include "common/serialize.h"
+
+#include <bit>
+
+namespace sjoin {
+
+void Writer::PutDouble(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  PutU64(std::bit_cast<std::uint64_t>(v));
+}
+
+void Writer::PutBytes(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Writer::PutString(std::string_view s) {
+  PutU32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+std::uint8_t Reader::GetU8() {
+  Require(1);
+  return bytes_[pos_++];
+}
+
+double Reader::GetDouble() { return std::bit_cast<double>(GetU64()); }
+
+std::vector<std::uint8_t> Reader::GetBytes(std::size_t n) {
+  Require(n);
+  std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string Reader::GetString() {
+  std::uint32_t n = GetU32();
+  Require(n);
+  std::string out(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+void Reader::Require(std::size_t n) const {
+  if (pos_ + n > bytes_.size()) {
+    throw DecodeError("truncated message: need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(bytes_.size() - pos_));
+  }
+}
+
+}  // namespace sjoin

@@ -1,0 +1,34 @@
+// Time primitives shared by the whole system.
+//
+// All timestamps and durations are expressed in integer microseconds so that
+// virtual-clock arithmetic is exact and platform independent (the paper's
+// metrics -- production delay, CPU time, communication overhead -- are all
+// durations, and the epoch protocol compares clock readings directly).
+#pragma once
+
+#include <cstdint>
+
+namespace sjoin {
+
+/// A point in time, in microseconds since the start of the run.
+using Time = std::int64_t;
+
+/// A span of time, in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kUsPerMs = 1'000;
+inline constexpr Duration kUsPerSec = 1'000'000;
+inline constexpr Duration kUsPerMin = 60 * kUsPerSec;
+
+/// Converts a floating point quantity of seconds to microseconds, rounding
+/// to nearest. Convenient for configuration values expressed in seconds.
+constexpr Duration SecondsToUs(double seconds) {
+  return static_cast<Duration>(seconds * static_cast<double>(kUsPerSec) + 0.5);
+}
+
+/// Converts microseconds to floating point seconds (for reporting).
+constexpr double UsToSeconds(Duration us) {
+  return static_cast<double>(us) / static_cast<double>(kUsPerSec);
+}
+
+}  // namespace sjoin

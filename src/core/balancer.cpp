@@ -1,0 +1,58 @@
+#include "core/balancer.h"
+
+namespace sjoin {
+
+std::vector<Role> ClassifySlaves(const std::vector<double>& occupancy,
+                                 const BalanceConfig& cfg) {
+  std::vector<Role> roles;
+  roles.reserve(occupancy.size());
+  for (double f : occupancy) {
+    if (f > cfg.th_sup) {
+      roles.push_back(Role::kSupplier);
+    } else if (f < cfg.th_con) {
+      roles.push_back(Role::kConsumer);
+    } else {
+      roles.push_back(Role::kNeutral);
+    }
+  }
+  return roles;
+}
+
+std::vector<MovePlan> PairSuppliersWithConsumers(
+    const std::vector<Role>& roles) {
+  std::vector<std::uint32_t> suppliers;
+  std::vector<std::uint32_t> consumers;
+  for (std::uint32_t i = 0; i < roles.size(); ++i) {
+    if (roles[i] == Role::kSupplier) suppliers.push_back(i);
+    if (roles[i] == Role::kConsumer) consumers.push_back(i);
+  }
+  std::vector<MovePlan> plans;
+  const std::size_t n = std::min(suppliers.size(), consumers.size());
+  plans.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    plans.push_back(MovePlan{suppliers[i], consumers[i]});
+  }
+  return plans;
+}
+
+DeclusterAction DecideDecluster(const std::vector<Role>& roles, double beta,
+                                std::uint32_t active, std::uint32_t total) {
+  std::uint32_t n_sup = 0;
+  std::uint32_t n_con = 0;
+  for (Role r : roles) {
+    if (r == Role::kSupplier) ++n_sup;
+    if (r == Role::kConsumer) ++n_con;
+  }
+  if (n_sup == 0) {
+    // Every node is neutral or consumer: the system is under-loaded; shed a
+    // node to keep it minimally overloaded.
+    return active > 1 ? DeclusterAction::kShrink : DeclusterAction::kNone;
+  }
+  if (static_cast<double>(n_sup) > beta * static_cast<double>(n_con) &&
+      active < total) {
+    return DeclusterAction::kGrow;
+  }
+  return DeclusterAction::kNone;
+}
+
+}  // namespace sjoin

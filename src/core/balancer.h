@@ -1,0 +1,44 @@
+// Load-balancing decisions (paper sections IV-C and V-A), as pure functions
+// shared by the simulation driver and the wall-clock runners.
+//
+// At each reorganization epoch the master classifies every active slave by
+// its average buffer occupancy f_i:
+//   supplier: f_i > Th_sup;   consumer: f_i < Th_con;   else neutral.
+// Each supplier yields exactly one randomly selected partition-group to a
+// distinct consumer (pairs found by a single scan). The degree of
+// declustering grows when N_sup > beta * N_con, and shrinks when the system
+// has no supplier at all (keeping it "minimally overloaded").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "core/partition_map.h"
+
+namespace sjoin {
+
+enum class Role : std::uint8_t { kSupplier, kConsumer, kNeutral };
+
+/// Classifies each occupancy value (one per active slave).
+std::vector<Role> ClassifySlaves(const std::vector<double>& occupancy,
+                                 const BalanceConfig& cfg);
+
+/// A planned migration: `supplier` yields one partition-group to `consumer`.
+struct MovePlan {
+  std::uint32_t supplier = 0;  ///< index into the active-slave list
+  std::uint32_t consumer = 0;
+};
+
+/// Pairs each supplier with a distinct consumer by a single scan over the
+/// slave list; unpaired suppliers (or consumers) are left alone.
+std::vector<MovePlan> PairSuppliersWithConsumers(const std::vector<Role>& roles);
+
+enum class DeclusterAction : std::uint8_t { kNone, kGrow, kShrink };
+
+/// Degree-of-declustering decision given the current classification.
+/// `active` is the current degree, `total` the number of slaves available.
+DeclusterAction DecideDecluster(const std::vector<Role>& roles, double beta,
+                                std::uint32_t active, std::uint32_t total);
+
+}  // namespace sjoin

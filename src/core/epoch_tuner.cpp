@@ -1,0 +1,32 @@
+#include "core/epoch_tuner.h"
+
+#include <algorithm>
+
+namespace sjoin {
+
+EpochTuner::EpochTuner(const EpochTunerConfig& cfg, Duration initial_epoch)
+    : cfg_(cfg),
+      epoch_(std::clamp(initial_epoch, cfg.min_epoch, cfg.max_epoch)) {}
+
+Duration EpochTuner::Update(double comm_fraction, double avg_occupancy) {
+  if (!cfg_.enabled) return epoch_;
+  if (comm_fraction > cfg_.comm_high) {
+    Duration grown = static_cast<Duration>(static_cast<double>(epoch_) *
+                                           cfg_.grow_factor);
+    grown = std::min(grown, cfg_.max_epoch);
+    if (grown != epoch_) {
+      epoch_ = grown;
+      ++grows_;
+    }
+  } else if (comm_fraction < cfg_.comm_low &&
+             avg_occupancy < cfg_.occupancy_guard) {
+    Duration shrunk = std::max(epoch_ - cfg_.shrink_step, cfg_.min_epoch);
+    if (shrunk != epoch_) {
+      epoch_ = shrunk;
+      ++shrinks_;
+    }
+  }
+  return epoch_;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,56 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sjoin {
+
+Duration RunMetrics::TotalComm() const {
+  Duration t = 0;
+  for (const SlaveStats& s : slaves) t += s.CommTotal();
+  return t;
+}
+
+Duration RunMetrics::MaxComm() const {
+  Duration t = 0;
+  for (const SlaveStats& s : slaves) t = std::max(t, s.CommTotal());
+  return t;
+}
+
+Duration RunMetrics::MinComm() const {
+  Duration t = std::numeric_limits<Duration>::max();
+  bool any = false;
+  for (const SlaveStats& s : slaves) {
+    if (s.CommTotal() > 0 || s.cpu_busy > 0 || s.active_at_end) {
+      t = std::min(t, s.CommTotal());
+      any = true;
+    }
+  }
+  return any ? t : 0;
+}
+
+Duration RunMetrics::TotalCpu() const {
+  Duration t = 0;
+  for (const SlaveStats& s : slaves) t += s.cpu_busy;
+  return t;
+}
+
+Duration RunMetrics::TotalIdle() const {
+  Duration t = 0;
+  for (const SlaveStats& s : slaves) t += s.idle;
+  return t;
+}
+
+std::uint64_t RunMetrics::TotalOutputs() const {
+  std::uint64_t n = 0;
+  for (const SlaveStats& s : slaves) n += s.outputs;
+  return n;
+}
+
+std::uint64_t RunMetrics::TotalComparisons() const {
+  std::uint64_t n = 0;
+  for (const SlaveStats& s : slaves) n += s.comparisons;
+  return n;
+}
+
+}  // namespace sjoin

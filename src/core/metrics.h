@@ -1,0 +1,78 @@
+// Metrics collected per run -- the quantities the paper's evaluation plots:
+// average production delay, per-slave CPU (processing) time, idle time,
+// communication overhead, window sizes, and master buffer occupancy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+
+namespace sjoin {
+
+struct SlaveStats {
+  // Virtual time spent in each state over the measurement interval.
+  Duration cpu_busy = 0;   ///< join processing (paper's "CPU time")
+  Duration idle = 0;       ///< waiting with an empty buffer
+  Duration comm_wait = 0;  ///< blocked awaiting its turn in the serial epoch
+  Duration comm_xfer = 0;  ///< transfer + (de)serialization of its messages
+
+  std::uint64_t outputs = 0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t processed = 0;
+
+  std::size_t window_tuples_max = 0;  ///< peak window state held
+  std::size_t buffer_peak_tuples = 0;
+  std::size_t buffered_end = 0;  ///< unprocessed input left at run end
+  double avg_occupancy = 0.0;  ///< mean buffer occupancy over measurement
+
+  RunningStat delay_us;  ///< production delay of outputs emitted here
+
+  bool active_at_end = false;
+
+  /// Paper's "communication time" for one slave: wait + transfer.
+  Duration CommTotal() const { return comm_wait + comm_xfer; }
+};
+
+struct RunMetrics {
+  std::vector<SlaveStats> slaves;
+
+  RunningStat delay_us;  ///< production delay merged over all slaves
+  Histogram delay_hist{DelayHistogramBounds()};  ///< merged delay histogram
+  Duration measured = 0;  ///< length of the measurement interval
+
+  Duration master_cpu = 0;           ///< serialization work at the master
+  std::size_t master_buffer_peak_bytes = 0;
+  std::size_t master_buffer_end_tuples = 0;  ///< undistributed at run end
+
+  std::uint64_t migrations = 0;        ///< partition-group moves
+  std::uint64_t state_moved_tuples = 0;
+  std::uint64_t tuples_generated = 0;
+
+  std::uint32_t active_slaves_end = 0;
+  double avg_active_slaves = 0.0;
+
+  std::uint64_t splits = 0;  ///< fine-tuning splits across the cluster
+  std::uint64_t merges = 0;
+
+  // Adaptive-epoch extension (zero / initial value when disabled).
+  Duration final_t_dist = 0;
+  std::uint64_t epoch_grows = 0;
+  std::uint64_t epoch_shrinks = 0;
+
+  // -- Convenience aggregates (over slaves that were ever active) ----------
+
+  double AvgDelaySec() const {
+    return UsToSeconds(static_cast<Duration>(delay_us.Mean()));
+  }
+  Duration TotalComm() const;
+  Duration MaxComm() const;
+  Duration MinComm() const;
+  Duration TotalCpu() const;
+  Duration TotalIdle() const;
+  std::uint64_t TotalOutputs() const;
+  std::uint64_t TotalComparisons() const;
+};
+
+}  // namespace sjoin

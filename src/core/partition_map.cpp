@@ -1,0 +1,32 @@
+#include "core/partition_map.h"
+
+#include <cassert>
+
+namespace sjoin {
+
+PartitionMap::PartitionMap(std::uint32_t num_partitions,
+                           SlaveIdx active_slaves) {
+  assert(active_slaves > 0);
+  owner_.resize(num_partitions);
+  for (std::uint32_t p = 0; p < num_partitions; ++p) {
+    owner_[p] = p % active_slaves;
+  }
+}
+
+std::vector<PartitionId> PartitionMap::PartitionsOf(SlaveIdx slave) const {
+  std::vector<PartitionId> out;
+  for (std::uint32_t p = 0; p < owner_.size(); ++p) {
+    if (owner_[p] == slave) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t PartitionMap::CountOf(SlaveIdx slave) const {
+  std::size_t n = 0;
+  for (SlaveIdx o : owner_) {
+    if (o == slave) ++n;
+  }
+  return n;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,40 @@
+// PartitionMap: the master's mapping between partition ids and the slaves
+// assigned to process them (the paper's "level of indirection": many more
+// partitions than slaves, re-mapped one partition-group at a time by the
+// reorganization protocol).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "window/window_store.h"
+
+namespace sjoin {
+
+/// Slave index within the cluster (0-based; distinct from net::Rank, which
+/// also numbers master and collector).
+using SlaveIdx = std::uint32_t;
+
+class PartitionMap {
+ public:
+  /// Distributes `num_partitions` round-robin over slaves [0, active).
+  PartitionMap(std::uint32_t num_partitions, SlaveIdx active_slaves);
+
+  SlaveIdx OwnerOf(PartitionId pid) const { return owner_[pid]; }
+  void SetOwner(PartitionId pid, SlaveIdx slave) { owner_[pid] = slave; }
+
+  std::uint32_t NumPartitions() const {
+    return static_cast<std::uint32_t>(owner_.size());
+  }
+
+  /// Partitions currently assigned to `slave`, ascending.
+  std::vector<PartitionId> PartitionsOf(SlaveIdx slave) const;
+
+  /// Number of partitions assigned to `slave`.
+  std::size_t CountOf(SlaveIdx slave) const;
+
+ private:
+  std::vector<SlaveIdx> owner_;
+};
+
+}  // namespace sjoin

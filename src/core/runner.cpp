@@ -1,0 +1,381 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <variant>
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "core/balancer.h"
+#include "core/master_buffer.h"
+#include "core/partition_map.h"
+#include "gen/stream_source.h"
+#include "join/join_module.h"
+#include "net/codec.h"
+#include "window/state_codec.h"
+
+namespace sjoin {
+
+namespace {
+
+Message Make(MsgType type, Writer&& w) {
+  Message m;
+  m.type = type;
+  m.payload = std::move(w).TakeBuffer();
+  return m;
+}
+
+void SleepUntil(const WallClock& clock, Time t) {
+  Time now = clock.Now();
+  if (t > now) {
+    std::this_thread::sleep_for(std::chrono::microseconds(t - now));
+  }
+}
+
+}  // namespace
+
+MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
+                            const WallOptions& opts) {
+  assert(transport.Self() == 0);
+  const Rank n = cfg.num_slaves;
+  const Rank collector = n + 1;
+  const std::size_t tb = cfg.workload.tuple_bytes;
+
+  WallClock clock;
+  MergedSource source(cfg.workload.lambda, cfg.workload.b_skew,
+                      cfg.workload.key_domain, cfg.workload.seed);
+  MasterBuffer buffer(cfg.join.num_partitions, tb);
+  PartitionMap pmap(cfg.join.num_partitions, n);
+  Pcg32 rng(Mix64(cfg.workload.seed ^ 0xABCDEFULL), 41);
+
+  MasterSummary sum;
+  std::vector<double> occupancy(n, 0.0);
+  std::vector<bool> in_flight(cfg.join.num_partitions, false);
+  std::uint32_t pending_acks = 0;
+
+  // Clock sync opens every connection (Algorithm 1 line 18 analogue).
+  for (Rank s = 1; s <= n; ++s) {
+    Writer w;
+    Encode(w, ClockSyncMsg{clock.Now(), cfg.epoch.t_dist});
+    transport.Send(s, Make(MsgType::kClockSync, std::move(w)));
+  }
+
+  Time next_reorg = cfg.epoch.t_rep;
+  for (Time epoch_start = cfg.epoch.t_dist; epoch_start <= opts.run_for;
+       epoch_start += cfg.epoch.t_dist) {
+    SleepUntil(clock, epoch_start);
+    ++sum.epochs;
+
+    // Buffer all arrivals of this epoch into the per-partition mini-buffers.
+    std::vector<Rec> arrivals;
+    source.DrainUntil(clock.Now(), arrivals);
+    for (const Rec& rec : arrivals) {
+      buffer.Add(rec, PartitionOf(rec.key, cfg.join.num_partitions));
+    }
+
+    // Distribute serially; each slave's comm module answers with its load.
+    for (Rank s = 1; s <= n; ++s) {
+      std::vector<PartitionId> pids;
+      for (PartitionId pid : pmap.PartitionsOf(s - 1)) {
+        if (!in_flight[pid]) pids.push_back(pid);
+      }
+      TupleBatchMsg batch;
+      batch.recs = buffer.DrainFor(pids);
+      sum.tuples_sent += batch.recs.size();
+      Writer w(TupleBatchMsg::WireSize(batch.recs.size(), tb));
+      Encode(w, batch, tb);
+      transport.Send(s, Make(MsgType::kTupleBatch, std::move(w)));
+    }
+    for (Rank s = 1; s <= n; ++s) {
+      while (true) {
+        auto msg = transport.RecvFrom(s);
+        if (!msg.has_value()) return sum;  // transport torn down
+        if (msg->type == MsgType::kAck) {
+          Reader ar(msg->payload);
+          AckMsg ack = DecodeAck(ar);
+          if (pending_acks > 0 && --pending_acks == 0) {
+            // both movers confirmed: release withheld partitions
+            std::fill(in_flight.begin(), in_flight.end(), false);
+          }
+          (void)ack;
+          continue;
+        }
+        if (msg->type == MsgType::kLoadReport) {
+          Reader lr(msg->payload);
+          occupancy[s - 1] = DecodeLoadReport(lr).avg_buffer_occupancy;
+          break;
+        }
+      }
+    }
+
+    // Reorganization.
+    if (clock.Now() >= next_reorg && pending_acks == 0) {
+      next_reorg += cfg.epoch.t_rep;
+      std::vector<Role> roles = ClassifySlaves(occupancy, cfg.balance);
+      for (const MovePlan& plan : PairSuppliersWithConsumers(roles)) {
+        const SlaveIdx sup = plan.supplier;
+        const SlaveIdx con = plan.consumer;
+        std::vector<PartitionId> pids = pmap.PartitionsOf(sup);
+        if (pids.empty()) continue;
+        PartitionId pid = pids[rng.NextBounded(
+            static_cast<std::uint32_t>(pids.size()))];
+        in_flight[pid] = true;
+        pending_acks += 2;
+        Writer wm;
+        Encode(wm, MoveCmdMsg{pid, con + 1});
+        transport.Send(sup + 1, Make(MsgType::kMoveCmd, std::move(wm)));
+        Writer wi;
+        Encode(wi, MoveCmdMsg{pid, sup + 1});
+        transport.Send(con + 1, Make(MsgType::kInstallCmd, std::move(wi)));
+        pmap.SetOwner(pid, con);
+        ++sum.migrations;
+        SJOIN_INFO("master: moving partition " << pid << " from slave "
+                                               << sup + 1 << " to "
+                                               << con + 1);
+      }
+    }
+  }
+
+  for (Rank s = 1; s <= n; ++s) {
+    transport.Send(s, Message{MsgType::kShutdown, 0, {}});
+  }
+  // The slaves shut the collector down after flushing their final stats.
+  (void)collector;
+  return sum;
+}
+
+namespace {
+
+/// Work items handed from a slave's comm module to its join module.
+struct BatchWork {
+  std::vector<Rec> recs;
+};
+struct ExtractWork {
+  PartitionId pid;
+  Rank consumer;
+};
+struct InstallWork {
+  StateTransferMsg state;
+};
+struct StopWork {};
+using SlaveWork = std::variant<BatchWork, ExtractWork, InstallWork, StopWork>;
+
+}  // namespace
+
+SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
+                          const WallOptions& opts) {
+  const Rank self = transport.Self();
+  assert(self >= 1 && self <= cfg.num_slaves);
+  const Rank collector = cfg.num_slaves + 1;
+  const std::size_t tb = cfg.workload.tuple_bytes;
+  const Duration spin =
+      self - 1 < opts.slave_spin_us_per_tuple.size()
+          ? opts.slave_spin_us_per_tuple[self - 1]
+          : 0;
+
+  WallClock clock;
+  std::atomic<Time> clock_offset{0};  // master_time - local_time
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<SlaveWork> queue;
+  std::atomic<std::size_t> inbox_tuples{0};
+
+  auto push = [&](SlaveWork work) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      queue.push_back(std::move(work));
+    }
+    cv.notify_one();
+  };
+
+  // --- comm module -----------------------------------------------------
+  std::thread comm([&] {
+    while (true) {
+      auto msg = transport.Recv();
+      if (!msg.has_value()) {
+        push(StopWork{});
+        return;
+      }
+      switch (msg->type) {
+        case MsgType::kClockSync: {
+          Reader r(msg->payload);
+          ClockSyncMsg cs = DecodeClockSync(r);
+          clock_offset.store(cs.master_now - clock.Now());
+          break;
+        }
+        case MsgType::kTupleBatch: {
+          Reader r(msg->payload);
+          TupleBatchMsg batch = DecodeTupleBatch(r, tb);
+          // Load report: buffer occupancy before this batch lands.
+          LoadReportMsg report;
+          report.buffered_tuples = inbox_tuples.load();
+          report.avg_buffer_occupancy = std::min(
+              1.0, static_cast<double>(report.buffered_tuples * tb) /
+                       static_cast<double>(cfg.balance.slave_buffer_bytes));
+          Writer w;
+          Encode(w, report);
+          inbox_tuples.fetch_add(batch.recs.size());
+          push(BatchWork{std::move(batch.recs)});
+          transport.Send(0, Make(MsgType::kLoadReport, std::move(w)));
+          break;
+        }
+        case MsgType::kMoveCmd: {
+          Reader r(msg->payload);
+          MoveCmdMsg mc = DecodeMoveCmd(r);
+          push(ExtractWork{mc.partition_id, mc.peer});
+          break;
+        }
+        case MsgType::kInstallCmd:
+          // The state itself arrives from the supplier; nothing to do.
+          break;
+        case MsgType::kStateTransfer: {
+          Reader r(msg->payload);
+          push(InstallWork{DecodeStateTransfer(r, tb)});
+          break;
+        }
+        case MsgType::kShutdown:
+          push(StopWork{});
+          return;
+        default:
+          break;
+      }
+    }
+  });
+
+  // --- join module -------------------------------------------------------
+  // Wall mode measures real time; the virtual CostModel must not inflate
+  // produced_at stamps, so the join runs with zeroed charges.
+  SystemConfig wall_cfg = cfg;
+  wall_cfg.cost = CostModel{};
+  wall_cfg.cost.cmp_ns = 0.0;
+  wall_cfg.cost.tuple_fixed_ns = 0.0;
+  wall_cfg.cost.cpu_byte_ns = 0.0;
+  wall_cfg.cost.wire_byte_ns = 0.0;
+  wall_cfg.cost.msg_fixed_us = 0;
+  wall_cfg.cost.move_ns = 0.0;
+  StatsSink sink;
+  JoinModule join(wall_cfg, &sink);
+  SlaveSummary sum;
+  std::uint64_t reported_outputs = 0;
+  double reported_delay_sum = 0.0;
+
+  auto flush_stats = [&] {
+    const RunningStat& d = sink.DelayUs();
+    ResultStatsMsg stats;
+    stats.outputs = d.Count() - reported_outputs;
+    stats.delay_sum_us = d.Sum() - reported_delay_sum;
+    stats.delay_max_us = d.Max();
+    if (stats.outputs == 0) return;
+    reported_outputs = d.Count();
+    reported_delay_sum = d.Sum();
+    Writer w;
+    Encode(w, stats);
+    transport.Send(collector, Make(MsgType::kResultStats, std::move(w)));
+  };
+
+  bool running = true;
+  while (running) {
+    SlaveWork work = [&] {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return !queue.empty(); });
+      SlaveWork w = std::move(queue.front());
+      queue.pop_front();
+      return w;
+    }();
+
+    const Time master_now = clock.Now() + clock_offset.load();
+    if (auto* batch = std::get_if<BatchWork>(&work)) {
+      if (spin > 0 && !batch->recs.empty()) {
+        // Emulated background/processing load of a non-dedicated node.
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            spin * static_cast<Duration>(batch->recs.size())));
+      }
+      join.EnqueueBatch(batch->recs);
+      const std::uint64_t before = join.TuplesProcessed();
+      join.ProcessFor(clock.Now() + clock_offset.load(),
+                      365LL * 24 * 3600 * kUsPerSec);
+      const std::uint64_t done = join.TuplesProcessed() - before;
+      sum.tuples_processed += done;
+      inbox_tuples.fetch_sub(std::min<std::size_t>(
+          static_cast<std::size_t>(done), inbox_tuples.load()));
+      flush_stats();
+    } else if (auto* ex = std::get_if<ExtractWork>(&work)) {
+      if (join.Store().Find(ex->pid) == nullptr) {
+        // Nothing owned yet (e.g. moved before any tuple arrived): ship an
+        // empty group so the protocol still completes.
+        join.InstallGroup(ex->pid, std::make_unique<PartitionGroup>(
+                                       cfg.join, tb));
+      }
+      Duration cost = 0;
+      std::vector<Rec> pending;
+      auto group = join.ExtractGroup(ex->pid, master_now, cost, pending);
+      Writer gw;
+      EncodeGroupState(gw, *group);
+      StateTransferMsg st;
+      st.partition_id = ex->pid;
+      st.group_state = std::move(gw).TakeBuffer();
+      st.pending = std::move(pending);
+      Writer w;
+      Encode(w, st, tb);
+      transport.Send(ex->consumer, Make(MsgType::kStateTransfer, std::move(w)));
+      Writer wa;
+      Encode(wa, AckMsg{ex->pid});
+      transport.Send(0, Make(MsgType::kAck, std::move(wa)));
+      ++sum.groups_moved_out;
+    } else if (auto* in = std::get_if<InstallWork>(&work)) {
+      Reader gr(in->state.group_state);
+      join.InstallGroup(in->state.partition_id,
+                        DecodeGroupState(gr, cfg.join, tb));
+      join.EnqueueBatch(in->state.pending);
+      join.ProcessFor(clock.Now() + clock_offset.load(),
+                      365LL * 24 * 3600 * kUsPerSec);
+      Writer wa;
+      Encode(wa, AckMsg{in->state.partition_id});
+      transport.Send(0, Make(MsgType::kAck, std::move(wa)));
+      ++sum.groups_moved_in;
+      flush_stats();
+    } else {
+      running = false;
+    }
+  }
+
+  flush_stats();
+  transport.Send(collector, Message{MsgType::kShutdown, 0, {}});
+  sum.outputs = sink.Outputs();
+  comm.join();
+  return sum;
+}
+
+CollectorSummary RunCollectorNode(Transport& transport,
+                                  const SystemConfig& cfg) {
+  CollectorSummary sum;
+  double delay_sum = 0.0;
+  std::uint32_t shutdowns = 0;
+  while (shutdowns < cfg.num_slaves) {
+    auto msg = transport.Recv();
+    if (!msg.has_value()) break;
+    if (msg->type == MsgType::kShutdown) {
+      ++shutdowns;
+      continue;
+    }
+    if (msg->type != MsgType::kResultStats) continue;
+    Reader r(msg->payload);
+    ResultStatsMsg stats = DecodeResultStats(r);
+    sum.outputs += stats.outputs;
+    delay_sum += stats.delay_sum_us;
+    sum.max_delay_us = std::max(sum.max_delay_us, stats.delay_max_us);
+    ++sum.reports;
+  }
+  sum.avg_delay_us =
+      sum.outputs > 0 ? delay_sum / static_cast<double>(sum.outputs) : 0.0;
+  return sum;
+}
+
+}  // namespace sjoin

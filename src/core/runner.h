@@ -1,0 +1,78 @@
+// Wall-clock node runners: the real deployment of the epoch protocol over a
+// Transport (AF_UNIX sockets between forked processes, or in-process
+// channels between threads for tests).
+//
+// Rank layout: 0 = master, 1..N = slaves, N+1 = collector.
+//
+// Protocol per distribution epoch (fixed, predefined order -- the paper's
+// central communication constraint):
+//   1. master -> slave_i : kTupleBatch (this epoch's tuples, serially);
+//   2. slave_i -> master : kLoadReport (answered immediately by the slave's
+//      comm module, independent of join backlog);
+//   3. at reorganization epochs the master classifies the reports, then per
+//      supplier/consumer pair: kMoveCmd -> supplier, kInstallCmd ->
+//      consumer, supplier -> consumer kStateTransfer, both -> master kAck;
+//      the master withholds the moving partition's tuples until both acks.
+// Slaves push kResultStats deltas to the collector; kShutdown tears
+// everything down.
+//
+// Each slave runs the paper's two software components as two threads: the
+// comm module (blocking Recv, immediate load replies, inbox append) and the
+// join module (drains the inbox through JoinModule). Clock sync: the master
+// opens each connection with kClockSync; slaves convert local time to
+// master time with the learned offset so production delays are comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/time.h"
+#include "net/transport.h"
+
+namespace sjoin {
+
+struct WallOptions {
+  /// Wall-clock duration of the run (master stops distributing after this).
+  Duration run_for = 5 * kUsPerSec;
+
+  /// Artificial per-tuple processing cost injected at each slave (busy
+  /// wait), emulating the paper's non-dedicated nodes with background load;
+  /// index = slave rank - 1. Empty = no spin.
+  std::vector<Duration> slave_spin_us_per_tuple;
+};
+
+struct MasterSummary {
+  std::uint64_t tuples_sent = 0;
+  std::uint64_t epochs = 0;
+  std::uint64_t migrations = 0;
+};
+
+struct SlaveSummary {
+  std::uint64_t tuples_processed = 0;
+  std::uint64_t outputs = 0;
+  std::uint64_t groups_moved_out = 0;
+  std::uint64_t groups_moved_in = 0;
+};
+
+struct CollectorSummary {
+  std::uint64_t outputs = 0;
+  double avg_delay_us = 0.0;
+  double max_delay_us = 0.0;
+  std::uint32_t reports = 0;
+};
+
+/// Runs the master node until `opts.run_for` elapses, then shuts the
+/// cluster down. `transport.Self()` must be 0.
+MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
+                            const WallOptions& opts);
+
+/// Runs one slave node until shutdown. `transport.Self()` in [1, N].
+SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
+                          const WallOptions& opts);
+
+/// Runs the collector until shutdown. `transport.Self()` must be N+1.
+CollectorSummary RunCollectorNode(Transport& transport,
+                                  const SystemConfig& cfg);
+
+}  // namespace sjoin

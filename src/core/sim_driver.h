@@ -1,0 +1,116 @@
+// SimDriver: executes the full master/slave epoch protocol on a virtual
+// clock (execution-driven simulation).
+//
+// Everything stateful is real -- tuples are generated from the configured
+// Poisson/b-model sources, hashed, buffered in per-partition mini-buffers,
+// shipped in batches, joined by the slaves' JoinModules (real matches, real
+// window state, real extendible-hash tuning), and migrated through the real
+// state codec. Only *time* is modeled: each unit of work charges the
+// CostModel onto per-node virtual work clocks, so saturation, backlog,
+// production delay, idle time, and communication overhead all emerge from
+// the protocol itself (see DESIGN.md, "Real joins, virtual time").
+//
+// Timeline structure: the distribution epoch t_d is divided into
+// `num_subgroups` slots; slot m occurs at (m * t_d) / n_g and serves the
+// slaves of sub-group m % n_g, serially in slave order (which produces the
+// per-slave communication-time divergence of Fig. 12). Reorganization fires
+// every t_r: slaves report the mean of their per-epoch buffer-occupancy
+// samples, the master classifies them (supplier / consumer / neutral),
+// pairs each supplier with a distinct consumer, moves one randomly chosen
+// partition-group per pair, and optionally adapts the degree of
+// declustering (section V-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/config.h"
+#include "common/rng.h"
+#include "core/balancer.h"
+#include "core/epoch_tuner.h"
+#include "core/master_buffer.h"
+#include "core/metrics.h"
+#include "core/partition_map.h"
+#include "gen/stream_source.h"
+#include "join/join_module.h"
+
+namespace sjoin {
+
+struct SimOptions {
+  /// Virtual time before measurement starts; metrics reset at this instant
+  /// (the paper warms up for 10 of its 20 minutes).
+  Duration warmup = 2 * kUsPerMin;
+
+  /// Length of the measurement interval.
+  Duration measure = 3 * kUsPerMin;
+
+  /// Optional: receives every join output of every slave (including during
+  /// warmup). Used by correctness tests to compare the cluster's output set
+  /// against the reference sliding join. Must outlive the driver.
+  JoinSink* output_tee = nullptr;
+};
+
+class SimDriver {
+ public:
+  SimDriver(const SystemConfig& cfg, SimOptions opts);
+
+  /// Runs the whole experiment and returns the measured metrics.
+  RunMetrics Run();
+
+  /// Degree of declustering right now (inspectable mid-run via callbacks in
+  /// tests; after Run() it is the final degree).
+  std::uint32_t ActiveSlaveCount() const;
+
+ private:
+  struct Slave {
+    std::unique_ptr<StatsSink> sink;
+    std::unique_ptr<TeeSink> tee;  ///< only when SimOptions::output_tee set
+    std::unique_ptr<JoinModule> join;
+    Time free_at = 0;         ///< virtual instant this node finishes its work
+    Time blocked_until = 0;   ///< migration gate (await state-move ack)
+    bool active = false;
+    SlaveStats stats;
+    std::vector<double> occ_samples;  ///< per-epoch, since last reorg
+    RunningStat occ_stat;             ///< over the measurement interval
+    // JoinModule counter snapshots taken when measurement starts.
+    std::uint64_t snap_outputs = 0;
+    std::uint64_t snap_cmp = 0;
+    std::uint64_t snap_proc = 0;
+  };
+
+  std::vector<SlaveIdx> ActiveList() const;
+  Duration RepInterval() const;
+  void GenerateArrivalsUntil(Time t);
+  void ServeSlave(SlaveIdx s, Time t, Duration& serial_accum);
+  void AdvanceProcessing(SlaveIdx s, Time t, Time t_next);
+  void DoReorg(Time t, Duration interval);
+  void MigrateGroup(PartitionId pid, SlaveIdx from, SlaveIdx to, Time t);
+  void ActivateOne();
+  void DeactivateOne(const std::vector<double>& occupancy, Time t);
+  void ResetMetricsAtWarmup(Time t);
+  RunMetrics Collect() const;
+
+  SystemConfig cfg_;
+  SimOptions opts_;
+  MergedSource source_;
+  MasterBuffer master_buffer_;
+  PartitionMap pmap_;
+  Pcg32 rng_;
+  std::vector<Slave> slaves_;
+
+  // Dynamic distribution epoch (constant unless the tuner is enabled).
+  Duration td_;
+  double rep_ratio_;  ///< configured t_rep / t_dist, preserved on retune
+  EpochTuner tuner_;
+  Duration interval_comm_ = 0;  ///< slave comm charged since last reorg
+
+  Duration master_cpu_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t state_moved_tuples_ = 0;
+  std::uint64_t tuples_generated_ = 0;
+  double active_weighted_us_ = 0.0;  ///< integral of active count over time
+  bool measuring_ = false;
+};
+
+}  // namespace sjoin

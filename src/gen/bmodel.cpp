@@ -1,0 +1,45 @@
+#include "gen/bmodel.h"
+
+#include <cassert>
+
+namespace sjoin {
+
+namespace {
+std::uint32_t LevelsFor(std::uint64_t domain) {
+  std::uint32_t levels = 0;
+  std::uint64_t span = 1;
+  while (span < domain) {
+    span <<= 1;
+    ++levels;
+  }
+  return levels;
+}
+}  // namespace
+
+BModelGenerator::BModelGenerator(double b, std::uint64_t domain,
+                                 std::uint64_t seed, std::uint64_t stream)
+    : b_(b), domain_(domain), levels_(LevelsFor(domain)), rng_(seed, stream) {
+  assert(b >= 0.5 && b < 1.0);
+  assert(domain > 0);
+}
+
+std::uint64_t BModelGenerator::Next() {
+  // Walk the bisection tree: at every level the low half of the current
+  // interval holds probability mass b (the classic b-model with a fixed hot
+  // side, which is what yields the stable self-similar hot spot).
+  while (true) {
+    std::uint64_t lo = 0;
+    std::uint64_t span = std::uint64_t{1} << levels_;
+    for (std::uint32_t level = 0; level < levels_ && span > 1; ++level) {
+      span >>= 1;
+      if (rng_.NextDouble() >= b_) {
+        lo += span;  // cold half
+      }
+    }
+    if (lo < domain_) return lo;
+    // The power-of-two envelope overshoots a non-power-of-two domain;
+    // resample the rare out-of-range draws to keep the in-range shape exact.
+  }
+}
+
+}  // namespace sjoin

@@ -1,0 +1,27 @@
+#include "gen/poisson.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sjoin {
+
+PoissonProcess::PoissonProcess(double rate_per_sec, std::uint64_t seed,
+                               std::uint64_t stream)
+    : rate_(rate_per_sec), rng_(seed, stream) {
+  assert(rate_per_sec > 0.0);
+}
+
+Duration PoissonProcess::NextGapUs() {
+  // Inverse-CDF sampling; 1 - u avoids log(0).
+  double u = rng_.NextDouble();
+  double gap_sec = -std::log(1.0 - u) / rate_;
+  auto gap = static_cast<Duration>(gap_sec * static_cast<double>(kUsPerSec));
+  return gap < 1 ? 1 : gap;
+}
+
+Time PoissonProcess::NextArrival() {
+  now_ += NextGapUs();
+  return now_;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,35 @@
+// Poisson arrival process (paper section VI-A: "tuples within a stream S_i
+// arrive with a Poisson arrival rate lambda_i").
+#pragma once
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace sjoin {
+
+/// Generates exponentially distributed inter-arrival times for a homogeneous
+/// Poisson process of the given rate.
+class PoissonProcess {
+ public:
+  /// `rate_per_sec` must be > 0.
+  PoissonProcess(double rate_per_sec, std::uint64_t seed,
+                 std::uint64_t stream = 1);
+
+  /// Next inter-arrival gap in microseconds (>= 1 so timestamps strictly
+  /// advance and the stream's temporal order is a total order).
+  Duration NextGapUs();
+
+  /// Advances the internal arrival clock by one gap and returns the new
+  /// absolute arrival time.
+  Time NextArrival();
+
+  Time CurrentTime() const { return now_; }
+  double Rate() const { return rate_; }
+
+ private:
+  double rate_;
+  Pcg32 rng_;
+  Time now_ = 0;
+};
+
+}  // namespace sjoin

@@ -1,0 +1,71 @@
+#include "gen/rate_schedule.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sjoin {
+
+RateSchedule::RateSchedule(double rate_per_sec)
+    : RateSchedule(std::vector<RatePhase>{{kUsPerSec, rate_per_sec}}) {}
+
+RateSchedule::RateSchedule(std::vector<RatePhase> phases)
+    : phases_(std::move(phases)), cycle_(0) {
+  assert(!phases_.empty());
+  for (const RatePhase& p : phases_) {
+    assert(p.duration > 0 && p.rate_per_sec > 0.0);
+    cycle_ += p.duration;
+  }
+}
+
+double RateSchedule::RateAt(Time t) const {
+  Duration offset = t % cycle_;
+  if (offset < 0) offset += cycle_;
+  for (const RatePhase& p : phases_) {
+    if (offset < p.duration) return p.rate_per_sec;
+    offset -= p.duration;
+  }
+  return phases_.back().rate_per_sec;  // unreachable; defensive
+}
+
+double RateSchedule::MeanRate() const {
+  double weighted = 0.0;
+  for (const RatePhase& p : phases_) {
+    weighted += p.rate_per_sec * static_cast<double>(p.duration);
+  }
+  return weighted / static_cast<double>(cycle_);
+}
+
+ModulatedPoisson::ModulatedPoisson(RateSchedule schedule, std::uint64_t seed,
+                                   std::uint64_t stream)
+    : schedule_(std::move(schedule)), rng_(seed, stream) {}
+
+Time ModulatedPoisson::NextArrival() {
+  // Draw a unit-rate exponential and integrate the rate function until the
+  // accumulated intensity covers it, phase by phase.
+  double target = -std::log(1.0 - rng_.NextDouble());
+  while (true) {
+    const double rate = schedule_.RateAt(now_);
+    // Time remaining in the current phase.
+    Duration offset = now_ % schedule_.CycleLength();
+    Duration phase_left = 0;
+    for (const RatePhase& p : schedule_.Phases()) {
+      if (offset < p.duration) {
+        phase_left = p.duration - offset;
+        break;
+      }
+      offset -= p.duration;
+    }
+    const double phase_intensity =
+        rate * UsToSeconds(phase_left);
+    if (target <= phase_intensity) {
+      auto advance = static_cast<Duration>(
+          target / rate * static_cast<double>(kUsPerSec));
+      now_ += advance < 1 ? 1 : advance;
+      return now_;
+    }
+    target -= phase_intensity;
+    now_ += phase_left;
+  }
+}
+
+}  // namespace sjoin

@@ -1,0 +1,61 @@
+#include "gen/stream_source.h"
+
+#include "common/rng.h"
+
+namespace sjoin {
+
+namespace {
+// Derive decorrelated per-component seeds from the root seed.
+std::uint64_t DeriveSeed(std::uint64_t root, std::uint64_t salt) {
+  return Mix64(root ^ Mix64(salt));
+}
+}  // namespace
+
+StreamSource::StreamSource(StreamId id, double rate_per_sec, double b_skew,
+                           std::uint64_t key_domain, std::uint64_t seed)
+    : StreamSource(id, RateSchedule(rate_per_sec), b_skew, key_domain, seed) {}
+
+StreamSource::StreamSource(StreamId id, RateSchedule schedule, double b_skew,
+                           std::uint64_t key_domain, std::uint64_t seed)
+    : id_(id),
+      arrivals_(std::move(schedule), DeriveSeed(seed, 0x100u + id), id + 1u),
+      keys_(b_skew, key_domain, DeriveSeed(seed, 0x200u + id), id + 11u),
+      next_ts_(0) {
+  next_ts_ = arrivals_.NextArrival();
+}
+
+Rec StreamSource::Next() {
+  Rec rec{next_ts_, keys_.Next(), id_};
+  next_ts_ = arrivals_.NextArrival();
+  return rec;
+}
+
+MergedSource::MergedSource(double rate_per_sec, double b_skew,
+                           std::uint64_t key_domain, std::uint64_t seed)
+    : MergedSource(rate_per_sec, rate_per_sec, b_skew, key_domain, seed) {}
+
+MergedSource::MergedSource(double rate0, double rate1, double b_skew,
+                           std::uint64_t key_domain, std::uint64_t seed)
+    : s0_(0, rate0, b_skew, key_domain, seed),
+      s1_(1, rate1, b_skew, key_domain, seed) {}
+
+MergedSource::MergedSource(RateSchedule schedule, double b_skew,
+                           std::uint64_t key_domain, std::uint64_t seed)
+    : s0_(0, schedule, b_skew, key_domain, seed),
+      s1_(1, std::move(schedule), b_skew, key_domain, seed) {}
+
+Rec MergedSource::Next() {
+  return s0_.PeekTs() <= s1_.PeekTs() ? s0_.Next() : s1_.Next();
+}
+
+Time MergedSource::PeekTs() const {
+  return s0_.PeekTs() <= s1_.PeekTs() ? s0_.PeekTs() : s1_.PeekTs();
+}
+
+void MergedSource::DrainUntil(Time until, std::vector<Rec>& out) {
+  while (PeekTs() < until) {
+    out.push_back(Next());
+  }
+}
+
+}  // namespace sjoin

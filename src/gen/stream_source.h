@@ -1,0 +1,75 @@
+// Stream sources: combine an arrival process with a value distribution to
+// produce the synthetic input streams of the paper's evaluation, plus a
+// merged two-stream source in global timestamp order (the order in which
+// tuples reach the master's gateway). Arrivals follow either a constant
+// Poisson rate (the paper's evaluation) or a cyclic RateSchedule (the
+// time-varying environment the paper's system model postulates).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/bmodel.h"
+#include "gen/rate_schedule.h"
+#include "tuple/tuple.h"
+
+namespace sjoin {
+
+/// Generates one stream's tuples online, in strictly increasing timestamp
+/// order, with (possibly modulated) Poisson arrivals and b-model-skewed
+/// join attribute values.
+class StreamSource {
+ public:
+  StreamSource(StreamId id, double rate_per_sec, double b_skew,
+               std::uint64_t key_domain, std::uint64_t seed);
+
+  StreamSource(StreamId id, RateSchedule schedule, double b_skew,
+               std::uint64_t key_domain, std::uint64_t seed);
+
+  /// Produces the next tuple of this stream.
+  Rec Next();
+
+  /// Timestamp the next tuple will carry (peek without consuming).
+  Time PeekTs() const { return next_ts_; }
+
+  StreamId Id() const { return id_; }
+
+ private:
+  StreamId id_;
+  ModulatedPoisson arrivals_;
+  BModelGenerator keys_;
+  Time next_ts_;
+};
+
+/// Merges both streams into the single, globally timestamp-ordered sequence
+/// the master observes. (The paper assumes a global ordering based on the
+/// system clock.)
+class MergedSource {
+ public:
+  MergedSource(double rate_per_sec, double b_skew, std::uint64_t key_domain,
+               std::uint64_t seed);
+
+  /// Allows asymmetric stream rates (default construction uses the same
+  /// rate for both, as the paper's evaluation does).
+  MergedSource(double rate0, double rate1, double b_skew,
+               std::uint64_t key_domain, std::uint64_t seed);
+
+  /// Both streams follow the same time-varying schedule.
+  MergedSource(RateSchedule schedule, double b_skew,
+               std::uint64_t key_domain, std::uint64_t seed);
+
+  /// Next tuple across both streams, by arrival time.
+  Rec Next();
+
+  /// Arrival time of the next tuple (peek).
+  Time PeekTs() const;
+
+  /// Generates every tuple arriving strictly before `until` into `out`.
+  void DrainUntil(Time until, std::vector<Rec>& out);
+
+ private:
+  StreamSource s0_;
+  StreamSource s1_;
+};
+
+}  // namespace sjoin

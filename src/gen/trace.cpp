@@ -1,0 +1,90 @@
+#include "gen/trace.h"
+
+#include <cassert>
+#include <fstream>
+#include <limits>
+
+namespace sjoin {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x52544A53;  // "SJTR" little endian
+}
+
+void EncodeTrace(Writer& w, std::span<const Rec> recs,
+                 std::size_t tuple_bytes) {
+  w.PutU32(kMagic);
+  w.PutU32(kTraceVersion);
+  w.PutU32(static_cast<std::uint32_t>(tuple_bytes));
+  w.PutU64(recs.size());
+  for (const Rec& rec : recs) EncodeRec(w, rec, tuple_bytes);
+}
+
+std::vector<Rec> DecodeTrace(Reader& r) {
+  if (r.GetU32() != kMagic) throw DecodeError("not a sjoin trace");
+  std::uint32_t version = r.GetU32();
+  if (version != kTraceVersion) {
+    throw DecodeError("unsupported trace version " + std::to_string(version));
+  }
+  std::uint32_t tuple_bytes = r.GetU32();
+  if (tuple_bytes < kMinWireTupleBytes) {
+    throw DecodeError("trace tuple size too small");
+  }
+  std::uint64_t count = r.GetU64();
+  if (count > r.Remaining() / tuple_bytes) {
+    throw DecodeError("trace tuple count exceeds payload");
+  }
+  std::vector<Rec> recs;
+  recs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    recs.push_back(DecodeRec(r, tuple_bytes));
+  }
+  return recs;
+}
+
+bool WriteTraceFile(const std::string& path, std::span<const Rec> recs,
+                    std::size_t tuple_bytes) {
+  Writer w(16 + recs.size() * tuple_bytes);
+  EncodeTrace(w, recs, tuple_bytes);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(w.Bytes().data()),
+            static_cast<std::streamsize>(w.Size()));
+  return static_cast<bool>(out);
+}
+
+std::vector<Rec> ReadTraceFile(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (ok != nullptr) *ok = false;
+    return {};
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  Reader r(bytes);
+  std::vector<Rec> recs = DecodeTrace(r);
+  if (ok != nullptr) *ok = true;
+  return recs;
+}
+
+TraceSource::TraceSource(std::vector<Rec> recs) : recs_(std::move(recs)) {
+  for (std::size_t i = 1; i < recs_.size(); ++i) {
+    assert(recs_[i].ts >= recs_[i - 1].ts && "traces must be time ordered");
+  }
+}
+
+Time TraceSource::PeekTs() const {
+  return Exhausted() ? std::numeric_limits<Time>::max() : recs_[pos_].ts;
+}
+
+Rec TraceSource::Next() {
+  assert(!Exhausted());
+  return recs_[pos_++];
+}
+
+void TraceSource::DrainUntil(Time until, std::vector<Rec>& out) {
+  while (!Exhausted() && recs_[pos_].ts < until) {
+    out.push_back(recs_[pos_++]);
+  }
+}
+
+}  // namespace sjoin

@@ -1,0 +1,58 @@
+// Stream trace record / replay.
+//
+// The paper generates its streams online; for reproducible experiments and
+// for feeding captured workloads back through the system, this module
+// serializes a tuple sequence to a compact binary trace and replays it as a
+// source with the same interface as the live generators.
+//
+// Format (little endian): "SJTR" magic, u32 version, u32 tuple_bytes,
+// u64 count, then `count` wire tuples (tuple/tuple.h encoding).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "tuple/tuple.h"
+
+namespace sjoin {
+
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+/// Serializes a trace into a byte buffer.
+void EncodeTrace(Writer& w, std::span<const Rec> recs,
+                 std::size_t tuple_bytes);
+
+/// Parses a trace buffer; throws DecodeError on malformed input.
+std::vector<Rec> DecodeTrace(Reader& r);
+
+/// Writes a trace file; returns false on I/O failure.
+bool WriteTraceFile(const std::string& path, std::span<const Rec> recs,
+                    std::size_t tuple_bytes);
+
+/// Reads a trace file; throws DecodeError on malformed content, returns an
+/// empty vector (and sets ok=false) if the file cannot be read.
+std::vector<Rec> ReadTraceFile(const std::string& path, bool* ok = nullptr);
+
+/// Replays a recorded trace with the live-source interface (PeekTs/Next/
+/// DrainUntil), so drivers can consume either interchangeably.
+class TraceSource {
+ public:
+  explicit TraceSource(std::vector<Rec> recs);
+
+  bool Exhausted() const { return pos_ == recs_.size(); }
+
+  /// Arrival time of the next tuple; Time max when exhausted.
+  Time PeekTs() const;
+
+  Rec Next();
+
+  void DrainUntil(Time until, std::vector<Rec>& out);
+
+ private:
+  std::vector<Rec> recs_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sjoin

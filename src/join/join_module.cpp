@@ -1,0 +1,196 @@
+#include "join/join_module.h"
+
+#include <cassert>
+
+namespace sjoin {
+
+JoinModule::JoinModule(const SystemConfig& cfg, JoinSink* sink)
+    : join_cfg_(cfg.join),
+      cost_(cfg.cost),
+      tuple_bytes_(cfg.workload.tuple_bytes),
+      num_partitions_(cfg.join.num_partitions),
+      window_(cfg.join.window),
+      sink_(sink),
+      store_(cfg.join, cfg.workload.tuple_bytes) {
+  assert(sink != nullptr);
+}
+
+void JoinModule::EnqueueBatch(std::span<const Rec> recs) {
+  buffer_.insert(buffer_.end(), recs.begin(), recs.end());
+}
+
+Duration JoinModule::ProcessFor(Time from, Duration budget) {
+  Duration used = 0;
+  while (!buffer_.empty() && used < budget) {
+    Rec rec = buffer_.front();
+    buffer_.pop_front();
+    used += cost_.TupleFixedCost(1);
+    PartitionGroup& group =
+        store_.Ensure(PartitionOf(rec.key, num_partitions_));
+    MiniGroup& mg = group.GroupFor(rec.key);
+    mg.Part(rec.stream).Insert(rec);
+    group.AddCount(1);
+    ++processed_;
+    if (mg.Part(rec.stream).HeadFull()) {
+      used += FlushMiniGroup(group, mg, from + used);
+    }
+  }
+  if (buffer_.empty()) {
+    used += FlushAllPartials(from + used);
+  }
+  return used;
+}
+
+Duration JoinModule::FlushMiniGroup(PartitionGroup& group, MiniGroup& mg,
+                                    Time work_start) {
+  Duration c = 0;
+  std::uint64_t tune_key = 0;
+  bool have_key = false;
+
+  // Probe each stream's fresh batch against the opposite *sealed* records,
+  // sealing stream 0 before stream 1 probes so cross-fresh pairs are emitted
+  // exactly once (the paper's duplicate-elimination rule).
+  for (StreamId s = 0; s < kStreamCount; ++s) {
+    auto fresh = mg.Part(s).FreshRecords();
+    if (fresh.empty()) continue;
+    tune_key = fresh.front().key;
+    have_key = true;
+    const MiniPartition& opp = mg.Part(Opposite(s));
+    const std::size_t cmp = fresh.size() * opp.SealedCount();
+    comparisons_ += cmp;
+    c += cost_.CmpCost(cmp);
+    const Time produced_at = work_start + c;
+    for (const Rec& r : fresh) {
+      auto partners = opp.ProbeSealed(r.key, r.ts - window_, r.ts + window_);
+      if (!partners.empty()) {
+        outputs_ += partners.size();
+        sink_->OnMatches(r, partners, produced_at);
+      }
+    }
+    mg.Part(s).Seal();
+  }
+
+  c += ExpireMiniGroup(group, mg, mg.MaxSeenTs() - window_, work_start + c);
+
+  if (have_key) {
+    // NOTE: a split/merge invalidates `mg`; nothing touches it afterwards.
+    const std::size_t moved = group.MaybeTune(tune_key);
+    tuning_moves_ += moved;
+    c += cost_.MoveCost(moved);
+  }
+  return c;
+}
+
+Duration JoinModule::ExpireMiniGroup(PartitionGroup& group, MiniGroup& mg,
+                                     Time low_ts, Time produced_at) {
+  Duration c = 0;
+  for (StreamId s = 0; s < kStreamCount; ++s) {
+    std::vector<Block> expired = mg.Part(s).ExpireBlocks(low_ts);
+    if (expired.empty()) continue;
+    std::size_t total = 0;
+    for (const Block& b : expired) total += b.Size();
+    group.AddCount(-static_cast<std::ptrdiff_t>(total));
+
+    // The paper's completeness rule: an expiring block joins the opposite
+    // head's fresh tuples on its way out (those tuples have not probed yet,
+    // and by the time they do this block's records will be gone).
+    auto opp_fresh = mg.Part(Opposite(s)).FreshRecords();
+    if (opp_fresh.empty()) continue;
+    const std::size_t cmp = total * opp_fresh.size();
+    comparisons_ += cmp;
+    c += cost_.CmpCost(cmp);
+    for (const Rec& f : opp_fresh) {
+      probe_scratch_.clear();
+      for (const Block& b : expired) {
+        for (const Rec& r : b.Records()) {
+          if (r.key == f.key && r.ts >= f.ts - window_ &&
+              r.ts <= f.ts + window_) {
+            probe_scratch_.push_back(r.ts);
+          }
+        }
+      }
+      if (!probe_scratch_.empty()) {
+        outputs_ += probe_scratch_.size();
+        sink_->OnMatches(f, probe_scratch_, produced_at + c);
+      }
+    }
+  }
+  return c;
+}
+
+Duration JoinModule::FlushAllPartials(Time from) {
+  Duration c = 0;
+  store_.ForEachGroup([&](PartitionId, PartitionGroup& group) {
+    // Flushing may split/merge mini-groups (invalidating any directory
+    // iteration), so locate one fresh mini-group at a time.
+    while (true) {
+      MiniGroup* target = nullptr;
+      group.ForEachMiniGroup([&](MiniGroup& mg) {
+        if (target == nullptr &&
+            (mg.Part(0).FreshCount() > 0 || mg.Part(1).FreshCount() > 0)) {
+          target = &mg;
+        }
+      });
+      if (target == nullptr) break;
+      c += FlushMiniGroup(group, *target, from + c);
+    }
+  });
+  return c;
+}
+
+std::unique_ptr<PartitionGroup> JoinModule::ExtractGroup(
+    PartitionId pid, Time from, Duration& cost, std::vector<Rec>& pending_out) {
+  PartitionGroup* g = store_.Find(pid);
+  assert(g != nullptr && "cannot extract a partition this slave does not own");
+  cost = 0;
+
+  // Seal everything: migrated state must carry no fresh tuples (they probe
+  // here, before the move, so no result is lost or duplicated).
+  while (true) {
+    MiniGroup* target = nullptr;
+    g->ForEachMiniGroup([&](MiniGroup& mg) {
+      if (target == nullptr &&
+          (mg.Part(0).FreshCount() > 0 || mg.Part(1).FreshCount() > 0)) {
+        target = &mg;
+      }
+    });
+    if (target == nullptr) break;
+    cost += FlushMiniGroup(*g, *target, from + cost);
+  }
+
+  // Buffered tuples of this partition travel with the state.
+  std::deque<Rec> rest;
+  for (const Rec& rec : buffer_) {
+    if (PartitionOf(rec.key, num_partitions_) == pid) {
+      pending_out.push_back(rec);
+    } else {
+      rest.push_back(rec);
+    }
+  }
+  buffer_.swap(rest);
+
+  auto group = store_.Take(pid);
+  cost += cost_.MoveCost(group->TotalCount());
+  return group;
+}
+
+void JoinModule::InstallGroup(PartitionId pid,
+                              std::unique_ptr<PartitionGroup> group) {
+  store_.Install(pid, std::move(group));
+}
+
+std::uint64_t JoinModule::Splits() const {
+  std::uint64_t n = 0;
+  store_.ForEachGroup(
+      [&](PartitionId, const PartitionGroup& g) { n += g.Splits(); });
+  return n;
+}
+
+std::uint64_t JoinModule::Merges() const {
+  std::uint64_t n = 0;
+  store_.ForEachGroup(
+      [&](PartitionId, const PartitionGroup& g) { n += g.Merges(); });
+  return n;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,120 @@
+// JoinModule: the per-slave join processor (paper section IV-D).
+//
+// Pipeline per processed tuple:
+//   1. charge the fixed per-tuple cost and route by hash to the owned
+//      partition-group, then (fine tuning) to the mini-partition-group;
+//   2. append to the head block of its stream's mini-partition as fresh;
+//   3. when the head block fills -- or the input buffer drains -- run the
+//      batch join pass: fresh tuples of each stream probe the *sealed*
+//      records of the opposite stream (the paper's duplicate-elimination
+//      rule), are sealed, expired blocks leave the window (joining the
+//      opposite side's remaining fresh tuples on the way out for
+//      completeness), and the partition-tuning invariant is re-checked.
+//
+// All work is charged to a virtual work clock through the CostModel; the
+// block-nested-loop comparison count is exact (fresh x opposite-sealed per
+// batch) while match discovery itself uses the per-key index (see
+// window/mini_partition.h).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "join/sink.h"
+#include "window/state_codec.h"
+#include "window/window_store.h"
+
+namespace sjoin {
+
+/// The master's stream-partitioning hash: partition id of a join key.
+inline PartitionId PartitionOf(std::uint64_t key, std::uint32_t num_partitions) {
+  return static_cast<PartitionId>(Mix64(key) % num_partitions);
+}
+
+class JoinModule {
+ public:
+  /// `sink` must outlive the module.
+  JoinModule(const SystemConfig& cfg, JoinSink* sink);
+
+  // -- Ingest ---------------------------------------------------------------
+
+  /// Appends a received batch to the stream buffer (arrival order).
+  void EnqueueBatch(std::span<const Rec> recs);
+
+  std::size_t BufferedTuples() const { return buffer_.size(); }
+  std::size_t BufferedBytes() const {
+    return buffer_.size() * tuple_bytes_;
+  }
+
+  // -- Processing -----------------------------------------------------------
+
+  /// Processes buffered tuples, charging virtual time from `from`, until the
+  /// buffer drains or the consumed cost reaches `budget` (the final tuple may
+  /// overshoot). When the buffer drains, partial head blocks are flushed so
+  /// no tuple waits indefinitely for its block to fill. Returns the cost
+  /// actually consumed.
+  Duration ProcessFor(Time from, Duration budget);
+
+  // -- Migration ------------------------------------------------------------
+
+  /// Supplier side: flushes the group's pending fresh tuples, detaches its
+  /// window state, and extracts this group's still-buffered tuples into
+  /// `pending_out` (they travel with the state and are re-enqueued at the
+  /// consumer). Returns the group and the CPU cost of the extraction.
+  std::unique_ptr<PartitionGroup> ExtractGroup(PartitionId pid, Time from,
+                                               Duration& cost,
+                                               std::vector<Rec>& pending_out);
+
+  /// Consumer side: installs a migrated group.
+  void InstallGroup(PartitionId pid, std::unique_ptr<PartitionGroup> group);
+
+  // -- Introspection ----------------------------------------------------------
+
+  WindowStore& Store() { return store_; }
+  const WindowStore& Store() const { return store_; }
+
+  std::uint64_t Comparisons() const { return comparisons_; }
+  std::uint64_t Outputs() const { return outputs_; }
+  std::uint64_t TuplesProcessed() const { return processed_; }
+  std::uint64_t TuningMoves() const { return tuning_moves_; }
+  std::uint64_t Splits() const;
+  std::uint64_t Merges() const;
+
+ private:
+  /// Runs the batch join pass on one mini-group (probe fresh of each stream
+  /// against the opposite sealed records, seal, expire, re-tune). Returns the
+  /// charged cost; `work_start` stamps the produced outputs.
+  Duration FlushMiniGroup(PartitionGroup& group, MiniGroup& mg,
+                          Time work_start);
+
+  /// Expires old blocks of `mg`, running the paper's expiring-block vs.
+  /// opposite-fresh completeness join. Returns the charged cost.
+  Duration ExpireMiniGroup(PartitionGroup& group, MiniGroup& mg, Time low_ts,
+                           Time produced_at);
+
+  /// Flushes every mini-group that still holds fresh records (buffer drain
+  /// or pre-migration flush). Returns the charged cost.
+  Duration FlushAllPartials(Time from);
+
+  JoinConfig join_cfg_;
+  CostModel cost_;
+  std::size_t tuple_bytes_;
+  std::uint32_t num_partitions_;
+  Duration window_;
+  JoinSink* sink_;
+
+  WindowStore store_;
+  std::deque<Rec> buffer_;
+
+  std::uint64_t comparisons_ = 0;
+  std::uint64_t outputs_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t tuning_moves_ = 0;
+
+  std::vector<Time> probe_scratch_;
+};
+
+}  // namespace sjoin

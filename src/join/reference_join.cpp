@@ -1,0 +1,124 @@
+#include "join/reference_join.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "tuple/block.h"
+
+namespace sjoin {
+
+std::vector<JoinPair> ReferenceSlidingJoin(std::span<const Rec> all,
+                                           Duration window) {
+  std::vector<Rec> s0;
+  std::vector<Rec> s1;
+  for (const Rec& r : all) (r.stream == 0 ? s0 : s1).push_back(r);
+
+  std::vector<JoinPair> out;
+  for (const Rec& a : s0) {
+    for (const Rec& b : s1) {
+      Time diff = a.ts > b.ts ? a.ts - b.ts : b.ts - a.ts;
+      if (a.key == b.key && diff <= window) {
+        out.push_back(JoinPair{a.ts, b.ts, a.key});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+struct Side {
+  std::deque<Block> blocks;  // oldest first; back() is the head block
+
+  Block& Head(std::size_t capacity) {
+    if (blocks.empty() || blocks.back().Full()) {
+      blocks.emplace_back(capacity);
+    }
+    return blocks.back();
+  }
+
+  Time MaxSeenTs() const {
+    return blocks.empty() ? 0 : blocks.back().MaxTs();
+  }
+};
+
+}  // namespace
+
+BnlResult BnlPartitionJoin(std::span<const Rec> all, Duration window,
+                           std::size_t block_capacity) {
+  BnlResult res;
+  Side side[2];
+  Time max_seen = 0;
+
+  auto emit = [&](const Rec& probe, const Rec& partner) {
+    res.pairs.push_back(probe.stream == 0
+                            ? JoinPair{probe.ts, partner.ts, probe.key}
+                            : JoinPair{partner.ts, probe.ts, probe.key});
+  };
+
+  // Probes one fresh record against every *sealed* record of the opposite
+  // side, scanning block-by-block like the paper's BNL join.
+  auto probe_one = [&](const Rec& f) {
+    const Side& opp = side[Opposite(f.stream)];
+    for (std::size_t bi = 0; bi < opp.blocks.size(); ++bi) {
+      const Block& b = opp.blocks[bi];
+      const bool is_head = (bi + 1 == opp.blocks.size());
+      auto sealed = is_head ? b.JoinedRecords() : b.Records();
+      for (const Rec& r : sealed) {
+        ++res.comparisons;
+        if (r.key == f.key && r.ts >= f.ts - window &&
+            r.ts <= f.ts + window) {
+          emit(f, r);
+        }
+      }
+    }
+  };
+
+  auto flush_both = [&] {
+    for (StreamId s = 0; s < kStreamCount; ++s) {
+      if (side[s].blocks.empty()) continue;
+      Block& head = side[s].blocks.back();
+      for (const Rec& f : head.FreshRecords()) probe_one(f);
+      head.MarkJoined();
+    }
+    // Expiry with the expiring-block vs. opposite-fresh completeness join.
+    // (After sealing both sides there are no fresh tuples left, so inside a
+    // flush this join is vacuous -- exactly as in JoinModule; the rule
+    // matters when expiry runs while a head still holds fresh records,
+    // which unit tests drive directly.)
+    const Time low = max_seen - window;
+    for (StreamId s = 0; s < kStreamCount; ++s) {
+      auto& blocks = side[s].blocks;
+      while (blocks.size() > 1 && blocks.front().MaxTs() < low) {
+        const Block& dying = blocks.front();
+        const Side& opp = side[Opposite(s)];
+        if (!opp.blocks.empty()) {
+          for (const Rec& f : opp.blocks.back().FreshRecords()) {
+            for (const Rec& r : dying.Records()) {
+              ++res.comparisons;
+              if (r.key == f.key && r.ts >= f.ts - window &&
+                  r.ts <= f.ts + window) {
+                emit(f, r);
+              }
+            }
+          }
+        }
+        blocks.pop_front();
+      }
+    }
+  };
+
+  for (const Rec& rec : all) {
+    Block& head = side[rec.stream].Head(block_capacity);
+    head.Append(rec);
+    max_seen = std::max(max_seen, rec.ts);
+    if (head.Full() && head.FreshCount() > 0) flush_both();
+  }
+  flush_both();
+
+  std::sort(res.pairs.begin(), res.pairs.end());
+  return res;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,91 @@
+// Join output sinks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "tuple/tuple.h"
+
+namespace sjoin {
+
+/// Receives join results. One call delivers every match of one probe tuple
+/// (all matches of a probe share the production instant, and hence the
+/// production delay, so aggregating sinks run in O(1) per call).
+class JoinSink {
+ public:
+  virtual ~JoinSink() = default;
+
+  /// `probe` is the newer tuple of each produced pair; `partner_ts` holds
+  /// the timestamps of the matched opposite-stream tuples (which carry the
+  /// same join key). `produced_at` is the instant the results exist.
+  virtual void OnMatches(const Rec& probe, std::span<const Time> partner_ts,
+                         Time produced_at) = 0;
+};
+
+/// Aggregates the paper's headline metric: the average production delay of
+/// an output tuple, `produced_at - newer_input.ts`.
+class StatsSink final : public JoinSink {
+ public:
+  StatsSink() : delay_hist_(DelayHistogramBounds()) {}
+
+  void OnMatches(const Rec& probe, std::span<const Time> partner_ts,
+                 Time produced_at) override {
+    const double delay = static_cast<double>(produced_at - probe.ts);
+    delay_us_.AddWeighted(delay, partner_ts.size());
+    // One histogram sample per probe batch keeps the sink O(1); every
+    // output of a batch shares the same delay anyway.
+    delay_hist_.Add(delay);
+  }
+
+  const RunningStat& DelayUs() const { return delay_us_; }
+  const Histogram& DelayHistogram() const { return delay_hist_; }
+  std::uint64_t Outputs() const { return delay_us_.Count(); }
+  void Reset() {
+    delay_us_.Reset();
+    delay_hist_ = Histogram(DelayHistogramBounds());
+  }
+
+ private:
+  RunningStat delay_us_;
+  Histogram delay_hist_;
+};
+
+/// Materializes every output pair; for tests and small examples only.
+class CollectSink final : public JoinSink {
+ public:
+  void OnMatches(const Rec& probe, std::span<const Time> partner_ts,
+                 Time produced_at) override {
+    for (Time pts : partner_ts) {
+      Rec partner{pts, probe.key, Opposite(probe.stream)};
+      JoinOutput out;
+      out.left = probe.stream == 0 ? probe : partner;
+      out.right = probe.stream == 0 ? partner : probe;
+      out.produced_at = produced_at;
+      outputs_.push_back(out);
+    }
+  }
+
+  const std::vector<JoinOutput>& Outputs() const { return outputs_; }
+  std::vector<JoinOutput>& MutableOutputs() { return outputs_; }
+
+ private:
+  std::vector<JoinOutput> outputs_;
+};
+
+/// Fans one result stream out to several sinks.
+class TeeSink final : public JoinSink {
+ public:
+  explicit TeeSink(std::vector<JoinSink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void OnMatches(const Rec& probe, std::span<const Time> partner_ts,
+                 Time produced_at) override {
+    for (JoinSink* s : sinks_) s->OnMatches(probe, partner_ts, produced_at);
+  }
+
+ private:
+  std::vector<JoinSink*> sinks_;
+};
+
+}  // namespace sjoin

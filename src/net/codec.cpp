@@ -1,0 +1,169 @@
+#include "net/codec.h"
+
+#include <algorithm>
+
+namespace sjoin {
+
+void Encode(Writer& w, const TupleBatchMsg& m, std::size_t tuple_bytes) {
+  w.PutU64(m.recs.size());
+  for (const Rec& rec : m.recs) EncodeRec(w, rec, tuple_bytes);
+}
+
+TupleBatchMsg DecodeTupleBatch(Reader& r, std::size_t tuple_bytes) {
+  TupleBatchMsg m;
+  std::uint64_t n = r.GetU64();
+  if (n > r.Remaining() / tuple_bytes) {
+    throw DecodeError("tuple batch count exceeds payload");
+  }
+  m.recs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    m.recs.push_back(DecodeRec(r, tuple_bytes));
+  }
+  return m;
+}
+
+namespace {
+// Punctuation pseudo-tuple: sentinel timestamp, key = stream id.
+constexpr Time kPunctuationTs = -1;
+}  // namespace
+
+void EncodePunctuated(Writer& w, const TupleBatchMsg& m,
+                      std::size_t tuple_bytes) {
+  std::vector<const Rec*> per_stream[kStreamCount];
+  for (const Rec& rec : m.recs) per_stream[rec.stream].push_back(&rec);
+  std::uint64_t entries = 0;
+  for (const auto& v : per_stream) {
+    if (!v.empty()) entries += 1 + v.size();
+  }
+  w.PutU64(entries);
+  for (StreamId s = 0; s < kStreamCount; ++s) {
+    if (per_stream[s].empty()) continue;
+    EncodeRec(w, Rec{kPunctuationTs, s, 0}, tuple_bytes);
+    for (const Rec* rec : per_stream[s]) {
+      Rec stripped = *rec;
+      stripped.stream = 0;  // carried by the punctuation, not the tuple
+      EncodeRec(w, stripped, tuple_bytes);
+    }
+  }
+}
+
+TupleBatchMsg DecodePunctuated(Reader& r, std::size_t tuple_bytes) {
+  TupleBatchMsg m;
+  std::uint64_t entries = r.GetU64();
+  bool have_stream = false;
+  StreamId current = 0;
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    Rec rec = DecodeRec(r, tuple_bytes);
+    if (rec.ts == kPunctuationTs) {
+      if (rec.key >= kStreamCount) {
+        throw DecodeError("punctuation names an invalid stream");
+      }
+      current = static_cast<StreamId>(rec.key);
+      have_stream = true;
+      continue;
+    }
+    if (!have_stream) {
+      throw DecodeError("tuple before any punctuation mark");
+    }
+    rec.stream = current;
+    m.recs.push_back(rec);
+  }
+  // Restore global arrival order (runs are per-stream ordered).
+  std::inplace_merge(
+      m.recs.begin(),
+      std::find_if(m.recs.begin(), m.recs.end(),
+                   [&](const Rec& rec) { return rec.stream == 1; }),
+      m.recs.end(), [](const Rec& a, const Rec& b) { return a.ts < b.ts; });
+  return m;
+}
+
+std::size_t PunctuatedWireSize(std::size_t stream0_count,
+                               std::size_t stream1_count,
+                               std::size_t tuple_bytes) {
+  std::size_t entries = stream0_count + stream1_count +
+                        (stream0_count > 0 ? 1 : 0) +
+                        (stream1_count > 0 ? 1 : 0);
+  return 8 + entries * tuple_bytes;
+}
+
+void Encode(Writer& w, const LoadReportMsg& m) {
+  w.PutDouble(m.avg_buffer_occupancy);
+  w.PutU64(m.buffered_tuples);
+  w.PutU64(m.window_tuples);
+}
+
+LoadReportMsg DecodeLoadReport(Reader& r) {
+  LoadReportMsg m;
+  m.avg_buffer_occupancy = r.GetDouble();
+  m.buffered_tuples = r.GetU64();
+  m.window_tuples = r.GetU64();
+  return m;
+}
+
+void Encode(Writer& w, const MoveCmdMsg& m) {
+  w.PutU32(m.partition_id);
+  w.PutU32(m.peer);
+}
+
+MoveCmdMsg DecodeMoveCmd(Reader& r) {
+  MoveCmdMsg m;
+  m.partition_id = r.GetU32();
+  m.peer = r.GetU32();
+  return m;
+}
+
+void Encode(Writer& w, const StateTransferMsg& m, std::size_t tuple_bytes) {
+  w.PutU32(m.partition_id);
+  w.PutU64(m.group_state.size());
+  w.PutBytes(m.group_state);
+  w.PutU64(m.pending.size());
+  for (const Rec& rec : m.pending) EncodeRec(w, rec, tuple_bytes);
+}
+
+StateTransferMsg DecodeStateTransfer(Reader& r, std::size_t tuple_bytes) {
+  StateTransferMsg m;
+  m.partition_id = r.GetU32();
+  std::uint64_t state_len = r.GetU64();
+  m.group_state = r.GetBytes(state_len);
+  std::uint64_t n = r.GetU64();
+  if (n > r.Remaining() / tuple_bytes) {
+    throw DecodeError("pending tuple count exceeds payload");
+  }
+  m.pending.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    m.pending.push_back(DecodeRec(r, tuple_bytes));
+  }
+  return m;
+}
+
+void Encode(Writer& w, const AckMsg& m) { w.PutU32(m.partition_id); }
+
+AckMsg DecodeAck(Reader& r) { return AckMsg{r.GetU32()}; }
+
+void Encode(Writer& w, const ClockSyncMsg& m) {
+  w.PutI64(m.master_now);
+  w.PutI64(m.next_epoch_start);
+}
+
+ClockSyncMsg DecodeClockSync(Reader& r) {
+  ClockSyncMsg m;
+  m.master_now = r.GetI64();
+  m.next_epoch_start = r.GetI64();
+  return m;
+}
+
+void Encode(Writer& w, const ResultStatsMsg& m) {
+  w.PutU64(m.outputs);
+  w.PutDouble(m.delay_sum_us);
+  w.PutDouble(m.delay_max_us);
+}
+
+ResultStatsMsg DecodeResultStats(Reader& r) {
+  ResultStatsMsg m;
+  m.outputs = r.GetU64();
+  m.delay_sum_us = r.GetDouble();
+  m.delay_max_us = r.GetDouble();
+  return m;
+}
+
+}  // namespace sjoin

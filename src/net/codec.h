@@ -1,0 +1,95 @@
+// Typed payload codecs for the protocol messages (machine-independent wire
+// format; see common/serialize.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/time.h"
+#include "net/message.h"
+#include "tuple/tuple.h"
+
+namespace sjoin {
+
+/// master -> slave: the tuples of one distribution epoch. Stream membership
+/// travels as an attribute of each tuple (the paper's "augmenting an extra
+/// attribute, containing the stream ID" option; the punctuation-mark
+/// alternative would change only this codec).
+struct TupleBatchMsg {
+  std::vector<Rec> recs;
+
+  /// Serialized size; `tuple_bytes` is the configured wire tuple size.
+  static std::size_t WireSize(std::size_t count, std::size_t tuple_bytes) {
+    return 8 + count * tuple_bytes;
+  }
+};
+void Encode(Writer& w, const TupleBatchMsg& m, std::size_t tuple_bytes);
+TupleBatchMsg DecodeTupleBatch(Reader& r, std::size_t tuple_bytes);
+
+/// The paper's second stream-identification option: "putting special
+/// punctuation marks (which might itself be fictitious tuples) at the
+/// sequence of tuples from each stream". Tuples are grouped by stream and
+/// each run is preceded by one punctuation pseudo-tuple naming the stream,
+/// so per-tuple stream attributes become unnecessary -- the punctuation
+/// overhead (<= one pseudo-tuple per stream per batch) amortizes away for
+/// large batches. Decoding restores the identical TupleBatchMsg.
+void EncodePunctuated(Writer& w, const TupleBatchMsg& m,
+                      std::size_t tuple_bytes);
+TupleBatchMsg DecodePunctuated(Reader& r, std::size_t tuple_bytes);
+std::size_t PunctuatedWireSize(std::size_t stream0_count,
+                               std::size_t stream1_count,
+                               std::size_t tuple_bytes);
+
+/// slave -> master: load feedback for the reorganization protocol.
+struct LoadReportMsg {
+  double avg_buffer_occupancy = 0.0;  ///< mean of per-epoch occupancy samples
+  std::uint64_t buffered_tuples = 0;
+  std::uint64_t window_tuples = 0;
+};
+void Encode(Writer& w, const LoadReportMsg& m);
+LoadReportMsg DecodeLoadReport(Reader& r);
+
+/// master -> supplier / consumer: one partition-group migration.
+struct MoveCmdMsg {
+  std::uint32_t partition_id = 0;
+  Rank peer = 0;  ///< consumer (in kMoveCmd) or supplier (in kInstallCmd)
+};
+void Encode(Writer& w, const MoveCmdMsg& m);
+MoveCmdMsg DecodeMoveCmd(Reader& r);
+
+/// supplier -> consumer: serialized group state plus its pending tuples.
+struct StateTransferMsg {
+  std::uint32_t partition_id = 0;
+  std::vector<std::uint8_t> group_state;  ///< window/state_codec payload
+  std::vector<Rec> pending;
+};
+void Encode(Writer& w, const StateTransferMsg& m, std::size_t tuple_bytes);
+StateTransferMsg DecodeStateTransfer(Reader& r, std::size_t tuple_bytes);
+
+/// mover -> master.
+struct AckMsg {
+  std::uint32_t partition_id = 0;
+};
+void Encode(Writer& w, const AckMsg& m);
+AckMsg DecodeAck(Reader& r);
+
+/// master -> slave: epoch clock synchronization (Algorithm 1, line 18).
+struct ClockSyncMsg {
+  Time master_now = 0;
+  Time next_epoch_start = 0;
+};
+void Encode(Writer& w, const ClockSyncMsg& m);
+ClockSyncMsg DecodeClockSync(Reader& r);
+
+/// slave -> collector: result aggregates of one reporting interval.
+struct ResultStatsMsg {
+  std::uint64_t outputs = 0;
+  double delay_sum_us = 0.0;
+  double delay_max_us = 0.0;
+};
+void Encode(Writer& w, const ResultStatsMsg& m);
+ResultStatsMsg DecodeResultStats(Reader& r);
+
+}  // namespace sjoin

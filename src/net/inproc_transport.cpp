@@ -1,0 +1,84 @@
+#include "net/inproc_transport.h"
+
+#include <cassert>
+
+namespace sjoin {
+
+InProcHub::InProcHub(Rank num_ranks) {
+  boxes_.reserve(num_ranks);
+  for (Rank i = 0; i < num_ranks; ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+std::unique_ptr<InProcEndpoint> InProcHub::Endpoint(Rank self) {
+  assert(self < boxes_.size());
+  return std::make_unique<InProcEndpoint>(this, self);
+}
+
+void InProcHub::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(down_mu_);
+    down_ = true;
+  }
+  for (auto& box : boxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+void InProcHub::Push(Rank to, Message msg) {
+  assert(to < boxes_.size());
+  Mailbox& box = *boxes_[to];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_one();
+}
+
+std::optional<Message> InProcHub::Pop(Rank self) {
+  Mailbox& box = *boxes_[self];
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.cv.wait(lock, [&] {
+    if (!box.queue.empty()) return true;
+    std::lock_guard<std::mutex> dl(down_mu_);
+    return down_;
+  });
+  if (box.queue.empty()) return std::nullopt;  // shutdown
+  Message msg = std::move(box.queue.front());
+  box.queue.pop_front();
+  return msg;
+}
+
+void InProcEndpoint::Send(Rank to, Message msg) {
+  msg.from = self_;
+  hub_->Push(to, std::move(msg));
+}
+
+std::optional<Message> InProcEndpoint::Recv() {
+  if (!stash_.empty()) {
+    Message msg = std::move(stash_.front());
+    stash_.pop_front();
+    return msg;
+  }
+  return hub_->Pop(self_);
+}
+
+std::optional<Message> InProcEndpoint::RecvFrom(Rank from) {
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    if (it->from == from) {
+      Message msg = std::move(*it);
+      stash_.erase(it);
+      return msg;
+    }
+  }
+  while (true) {
+    std::optional<Message> msg = hub_->Pop(self_);
+    if (!msg.has_value()) return std::nullopt;
+    if (msg->from == from) return msg;
+    stash_.push_back(std::move(*msg));
+  }
+}
+
+}  // namespace sjoin

@@ -1,0 +1,62 @@
+// In-process transport: one mailbox per rank, protected by mutex/condvar.
+// Endpoints are handed to node threads; Send never blocks for long (the
+// mailbox is unbounded; the epoch protocol itself bounds outstanding data),
+// Recv blocks until a message or hub shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace sjoin {
+
+class InProcHub;
+
+class InProcEndpoint final : public Transport {
+ public:
+  InProcEndpoint(InProcHub* hub, Rank self) : hub_(hub), self_(self) {}
+
+  Rank Self() const override { return self_; }
+  void Send(Rank to, Message msg) override;
+  std::optional<Message> Recv() override;
+  std::optional<Message> RecvFrom(Rank from) override;
+
+ private:
+  InProcHub* hub_;
+  Rank self_;
+  std::deque<Message> stash_;  // messages deferred by RecvFrom
+};
+
+/// Owns the mailboxes of a fixed-size rank space. Create it first, then one
+/// endpoint per node thread. Thread-safe.
+class InProcHub {
+ public:
+  explicit InProcHub(Rank num_ranks);
+
+  std::unique_ptr<InProcEndpoint> Endpoint(Rank self);
+
+  /// Wakes every blocked Recv with "shut down".
+  void Shutdown();
+
+ private:
+  friend class InProcEndpoint;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  void Push(Rank to, Message msg);
+  std::optional<Message> Pop(Rank self);
+
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  bool down_ = false;
+  std::mutex down_mu_;
+};
+
+}  // namespace sjoin

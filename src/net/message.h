@@ -1,0 +1,46 @@
+// Message types exchanged between master, slaves, and collector.
+//
+// The protocol follows the paper's fixed communication pattern: slaves
+// exchange messages with the master only at epoch boundaries (tuple batches,
+// load reports, clock sync), plus the reorganization sub-protocol (move
+// command -> state transfer -> ack). There is no any-time, all-to-all
+// traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/time.h"
+#include "tuple/tuple.h"
+
+namespace sjoin {
+
+/// Node address within a deployment (0 = master; 1..N = slaves;
+/// N+1 = collector by convention of the runners).
+using Rank = std::uint32_t;
+
+enum class MsgType : std::uint8_t {
+  kTupleBatch = 1,     ///< master -> slave: this epoch's tuples
+  kLoadReport = 2,     ///< slave -> master: average buffer occupancy
+  kMoveCmd = 3,        ///< master -> supplier: yield a partition-group
+  kInstallCmd = 4,     ///< master -> consumer: expect a partition-group
+  kStateTransfer = 5,  ///< supplier -> consumer: window state + pending
+  kAck = 6,            ///< mover -> master: state movement finished
+  kClockSync = 7,      ///< master -> slave: synchronize epoch clocks
+  kResultStats = 8,    ///< slave -> collector: output/delay aggregates
+  kShutdown = 9,       ///< master -> all: end of run
+};
+
+struct Message {
+  MsgType type = MsgType::kShutdown;
+  Rank from = 0;
+  std::vector<std::uint8_t> payload;
+
+  std::size_t WireBytes() const {
+    // type(1) + from(4) + len(4) + payload
+    return 9 + payload.size();
+  }
+};
+
+}  // namespace sjoin

@@ -1,0 +1,196 @@
+#include "net/socket_transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/serialize.h"
+
+namespace sjoin {
+
+namespace {
+
+void WriteAll(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("socket write failed: ") +
+                               std::strerror(errno));
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Returns false on clean EOF before any byte was read.
+bool ReadAll(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::read(fd, data + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("socket read failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw std::runtime_error("socket closed mid-frame");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketEndpoint::SocketEndpoint(Rank self, std::map<Rank, int> fds)
+    : self_(self), fds_(std::move(fds)) {}
+
+SocketEndpoint::~SocketEndpoint() {
+  for (auto& [rank, fd] : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void SocketEndpoint::Send(Rank to, Message msg) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  auto it = fds_.find(to);
+  assert(it != fds_.end() && it->second >= 0);
+  msg.from = self_;
+
+  Writer header(9);
+  header.PutU32(msg.from);
+  header.PutU8(static_cast<std::uint8_t>(msg.type));
+  header.PutU32(static_cast<std::uint32_t>(msg.payload.size()));
+  WriteAll(it->second, header.Bytes().data(), header.Size());
+  if (!msg.payload.empty()) {
+    WriteAll(it->second, msg.payload.data(), msg.payload.size());
+  }
+  bytes_sent_ += msg.WireBytes();
+}
+
+std::optional<Message> SocketEndpoint::ReadFrame(int fd) {
+  std::uint8_t head[9];
+  if (!ReadAll(fd, head, sizeof(head))) return std::nullopt;
+  Reader r(std::span<const std::uint8_t>(head, sizeof(head)));
+  Message msg;
+  msg.from = r.GetU32();
+  msg.type = static_cast<MsgType>(r.GetU8());
+  std::uint32_t len = r.GetU32();
+  msg.payload.resize(len);
+  if (len > 0 && !ReadAll(fd, msg.payload.data(), len)) {
+    throw std::runtime_error("socket closed mid-frame");
+  }
+  bytes_received_ += msg.WireBytes();
+  return msg;
+}
+
+std::optional<Message> SocketEndpoint::Recv() {
+  if (!stash_.empty()) {
+    Message msg = std::move(stash_.front());
+    stash_.erase(stash_.begin());
+    return msg;
+  }
+  return RecvFromWire();
+}
+
+std::optional<Message> SocketEndpoint::RecvFromWire() {
+  while (true) {
+    std::vector<pollfd> pfds;
+    std::vector<Rank> ranks;
+    for (auto& [rank, fd] : fds_) {
+      if (fd < 0) continue;
+      pfds.push_back(pollfd{fd, POLLIN, 0});
+      ranks.push_back(rank);
+    }
+    if (pfds.empty()) return std::nullopt;  // every peer gone
+    int rc = ::poll(pfds.data(), pfds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("poll failed: ") +
+                               std::strerror(errno));
+    }
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP)) == 0) continue;
+      int fd = pfds[i].fd;
+      std::optional<Message> msg = ReadFrame(fd);
+      if (!msg.has_value()) {
+        ::close(fd);
+        fds_[ranks[i]] = -1;
+        continue;
+      }
+      return msg;
+    }
+  }
+}
+
+std::optional<Message> SocketEndpoint::RecvFrom(Rank from) {
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    if (it->from == from) {
+      Message msg = std::move(*it);
+      stash_.erase(it);
+      return msg;
+    }
+  }
+  while (true) {
+    // Read from the wire directly: Recv() would hand the stash back.
+    std::optional<Message> msg = RecvFromWire();
+    if (!msg.has_value()) return std::nullopt;
+    if (msg->from == from) return msg;
+    stash_.push_back(std::move(*msg));
+  }
+}
+
+SocketMesh::SocketMesh(Rank num_ranks) : num_ranks_(num_ranks) {
+  fd_.assign(num_ranks, std::vector<int>(num_ranks, -1));
+  for (Rank i = 0; i < num_ranks; ++i) {
+    for (Rank j = i + 1; j < num_ranks; ++j) {
+      int sv[2];
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        throw std::runtime_error(std::string("socketpair failed: ") +
+                                 std::strerror(errno));
+      }
+      fd_[i][j] = sv[0];
+      fd_[j][i] = sv[1];
+    }
+  }
+}
+
+SocketMesh::~SocketMesh() { CloseAll(); }
+
+std::unique_ptr<SocketEndpoint> SocketMesh::TakeEndpoint(Rank self) {
+  assert(self < num_ranks_);
+  std::map<Rank, int> mine;
+  for (Rank i = 0; i < num_ranks_; ++i) {
+    for (Rank j = 0; j < num_ranks_; ++j) {
+      int& fd = fd_[i][j];
+      if (fd < 0) continue;
+      if (i == self) {
+        mine[j] = fd;
+        fd = -1;
+      }
+    }
+  }
+  // Close every fd that belongs to other ranks (we are in the child now).
+  CloseAll();
+  return std::make_unique<SocketEndpoint>(self, std::move(mine));
+}
+
+void SocketMesh::CloseAll() {
+  for (auto& row : fd_) {
+    for (int& fd : row) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+  }
+}
+
+}  // namespace sjoin

@@ -1,0 +1,83 @@
+// Socket transport: the real shared-nothing deployment.
+//
+// A launcher process creates one AF_UNIX socketpair per node pair *before*
+// forking the node processes (the paper's persistent, reliable connections;
+// AF_UNIX gives TCP-like stream semantics between local processes, which is
+// the "multi-process on one machine" deployment this reproduction targets --
+// substituting AF_INET sockets here is a one-line change).
+//
+// Framing: [from u32][type u8][len u32][payload], little endian.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace sjoin {
+
+class SocketEndpoint final : public Transport {
+ public:
+  /// `fds` maps peer rank -> connected stream socket fd. Takes ownership of
+  /// the fds (closes them on destruction).
+  SocketEndpoint(Rank self, std::map<Rank, int> fds);
+  ~SocketEndpoint() override;
+
+  SocketEndpoint(const SocketEndpoint&) = delete;
+  SocketEndpoint& operator=(const SocketEndpoint&) = delete;
+
+  Rank Self() const override { return self_; }
+
+  /// Thread-safe: a node's comm and join threads may both send.
+  void Send(Rank to, Message msg) override;
+  std::optional<Message> Recv() override;
+  std::optional<Message> RecvFrom(Rank from) override;
+
+  /// Bytes sent/received so far (communication accounting in wall mode).
+  std::size_t BytesSent() const { return bytes_sent_; }
+  std::size_t BytesReceived() const { return bytes_received_; }
+
+ private:
+  /// Reads one frame from `fd`; returns nullopt on EOF (peer closed).
+  std::optional<Message> ReadFrame(int fd);
+
+  /// Blocking read of the next frame from any live fd, bypassing the stash.
+  std::optional<Message> RecvFromWire();
+
+  Rank self_;
+  std::map<Rank, int> fds_;
+  std::mutex send_mu_;  // serializes frames from concurrent senders
+  std::vector<Message> stash_;
+  std::size_t bytes_sent_ = 0;
+  std::size_t bytes_received_ = 0;
+};
+
+/// Builds the full connection mesh for `num_ranks` nodes in the launcher.
+/// After forking, each child calls TakeEndpoint(rank) exactly once; it
+/// closes every fd that does not belong to that rank.
+class SocketMesh {
+ public:
+  explicit SocketMesh(Rank num_ranks);
+  ~SocketMesh();
+
+  SocketMesh(const SocketMesh&) = delete;
+  SocketMesh& operator=(const SocketMesh&) = delete;
+
+  Rank NumRanks() const { return num_ranks_; }
+
+  /// In the child process for `self`: claims this rank's endpoint and closes
+  /// all other fds of the mesh.
+  std::unique_ptr<SocketEndpoint> TakeEndpoint(Rank self);
+
+  /// In the launcher after forking all children: closes every fd.
+  void CloseAll();
+
+ private:
+  Rank num_ranks_;
+  // fd_[i][j] is rank i's fd of the (i, j) socketpair; -1 once claimed/closed.
+  std::vector<std::vector<int>> fd_;
+};
+
+}  // namespace sjoin

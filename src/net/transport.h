@@ -1,0 +1,39 @@
+// Transport abstraction: MPI-like blocking point-to-point message passing.
+//
+// The paper's algorithm only ever needs blocking send/recv over persistent
+// pairwise connections used in a fixed, predefined order -- precisely the
+// primitives below. Two implementations exist:
+//   * InProcTransport (inproc_transport.h): bounded in-process channels
+//     between threads, for integration tests of the wall-clock runners;
+//   * SocketTransport (socket_transport.h): real AF_UNIX sockets between
+//     forked OS processes -- the multi-process shared-nothing deployment.
+#pragma once
+
+#include <optional>
+
+#include "net/message.h"
+
+namespace sjoin {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// This endpoint's rank.
+  virtual Rank Self() const = 0;
+
+  /// Blocking send to `to`. `msg.from` is stamped with Self().
+  virtual void Send(Rank to, Message msg) = 0;
+
+  /// Blocking receive from any peer (the `from` field identifies the
+  /// sender). Returns nullopt when the transport is shut down.
+  virtual std::optional<Message> Recv() = 0;
+
+  /// Blocking receive of the next message *from a specific peer*; messages
+  /// from other peers arriving meanwhile are queued and delivered by later
+  /// calls. This is the primitive the paper's fixed communication sequence
+  /// relies on.
+  virtual std::optional<Message> RecvFrom(Rank from) = 0;
+};
+
+}  // namespace sjoin

@@ -1,0 +1,18 @@
+#include "tuple/block.h"
+
+#include <cassert>
+
+namespace sjoin {
+
+Block::Block(std::size_t capacity) : capacity_(capacity) {
+  assert(capacity > 0);
+  recs_.reserve(capacity);
+}
+
+void Block::Append(const Rec& rec) {
+  assert(!Full());
+  assert(recs_.empty() || rec.ts >= recs_.back().ts);
+  recs_.push_back(rec);
+}
+
+}  // namespace sjoin

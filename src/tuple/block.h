@@ -1,0 +1,70 @@
+// Fixed-capacity tuple blocks.
+//
+// The paper stores window partitions as lists of fixed-size blocks (4 KB =>
+// 64 tuples) and drives three behaviours off the block structure:
+//   * new tuples accumulate in the *head* block and are joined batch-at-a-
+//     time when the head fills (or the input buffer drains);
+//   * tuples added since the head's last join pass are "fresh" -- fresh
+//     tuples of the *opposite* partition are skipped during a probe to avoid
+//     duplicate outputs;
+//   * expiration happens at block granularity: a block leaves the window
+//     only when its newest tuple is out of the window, and on its way out it
+//     is joined against the opposite head's fresh tuples for completeness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/time.h"
+#include "tuple/tuple.h"
+
+namespace sjoin {
+
+/// One fixed-capacity block of compact tuple records, in arrival order.
+class Block {
+ public:
+  explicit Block(std::size_t capacity);
+
+  /// Appends a record; the block must not be full. Records must be appended
+  /// in non-decreasing timestamp order (the stream's temporal order).
+  void Append(const Rec& rec);
+
+  bool Full() const { return recs_.size() == capacity_; }
+  bool Empty() const { return recs_.empty(); }
+  std::size_t Size() const { return recs_.size(); }
+  std::size_t Capacity() const { return capacity_; }
+
+  /// Timestamp of the newest record; block expiry compares this against the
+  /// window's lower edge. Undefined on an empty block.
+  Time MaxTs() const { return recs_.back().ts; }
+  Time MinTs() const { return recs_.front().ts; }
+
+  std::span<const Rec> Records() const { return recs_; }
+
+  // -- Fresh-tuple tracking -------------------------------------------------
+
+  /// Number of records appended since the last MarkJoined() call.
+  std::size_t FreshCount() const { return recs_.size() - joined_; }
+
+  /// Records appended since the last join pass of this block.
+  std::span<const Rec> FreshRecords() const {
+    return std::span<const Rec>(recs_).subspan(joined_);
+  }
+
+  /// Records that have already participated in a join pass (non-fresh);
+  /// these are the only ones visible to an opposite-side probe.
+  std::span<const Rec> JoinedRecords() const {
+    return std::span<const Rec>(recs_).first(joined_);
+  }
+
+  /// Marks every current record as having participated in a join pass.
+  void MarkJoined() { joined_ = recs_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::size_t joined_ = 0;  // records_[0..joined_) are non-fresh
+  std::vector<Rec> recs_;
+};
+
+}  // namespace sjoin

@@ -1,0 +1,29 @@
+#include "tuple/tuple.h"
+
+#include <cassert>
+
+namespace sjoin {
+
+void EncodeRec(Writer& w, const Rec& rec, std::size_t wire_bytes) {
+  assert(wire_bytes >= kMinWireTupleBytes);
+  w.PutU64(rec.key);
+  w.PutI64(rec.ts);
+  w.PutU8(rec.stream);
+  for (std::size_t i = kMinWireTupleBytes; i < wire_bytes; ++i) {
+    w.PutU8(0);  // opaque payload padding
+  }
+}
+
+Rec DecodeRec(Reader& r, std::size_t wire_bytes) {
+  assert(wire_bytes >= kMinWireTupleBytes);
+  Rec rec;
+  rec.key = r.GetU64();
+  rec.ts = r.GetI64();
+  rec.stream = r.GetU8();
+  for (std::size_t i = kMinWireTupleBytes; i < wire_bytes; ++i) {
+    (void)r.GetU8();
+  }
+  return rec;
+}
+
+}  // namespace sjoin

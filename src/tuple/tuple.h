@@ -1,0 +1,55 @@
+// Stream tuple representations.
+//
+// On the wire a tuple occupies exactly `WorkloadConfig::tuple_bytes` (64 B by
+// default, as in the paper): join key, timestamp, stream id, and opaque
+// payload padding. In memory the join pipeline carries a compact `Rec`
+// (timestamp + key + stream id); the payload never influences join results,
+// but its wire size *does* influence every communication and serialization
+// charge, so all byte accounting uses the configured wire size.
+#pragma once
+
+#include <cstdint>
+
+#include "common/serialize.h"
+#include "common/time.h"
+
+namespace sjoin {
+
+/// Identifies one of the two joining streams (the paper joins S1 and S2;
+/// the framework generalizes to n but the evaluation is binary).
+using StreamId = std::uint8_t;
+inline constexpr StreamId kStreamCount = 2;
+
+/// Compact in-memory tuple record.
+struct Rec {
+  Time ts = 0;             ///< Arrival timestamp at the system (s.t).
+  std::uint64_t key = 0;   ///< Join attribute A.
+  StreamId stream = 0;     ///< Source stream (0 or 1).
+
+  friend bool operator==(const Rec&, const Rec&) = default;
+};
+
+/// Returns the opposite stream id (0 <-> 1).
+constexpr StreamId Opposite(StreamId s) { return static_cast<StreamId>(1 - s); }
+
+/// Fixed wire encoding: key(8) ts(8) stream(1) payload-padding. The encoded
+/// size is exactly `wire_bytes` so message sizes match the paper's 64-byte
+/// tuples. `wire_bytes` must be >= kMinWireTupleBytes.
+inline constexpr std::size_t kMinWireTupleBytes = 17;
+
+void EncodeRec(Writer& w, const Rec& rec, std::size_t wire_bytes);
+Rec DecodeRec(Reader& r, std::size_t wire_bytes);
+
+/// An output (composite) tuple of the join: the matched pair, plus the time
+/// at which the result was produced. Production delay (the paper's headline
+/// metric) is produced_at minus the *newer* of the two input timestamps.
+struct JoinOutput {
+  Rec left;        ///< The stream-0 side of the match.
+  Rec right;       ///< The stream-1 side of the match.
+  Time produced_at = 0;
+
+  Time NewerTs() const { return left.ts > right.ts ? left.ts : right.ts; }
+  Duration ProductionDelay() const { return produced_at - NewerTs(); }
+};
+
+}  // namespace sjoin

@@ -1,0 +1,110 @@
+#include "window/mini_partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sjoin {
+
+MiniPartition::MiniPartition(std::size_t block_capacity)
+    : block_capacity_(block_capacity) {
+  assert(block_capacity > 0);
+}
+
+Block& MiniPartition::HeadBlock() {
+  if (blocks_.empty() || blocks_.back().Full()) {
+    blocks_.emplace_back(block_capacity_);
+  }
+  return blocks_.back();
+}
+
+void MiniPartition::Insert(const Rec& rec) {
+  assert(rec.ts >= max_seen_ts_);
+  HeadBlock().Append(rec);
+  ++total_count_;
+  max_seen_ts_ = rec.ts;
+}
+
+bool MiniPartition::HeadFull() const {
+  return !blocks_.empty() && blocks_.back().Full() &&
+         blocks_.back().FreshCount() > 0;
+}
+
+std::span<const Rec> MiniPartition::FreshRecords() const {
+  if (blocks_.empty()) return {};
+  return blocks_.back().FreshRecords();
+}
+
+std::size_t MiniPartition::FreshCount() const {
+  return blocks_.empty() ? 0 : blocks_.back().FreshCount();
+}
+
+void MiniPartition::Seal() {
+  if (blocks_.empty()) return;
+  Block& head = blocks_.back();
+  for (const Rec& rec : head.FreshRecords()) {
+    IndexRecord(rec);
+  }
+  sealed_count_ += head.FreshCount();
+  head.MarkJoined();
+}
+
+void MiniPartition::IndexRecord(const Rec& rec) {
+  KeyQueue& q = index_[rec.key];
+  assert(q.ts.empty() || q.ts.back() <= rec.ts);
+  q.ts.push_back(rec.ts);
+}
+
+std::span<const Time> MiniPartition::ProbeSealed(std::uint64_t key,
+                                                 Time min_ts,
+                                                 Time max_ts) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return {};
+  const KeyQueue& q = it->second;
+  auto begin = q.ts.begin() + static_cast<std::ptrdiff_t>(q.head);
+  auto lo = std::lower_bound(begin, q.ts.end(), min_ts);
+  auto hi = std::upper_bound(lo, q.ts.end(), max_ts);
+  auto n = static_cast<std::size_t>(hi - lo);
+  if (n == 0) return {};
+  return std::span<const Time>(&*lo, n);
+}
+
+std::vector<Block> MiniPartition::ExpireBlocks(Time low_ts) {
+  std::vector<Block> expired;
+  // The head block never expires: it is the insertion point and its fresh
+  // records have not probed yet.
+  while (blocks_.size() > 1 && blocks_.front().MaxTs() < low_ts) {
+    Block& b = blocks_.front();
+    for (const Rec& rec : b.Records()) {
+      auto it = index_.find(rec.key);
+      assert(it != index_.end());
+      KeyQueue& q = it->second;
+      assert(q.head < q.ts.size() && q.ts[q.head] == rec.ts);
+      ++q.head;
+      if (q.head == q.ts.size()) {
+        index_.erase(it);
+      } else if (q.head > 64 && q.head * 2 > q.ts.size()) {
+        // Compact the dead prefix once it dominates the vector.
+        q.ts.erase(q.ts.begin(), q.ts.begin() + static_cast<std::ptrdiff_t>(q.head));
+        q.head = 0;
+      }
+    }
+    sealed_count_ -= b.Size();
+    total_count_ -= b.Size();
+    expired.push_back(std::move(b));
+    blocks_.pop_front();
+  }
+  return expired;
+}
+
+void MiniPartition::InstallSealed(const Rec& rec) {
+  assert(rec.ts >= max_seen_ts_);
+  Block& head = HeadBlock();
+  head.Append(rec);
+  head.MarkJoined();
+  IndexRecord(rec);
+  ++sealed_count_;
+  ++total_count_;
+  max_seen_ts_ = rec.ts;
+}
+
+}  // namespace sjoin

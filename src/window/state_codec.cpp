@@ -1,0 +1,69 @@
+#include "window/state_codec.h"
+
+#include <cassert>
+
+namespace sjoin {
+
+void EncodeGroupState(Writer& w, const PartitionGroup& group) {
+  const auto& dir = group.Directory();
+  w.PutU32(static_cast<std::uint32_t>(dir.BucketCount()));
+  dir.ForEachBucketIndexed([&](std::uint64_t pattern, const auto& node) {
+    w.PutU64(pattern);
+    w.PutU32(node.local_depth);
+    for (StreamId s = 0; s < kStreamCount; ++s) {
+      if (!node.bucket.Initialized()) {
+        w.PutU64(0);
+        continue;
+      }
+      const MiniPartition& part = node.bucket.Part(s);
+      assert(part.FreshCount() == 0 && "flush the group before migrating it");
+      w.PutU64(part.TotalCount());
+      part.ForEachRecord([&](const Rec& rec) {
+        EncodeRec(w, rec, group.TupleBytes());
+      });
+    }
+  });
+}
+
+std::unique_ptr<PartitionGroup> DecodeGroupState(Reader& r,
+                                                 const JoinConfig& cfg,
+                                                 std::size_t tuple_bytes) {
+  auto group = std::make_unique<PartitionGroup>(cfg, tuple_bytes);
+  const std::uint32_t buckets = r.GetU32();
+
+  struct BucketHeader {
+    std::uint64_t pattern;
+    std::uint32_t depth;
+  };
+
+  // First pass: read everything, rebuilding the directory shape before any
+  // record lands so the per-mini-partition temporal-order invariant holds.
+  std::vector<BucketHeader> shape;
+  std::vector<std::vector<Rec>> recs_per_bucket;
+  shape.reserve(buckets);
+  recs_per_bucket.reserve(buckets);
+  for (std::uint32_t i = 0; i < buckets; ++i) {
+    BucketHeader h{r.GetU64(), r.GetU32()};
+    shape.push_back(h);
+    std::vector<Rec> recs;
+    for (StreamId s = 0; s < kStreamCount; ++s) {
+      std::uint64_t n = r.GetU64();
+      for (std::uint64_t j = 0; j < n; ++j) {
+        Rec rec = DecodeRec(r, tuple_bytes);
+        rec.stream = s;  // defensive: the stream slot is authoritative here
+        recs.push_back(rec);
+      }
+    }
+    recs_per_bucket.push_back(std::move(recs));
+  }
+
+  for (const BucketHeader& h : shape) {
+    group->ForceBucketDepth(h.pattern, h.depth);
+  }
+  for (const auto& recs : recs_per_bucket) {
+    for (const Rec& rec : recs) group->InstallSealed(rec);
+  }
+  return group;
+}
+
+}  // namespace sjoin

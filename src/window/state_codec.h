@@ -1,0 +1,25 @@
+// Serialization of a PartitionGroup's window state for migration between
+// slaves (the paper's state mover sends the tuples of both stream windows
+// plus "the splitting information ... to enable [the consumer to]
+// reconstruct the fine-tuned partitions").
+#pragma once
+
+#include <memory>
+
+#include "common/config.h"
+#include "common/serialize.h"
+#include "window/partition_group.h"
+
+namespace sjoin {
+
+/// Encodes the full state of a group: the extendible-directory shape
+/// (bucket patterns + local depths) followed by every sealed record. The
+/// group must be flushed (no fresh records) before encoding.
+void EncodeGroupState(Writer& w, const PartitionGroup& group);
+
+/// Rebuilds a group from its encoded state.
+std::unique_ptr<PartitionGroup> DecodeGroupState(Reader& r,
+                                                 const JoinConfig& cfg,
+                                                 std::size_t tuple_bytes);
+
+}  // namespace sjoin

@@ -1,0 +1,50 @@
+#include "window/window_store.h"
+
+#include <cassert>
+
+namespace sjoin {
+
+PartitionGroup& WindowStore::Ensure(PartitionId pid) {
+  auto& slot = groups_[pid];
+  if (!slot) slot = std::make_unique<PartitionGroup>(cfg_, tuple_bytes_);
+  return *slot;
+}
+
+PartitionGroup* WindowStore::Find(PartitionId pid) {
+  auto it = groups_.find(pid);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+const PartitionGroup* WindowStore::Find(PartitionId pid) const {
+  auto it = groups_.find(pid);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+std::unique_ptr<PartitionGroup> WindowStore::Take(PartitionId pid) {
+  auto it = groups_.find(pid);
+  assert(it != groups_.end());
+  auto group = std::move(it->second);
+  groups_.erase(it);
+  return group;
+}
+
+void WindowStore::Install(PartitionId pid,
+                          std::unique_ptr<PartitionGroup> group) {
+  assert(groups_.find(pid) == groups_.end());
+  groups_[pid] = std::move(group);
+}
+
+std::vector<PartitionId> WindowStore::OwnedPartitions() const {
+  std::vector<PartitionId> out;
+  out.reserve(groups_.size());
+  for (const auto& [pid, _] : groups_) out.push_back(pid);
+  return out;
+}
+
+std::size_t WindowStore::TotalCount() const {
+  std::size_t n = 0;
+  for (const auto& [_, group] : groups_) n += group->TotalCount();
+  return n;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,61 @@
+// WindowStore: the set of partition-groups a slave currently owns.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "window/partition_group.h"
+
+namespace sjoin {
+
+/// Partition identifier assigned by the master's hash partitioning
+/// (0 <= pid < JoinConfig::num_partitions).
+using PartitionId = std::uint32_t;
+
+class WindowStore {
+ public:
+  WindowStore(const JoinConfig& cfg, std::size_t tuple_bytes)
+      : cfg_(cfg), tuple_bytes_(tuple_bytes) {}
+
+  /// The group for `pid`, created empty on first use.
+  PartitionGroup& Ensure(PartitionId pid);
+
+  /// Null if the slave does not own `pid`.
+  PartitionGroup* Find(PartitionId pid);
+  const PartitionGroup* Find(PartitionId pid) const;
+
+  /// Removes and returns the group (migration: supplier side).
+  std::unique_ptr<PartitionGroup> Take(PartitionId pid);
+
+  /// Installs a migrated group (migration: consumer side).
+  void Install(PartitionId pid, std::unique_ptr<PartitionGroup> group);
+
+  std::size_t GroupCount() const { return groups_.size(); }
+  std::vector<PartitionId> OwnedPartitions() const;
+
+  /// Total records / bytes of window state across all owned groups (the
+  /// paper's "window size within a node" metric).
+  std::size_t TotalCount() const;
+  std::size_t TotalBytes() const { return TotalCount() * tuple_bytes_; }
+
+  template <class F>
+  void ForEachGroup(F f) {
+    for (auto& [pid, group] : groups_) f(pid, *group);
+  }
+  template <class F>
+  void ForEachGroup(F f) const {
+    for (const auto& [pid, group] : groups_) {
+      f(pid, static_cast<const PartitionGroup&>(*group));
+    }
+  }
+
+ private:
+  JoinConfig cfg_;
+  std::size_t tuple_bytes_;
+  std::map<PartitionId, std::unique_ptr<PartitionGroup>> groups_;
+};
+
+}  // namespace sjoin

@@ -1,0 +1,46 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sjoin {
+namespace {
+
+TEST(VirtualClockTest, StartsAtGivenTime) {
+  VirtualClock c(100);
+  EXPECT_EQ(c.Now(), 100);
+}
+
+TEST(VirtualClockTest, AdvanceAccumulates) {
+  VirtualClock c;
+  c.Advance(5);
+  c.Advance(7);
+  EXPECT_EQ(c.Now(), 12);
+}
+
+TEST(VirtualClockTest, AdvanceToJumps) {
+  VirtualClock c;
+  c.AdvanceTo(1000);
+  EXPECT_EQ(c.Now(), 1000);
+  c.AdvanceTo(1000);  // same instant is allowed
+  EXPECT_EQ(c.Now(), 1000);
+}
+
+TEST(WallClockTest, MonotoneAndAdvances) {
+  WallClock c;
+  Time a = c.Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Time b = c.Now();
+  EXPECT_GE(a, 0);
+  EXPECT_GT(b, a);
+}
+
+TEST(TimeHelpersTest, Conversions) {
+  EXPECT_EQ(SecondsToUs(2.0), 2 * kUsPerSec);
+  EXPECT_EQ(SecondsToUs(0.5), kUsPerSec / 2);
+  EXPECT_DOUBLE_EQ(UsToSeconds(1'500'000), 1.5);
+}
+
+}  // namespace
+}  // namespace sjoin

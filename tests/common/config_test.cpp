@@ -1,0 +1,49 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace sjoin {
+namespace {
+
+// Table I of the paper: the defaults must reproduce it exactly.
+TEST(ConfigTest, DefaultsMatchPaperTableI) {
+  SystemConfig cfg;
+  EXPECT_EQ(cfg.join.window, 10 * kUsPerMin);          // W = 10 min
+  EXPECT_EQ(cfg.workload.lambda, 1500.0);              // lambda = 1500 t/s
+  EXPECT_EQ(cfg.workload.b_skew, 0.7);                 // b = 0.7
+  EXPECT_EQ(cfg.balance.th_con, 0.01);                 // Th_con
+  EXPECT_EQ(cfg.balance.th_sup, 0.5);                  // Th_sup
+  EXPECT_EQ(cfg.join.theta_bytes, std::size_t{3} * 512 * 1024);  // 1.5 MB
+  EXPECT_EQ(cfg.join.block_bytes, std::size_t{4096});  // 4 KB
+  EXPECT_EQ(cfg.epoch.t_dist, 2 * kUsPerSec);          // t_d = 2 s
+  EXPECT_EQ(cfg.epoch.t_rep, 20 * kUsPerSec);          // t_r = 20 s
+  EXPECT_EQ(cfg.join.num_partitions, 60u);             // 60 partitions
+  EXPECT_EQ(cfg.workload.tuple_bytes, std::size_t{64});  // 64-byte tuples
+  EXPECT_EQ(cfg.workload.key_domain, 10'000'000u);     // A in [0, 10^7]
+  EXPECT_EQ(cfg.balance.slave_buffer_bytes, std::size_t{1024} * 1024);  // 1 MB
+}
+
+TEST(ConfigTest, BlockCapacityFromSizes) {
+  SystemConfig cfg;
+  EXPECT_EQ(cfg.BlockCapacity(), 64u);  // 4 KB / 64 B
+}
+
+TEST(ConfigTest, ActiveSlavesDefaultsToAll) {
+  SystemConfig cfg;
+  cfg.num_slaves = 5;
+  EXPECT_EQ(cfg.ActiveSlavesAtStart(), 5u);
+  cfg.initial_active_slaves = 2;
+  EXPECT_EQ(cfg.ActiveSlavesAtStart(), 2u);
+}
+
+TEST(ConfigTest, SummaryMentionsKeyParameters) {
+  SystemConfig cfg;
+  std::string s = Summarize(cfg);
+  EXPECT_NE(s.find("slaves=4"), std::string::npos);
+  EXPECT_NE(s.find("W=600"), std::string::npos);
+  EXPECT_NE(s.find("npart=60"), std::string::npos);
+  EXPECT_NE(s.find("tuning=on"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,74 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace sjoin {
+namespace {
+
+FlagSet Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  FlagSet fs;
+  EXPECT_TRUE(fs.Parse(static_cast<int>(args.size()), args.data()));
+  return fs;
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet fs = Parse({"--rate=3000", "--name=hello"});
+  EXPECT_DOUBLE_EQ(fs.GetDouble("rate", 0), 3000.0);
+  EXPECT_EQ(fs.GetString("name", ""), "hello");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagSet fs = Parse({"--slaves", "5"});
+  EXPECT_EQ(fs.GetInt("slaves", 0), 5);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  FlagSet fs = Parse({"--adaptive"});
+  EXPECT_TRUE(fs.GetBool("adaptive", false));
+  EXPECT_FALSE(fs.GetBool("missing", false));
+}
+
+TEST(FlagsTest, BooleanValues) {
+  FlagSet fs = Parse({"--a=true", "--b=0", "--c=off", "--d=yes"});
+  EXPECT_TRUE(fs.GetBool("a", false));
+  EXPECT_FALSE(fs.GetBool("b", true));
+  EXPECT_FALSE(fs.GetBool("c", true));
+  EXPECT_TRUE(fs.GetBool("d", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  FlagSet fs = Parse({});
+  EXPECT_DOUBLE_EQ(fs.GetDouble("rate", 1500.0), 1500.0);
+  EXPECT_EQ(fs.GetInt("n", 7), 7);
+  EXPECT_EQ(fs.GetString("s", "dflt"), "dflt");
+}
+
+TEST(FlagsTest, MalformedNumberSetsError) {
+  FlagSet fs = Parse({"--rate=abc"});
+  EXPECT_DOUBLE_EQ(fs.GetDouble("rate", 1.0), 1.0);
+  EXPECT_FALSE(fs.Error().empty());
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  FlagSet fs = Parse({"input.trace", "--rate=1", "output.txt"});
+  ASSERT_EQ(fs.Positional().size(), 2u);
+  EXPECT_EQ(fs.Positional()[0], "input.trace");
+  EXPECT_EQ(fs.Positional()[1], "output.txt");
+}
+
+TEST(FlagsTest, UnusedFlagDetection) {
+  FlagSet fs = Parse({"--rate=1", "--typo=2"});
+  (void)fs.GetDouble("rate", 0);
+  auto unused = fs.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagsTest, NegativeNumbers) {
+  FlagSet fs = Parse({"--offset=-42"});
+  EXPECT_EQ(fs.GetInt("offset", 0), -42);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,86 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace sjoin {
+namespace {
+
+TEST(SerializeTest, RoundTripScalars) {
+  Writer w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI32(-42);
+  w.PutI64(std::numeric_limits<std::int64_t>::min());
+  w.PutDouble(3.141592653589793);
+
+  Reader r(w.Bytes());
+  EXPECT_EQ(r.GetU8(), 0xAB);
+  EXPECT_EQ(r.GetU16(), 0xBEEF);
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.GetI32(), -42);
+  EXPECT_EQ(r.GetI64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_DOUBLE_EQ(r.GetDouble(), 3.141592653589793);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, WireFormatIsLittleEndian) {
+  // The format must be identical on every host: fixed little-endian.
+  Writer w;
+  w.PutU32(0x01020304);
+  auto bytes = w.Bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x04);
+  EXPECT_EQ(bytes[1], 0x03);
+  EXPECT_EQ(bytes[2], 0x02);
+  EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(SerializeTest, RoundTripString) {
+  Writer w;
+  w.PutString("hello");
+  w.PutString("");
+  Reader r(w.Bytes());
+  EXPECT_EQ(r.GetString(), "hello");
+  EXPECT_EQ(r.GetString(), "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, RoundTripBytes) {
+  std::vector<std::uint8_t> blob = {1, 2, 3, 255, 0, 128};
+  Writer w;
+  w.PutBytes(blob);
+  Reader r(w.Bytes());
+  EXPECT_EQ(r.GetBytes(blob.size()), blob);
+}
+
+TEST(SerializeTest, TruncatedReadThrows) {
+  Writer w;
+  w.PutU16(7);
+  Reader r(w.Bytes());
+  EXPECT_THROW(r.GetU32(), DecodeError);
+}
+
+TEST(SerializeTest, TruncatedStringThrows) {
+  Writer w;
+  w.PutU32(100);  // claims 100 bytes of string data, none present
+  Reader r(w.Bytes());
+  EXPECT_THROW(r.GetString(), DecodeError);
+}
+
+TEST(SerializeTest, RemainingTracksPosition) {
+  Writer w;
+  w.PutU64(1);
+  w.PutU64(2);
+  Reader r(w.Bytes());
+  EXPECT_EQ(r.Remaining(), 16u);
+  r.GetU64();
+  EXPECT_EQ(r.Remaining(), 8u);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,92 @@
+#include "core/balancer.h"
+
+#include <gtest/gtest.h>
+
+namespace sjoin {
+namespace {
+
+BalanceConfig Cfg() {
+  BalanceConfig cfg;
+  cfg.th_sup = 0.5;
+  cfg.th_con = 0.01;
+  cfg.beta = 0.5;
+  return cfg;
+}
+
+TEST(ClassifyTest, ThresholdsFromPaper) {
+  auto roles = ClassifySlaves({0.9, 0.005, 0.2, 0.5, 0.01}, Cfg());
+  EXPECT_EQ(roles[0], Role::kSupplier);   // > 0.5
+  EXPECT_EQ(roles[1], Role::kConsumer);   // < 0.01
+  EXPECT_EQ(roles[2], Role::kNeutral);
+  EXPECT_EQ(roles[3], Role::kNeutral);    // exactly Th_sup is not a supplier
+  EXPECT_EQ(roles[4], Role::kNeutral);    // exactly Th_con is not a consumer
+}
+
+TEST(PairTest, EachSupplierGetsDistinctConsumer) {
+  std::vector<Role> roles = {Role::kSupplier, Role::kConsumer, Role::kSupplier,
+                             Role::kConsumer, Role::kNeutral};
+  auto plans = PairSuppliersWithConsumers(roles);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_EQ(plans[0].supplier, 0u);
+  EXPECT_EQ(plans[0].consumer, 1u);
+  EXPECT_EQ(plans[1].supplier, 2u);
+  EXPECT_EQ(plans[1].consumer, 3u);
+}
+
+TEST(PairTest, ExcessSuppliersUnpaired) {
+  std::vector<Role> roles = {Role::kSupplier, Role::kSupplier, Role::kConsumer};
+  auto plans = PairSuppliersWithConsumers(roles);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0].supplier, 0u);
+  EXPECT_EQ(plans[0].consumer, 2u);
+}
+
+TEST(PairTest, NoConsumersNoMoves) {
+  std::vector<Role> roles = {Role::kSupplier, Role::kNeutral};
+  EXPECT_TRUE(PairSuppliersWithConsumers(roles).empty());
+}
+
+TEST(DeclusterTest, ShrinksWhenNoSupplier) {
+  // "Keeps the system minimally overloaded by ensuring at least one
+  // supplier": all-consumer/neutral means shrink.
+  std::vector<Role> roles = {Role::kConsumer, Role::kNeutral, Role::kConsumer};
+  EXPECT_EQ(DecideDecluster(roles, 0.5, 3, 5), DeclusterAction::kShrink);
+}
+
+TEST(DeclusterTest, NeverShrinksBelowOne) {
+  std::vector<Role> roles = {Role::kConsumer};
+  EXPECT_EQ(DecideDecluster(roles, 0.5, 1, 5), DeclusterAction::kNone);
+}
+
+TEST(DeclusterTest, GrowsWhenSuppliersDominate) {
+  // N_sup = 2 > beta * N_con = 0.5 * 1.
+  std::vector<Role> roles = {Role::kSupplier, Role::kSupplier, Role::kConsumer};
+  EXPECT_EQ(DecideDecluster(roles, 0.5, 3, 5), DeclusterAction::kGrow);
+}
+
+TEST(DeclusterTest, GrowsWithSupplierAndNoConsumer) {
+  std::vector<Role> roles = {Role::kSupplier, Role::kNeutral};
+  EXPECT_EQ(DecideDecluster(roles, 0.5, 2, 5), DeclusterAction::kGrow);
+}
+
+TEST(DeclusterTest, NoGrowthAtFullDeclustering) {
+  std::vector<Role> roles = {Role::kSupplier, Role::kSupplier};
+  EXPECT_EQ(DecideDecluster(roles, 0.5, 2, 2), DeclusterAction::kNone);
+}
+
+TEST(DeclusterTest, StableWhenBalanced) {
+  // N_sup = 1, N_con = 3, beta = 0.5: 1 <= 1.5 => stay.
+  std::vector<Role> roles = {Role::kSupplier, Role::kConsumer, Role::kConsumer,
+                             Role::kConsumer};
+  EXPECT_EQ(DecideDecluster(roles, 0.5, 4, 5), DeclusterAction::kNone);
+}
+
+TEST(DeclusterTest, BetaControlsSensitivity) {
+  // N_sup = 1, N_con = 2: grows iff 1 > beta * 2, i.e. beta < 0.5.
+  std::vector<Role> roles = {Role::kSupplier, Role::kConsumer, Role::kConsumer};
+  EXPECT_EQ(DecideDecluster(roles, 0.4, 3, 5), DeclusterAction::kGrow);
+  EXPECT_EQ(DecideDecluster(roles, 0.6, 3, 5), DeclusterAction::kNone);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,86 @@
+#include "core/epoch_tuner.h"
+
+#include <gtest/gtest.h>
+
+namespace sjoin {
+namespace {
+
+EpochTunerConfig Cfg() {
+  EpochTunerConfig cfg;
+  cfg.enabled = true;
+  cfg.min_epoch = 500 * kUsPerMs;
+  cfg.max_epoch = 8 * kUsPerSec;
+  cfg.comm_high = 0.15;
+  cfg.comm_low = 0.05;
+  cfg.occupancy_guard = 0.1;
+  cfg.grow_factor = 2.0;
+  cfg.shrink_step = 500 * kUsPerMs;
+  return cfg;
+}
+
+TEST(EpochTunerTest, DisabledNeverMoves) {
+  EpochTunerConfig cfg = Cfg();
+  cfg.enabled = false;
+  EpochTuner tuner(cfg, 2 * kUsPerSec);
+  EXPECT_EQ(tuner.Update(0.9, 0.0), 2 * kUsPerSec);
+  EXPECT_EQ(tuner.Update(0.0, 0.0), 2 * kUsPerSec);
+  EXPECT_EQ(tuner.Grows(), 0u);
+}
+
+TEST(EpochTunerTest, GrowsOnHighCommFraction) {
+  EpochTuner tuner(Cfg(), 2 * kUsPerSec);
+  EXPECT_EQ(tuner.Update(0.3, 0.0), 4 * kUsPerSec);
+  EXPECT_EQ(tuner.Grows(), 1u);
+}
+
+TEST(EpochTunerTest, GrowthIsClampedAtMax) {
+  EpochTuner tuner(Cfg(), 6 * kUsPerSec);
+  EXPECT_EQ(tuner.Update(0.5, 0.0), 8 * kUsPerSec);
+  EXPECT_EQ(tuner.Update(0.5, 0.0), 8 * kUsPerSec);  // no further growth
+  EXPECT_EQ(tuner.Grows(), 1u);
+}
+
+TEST(EpochTunerTest, ShrinksWhenCommIsCheapAndLoadIsLow) {
+  EpochTuner tuner(Cfg(), 2 * kUsPerSec);
+  EXPECT_EQ(tuner.Update(0.01, 0.0), 1500 * kUsPerMs);
+  EXPECT_EQ(tuner.Shrinks(), 1u);
+}
+
+TEST(EpochTunerTest, ShrinkIsClampedAtMin) {
+  EpochTuner tuner(Cfg(), 700 * kUsPerMs);
+  EXPECT_EQ(tuner.Update(0.01, 0.0), 500 * kUsPerMs);
+  EXPECT_EQ(tuner.Update(0.01, 0.0), 500 * kUsPerMs);
+  EXPECT_EQ(tuner.Shrinks(), 1u);
+}
+
+TEST(EpochTunerTest, OccupancyGuardSuppressesShrink) {
+  EpochTuner tuner(Cfg(), 2 * kUsPerSec);
+  EXPECT_EQ(tuner.Update(0.01, 0.5), 2 * kUsPerSec);
+  EXPECT_EQ(tuner.Shrinks(), 0u);
+}
+
+TEST(EpochTunerTest, DeadBandHolds) {
+  EpochTuner tuner(Cfg(), 2 * kUsPerSec);
+  EXPECT_EQ(tuner.Update(0.10, 0.0), 2 * kUsPerSec);
+}
+
+TEST(EpochTunerTest, InitialEpochClampedIntoRange) {
+  EpochTuner tuner(Cfg(), 100 * kUsPerSec);
+  EXPECT_EQ(tuner.CurrentEpoch(), 8 * kUsPerSec);
+}
+
+TEST(EpochTunerTest, ConvergesUnderAlternatingPressure) {
+  // AIMD: alternating high/low pressure must stay inside the clamp range
+  // and not diverge.
+  EpochTuner tuner(Cfg(), 2 * kUsPerSec);
+  for (int i = 0; i < 100; ++i) {
+    Duration e = tuner.Update(i % 2 == 0 ? 0.4 : 0.01, 0.0);
+    EXPECT_GE(e, 500 * kUsPerMs);
+    EXPECT_LE(e, 8 * kUsPerSec);
+  }
+  EXPECT_GT(tuner.Grows(), 10u);
+  EXPECT_GT(tuner.Shrinks(), 10u);
+}
+
+}  // namespace
+}  // namespace sjoin

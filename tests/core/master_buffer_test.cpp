@@ -1,0 +1,65 @@
+#include "core/master_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace sjoin {
+namespace {
+
+Rec R(Time ts, std::uint64_t key) { return Rec{ts, key, 0}; }
+
+TEST(MasterBufferTest, AddAndDrain) {
+  MasterBuffer buf(4, 64);
+  buf.Add(R(1, 10), 0);
+  buf.Add(R(2, 11), 1);
+  buf.Add(R(3, 12), 0);
+  EXPECT_EQ(buf.TotalTuples(), 3u);
+  EXPECT_EQ(buf.TotalBytes(), 3u * 64u);
+
+  PartitionId pids[] = {0};
+  auto batch = buf.DrainFor(pids);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].ts, 1);
+  EXPECT_EQ(batch[1].ts, 3);  // per-partition arrival order preserved
+  EXPECT_EQ(buf.TotalTuples(), 1u);
+}
+
+TEST(MasterBufferTest, DrainMultiplePartitions) {
+  MasterBuffer buf(4, 64);
+  for (Time t = 1; t <= 8; ++t) {
+    buf.Add(R(t, static_cast<std::uint64_t>(t)),
+            static_cast<PartitionId>(t % 4));
+  }
+  PartitionId pids[] = {1, 3};
+  auto batch = buf.DrainFor(pids);
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(buf.TotalTuples(), 4u);
+}
+
+TEST(MasterBufferTest, PeakTracksHighWater) {
+  MasterBuffer buf(2, 64);
+  for (Time t = 1; t <= 10; ++t) buf.Add(R(t, 0), 0);
+  EXPECT_EQ(buf.PeakBytes(), 10u * 64u);
+  PartitionId pids[] = {0};
+  (void)buf.DrainFor(pids);
+  EXPECT_EQ(buf.TotalBytes(), 0u);
+  EXPECT_EQ(buf.PeakBytes(), 10u * 64u);  // peak survives the drain
+  buf.ResetPeak();
+  EXPECT_EQ(buf.PeakBytes(), 0u);
+}
+
+TEST(MasterBufferTest, DrainPartitionForMigration) {
+  MasterBuffer buf(4, 64);
+  buf.Add(R(1, 1), 2);
+  buf.Add(R(2, 2), 2);
+  auto pending = buf.DrainPartition(2);
+  EXPECT_EQ(pending.size(), 2u);
+  EXPECT_EQ(buf.TotalTuples(), 0u);
+}
+
+TEST(MasterBufferTest, DrainEmptyPartitionYieldsNothing) {
+  MasterBuffer buf(4, 64);
+  EXPECT_TRUE(buf.DrainPartition(3).empty());
+}
+
+}  // namespace
+}  // namespace sjoin

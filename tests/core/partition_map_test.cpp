@@ -1,0 +1,47 @@
+#include "core/partition_map.h"
+
+#include <gtest/gtest.h>
+
+namespace sjoin {
+namespace {
+
+TEST(PartitionMapTest, RoundRobinInit) {
+  PartitionMap map(10, 3);
+  EXPECT_EQ(map.OwnerOf(0), 0u);
+  EXPECT_EQ(map.OwnerOf(1), 1u);
+  EXPECT_EQ(map.OwnerOf(2), 2u);
+  EXPECT_EQ(map.OwnerOf(3), 0u);
+  EXPECT_EQ(map.CountOf(0), 4u);
+  EXPECT_EQ(map.CountOf(1), 3u);
+  EXPECT_EQ(map.CountOf(2), 3u);
+}
+
+TEST(PartitionMapTest, EveryPartitionAssigned) {
+  PartitionMap map(60, 4);
+  std::size_t total = 0;
+  for (SlaveIdx s = 0; s < 4; ++s) total += map.CountOf(s);
+  EXPECT_EQ(total, 60u);
+}
+
+TEST(PartitionMapTest, SetOwnerMoves) {
+  PartitionMap map(6, 2);
+  map.SetOwner(0, 1);
+  EXPECT_EQ(map.OwnerOf(0), 1u);
+  EXPECT_EQ(map.CountOf(0), 2u);
+  EXPECT_EQ(map.CountOf(1), 4u);
+}
+
+TEST(PartitionMapTest, PartitionsOfListsAscending) {
+  PartitionMap map(8, 2);
+  auto p1 = map.PartitionsOf(1);
+  ASSERT_EQ(p1.size(), 4u);
+  EXPECT_EQ(p1, (std::vector<PartitionId>{1, 3, 5, 7}));
+}
+
+TEST(PartitionMapTest, SingleSlaveOwnsAll) {
+  PartitionMap map(60, 1);
+  EXPECT_EQ(map.CountOf(0), 60u);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,80 @@
+#include "gen/bmodel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sjoin {
+namespace {
+
+TEST(BModelTest, ValuesStayInDomain) {
+  BModelGenerator g(0.7, 10'000'000, 5);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(g.Next(), 10'000'000u);
+  }
+}
+
+TEST(BModelTest, Deterministic) {
+  BModelGenerator a(0.7, 1 << 20, 9);
+  BModelGenerator b(0.7, 1 << 20, 9);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(BModelTest, HalfBiasIsUniformAcrossHalves) {
+  BModelGenerator g(0.5, 1 << 20, 17);
+  const int n = 100000;
+  int low = 0;
+  for (int i = 0; i < n; ++i) {
+    if (g.Next() < (1u << 19)) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.5, 0.01);
+}
+
+class BModelBiasTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BModelBiasTest, FirstLevelMassMatchesB) {
+  const double b = GetParam();
+  BModelGenerator g(b, 1 << 20, 23);
+  const int n = 200000;
+  int low = 0;
+  for (int i = 0; i < n; ++i) {
+    if (g.Next() < (1u << 19)) ++low;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, b, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, BModelBiasTest,
+                         ::testing::Values(0.6, 0.7, 0.8, 0.9));
+
+TEST(BModelTest, SelfSimilarSecondLevel) {
+  // b^2 of the mass falls in the first quarter of the domain.
+  BModelGenerator g(0.7, 1 << 20, 29);
+  const int n = 200000;
+  int q1 = 0;
+  for (int i = 0; i < n; ++i) {
+    if (g.Next() < (1u << 18)) ++q1;
+  }
+  EXPECT_NEAR(static_cast<double>(q1) / n, 0.49, 0.015);
+}
+
+TEST(BModelTest, NonPowerOfTwoDomainIsExactlyCovered) {
+  // 10^7 is not a power of two; resampling must keep values in range while
+  // still producing the hot spot at the low end.
+  BModelGenerator g(0.7, 10'000'000, 31);
+  const int n = 100000;
+  int low_half = 0;
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t v = g.Next();
+    ASSERT_LT(v, 10'000'000u);
+    if (v < 5'000'000u) ++low_half;
+  }
+  EXPECT_GT(static_cast<double>(low_half) / n, 0.6);
+}
+
+TEST(BModelTest, LevelsResolveDomain) {
+  BModelGenerator g(0.7, 10'000'000, 37);
+  EXPECT_EQ(g.Levels(), 24u);  // 2^24 > 10^7 >= 2^23
+}
+
+}  // namespace
+}  // namespace sjoin

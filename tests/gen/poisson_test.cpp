@@ -1,0 +1,61 @@
+#include "gen/poisson.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sjoin {
+namespace {
+
+TEST(PoissonTest, Deterministic) {
+  PoissonProcess a(1000.0, 7);
+  PoissonProcess b(1000.0, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextArrival(), b.NextArrival());
+}
+
+TEST(PoissonTest, StrictlyIncreasingArrivals) {
+  PoissonProcess p(100000.0, 3);  // high rate stresses the >= 1us floor
+  Time prev = 0;
+  for (int i = 0; i < 10000; ++i) {
+    Time t = p.NextArrival();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+class PoissonRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonRateTest, MeanInterArrivalMatchesRate) {
+  const double rate = GetParam();
+  PoissonProcess p(rate, 11);
+  const int n = 200000;
+  double sum_us = 0;
+  for (int i = 0; i < n; ++i) {
+    sum_us += static_cast<double>(p.NextGapUs());
+  }
+  const double mean_s = sum_us / n / static_cast<double>(kUsPerSec);
+  EXPECT_NEAR(mean_s, 1.0 / rate, 0.03 / rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PoissonRateTest,
+                         ::testing::Values(100.0, 1500.0, 6000.0));
+
+TEST(PoissonTest, VarianceOfExponentialGaps) {
+  // Exponential(lambda): variance = 1/lambda^2 => cv = 1.
+  PoissonProcess p(1000.0, 13);
+  const int n = 100000;
+  double sum = 0;
+  double sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = static_cast<double>(p.NextGapUs());
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  double cv = std::sqrt(var) / mean;
+  EXPECT_NEAR(cv, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace sjoin

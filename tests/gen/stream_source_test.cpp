@@ -1,0 +1,77 @@
+#include "gen/stream_source.h"
+
+#include <gtest/gtest.h>
+
+namespace sjoin {
+namespace {
+
+TEST(StreamSourceTest, TuplesCarryStreamIdAndIncreaseInTime) {
+  StreamSource s(1, 1000.0, 0.7, 1 << 20, 42);
+  Time prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Rec r = s.Next();
+    EXPECT_EQ(r.stream, 1);
+    EXPECT_GT(r.ts, prev);
+    prev = r.ts;
+  }
+}
+
+TEST(StreamSourceTest, PeekMatchesNext) {
+  StreamSource s(0, 500.0, 0.7, 1 << 20, 1);
+  for (int i = 0; i < 100; ++i) {
+    Time peek = s.PeekTs();
+    EXPECT_EQ(s.Next().ts, peek);
+  }
+}
+
+TEST(MergedSourceTest, GlobalTimestampOrder) {
+  MergedSource m(2000.0, 0.7, 1 << 20, 77);
+  Time prev = 0;
+  for (int i = 0; i < 5000; ++i) {
+    Rec r = m.Next();
+    EXPECT_GE(r.ts, prev);
+    prev = r.ts;
+  }
+}
+
+TEST(MergedSourceTest, BothStreamsRepresented) {
+  MergedSource m(2000.0, 0.7, 1 << 20, 77);
+  int count[2] = {0, 0};
+  for (int i = 0; i < 10000; ++i) ++count[m.Next().stream];
+  EXPECT_NEAR(static_cast<double>(count[0]) / 10000.0, 0.5, 0.05);
+}
+
+TEST(MergedSourceTest, AsymmetricRates) {
+  MergedSource m(3000.0, 1000.0, 0.7, 1 << 20, 5);
+  int count[2] = {0, 0};
+  for (int i = 0; i < 20000; ++i) ++count[m.Next().stream];
+  EXPECT_NEAR(static_cast<double>(count[0]) / 20000.0, 0.75, 0.03);
+}
+
+TEST(MergedSourceTest, DrainUntilIsExclusiveAndOrdered) {
+  MergedSource m(10000.0, 0.7, 1 << 20, 9);
+  std::vector<Rec> out;
+  m.DrainUntil(100'000, out);
+  ASSERT_FALSE(out.empty());
+  for (const Rec& r : out) EXPECT_LT(r.ts, 100'000);
+  EXPECT_GE(m.PeekTs(), 100'000);
+
+  // Draining further continues seamlessly.
+  std::size_t first = out.size();
+  m.DrainUntil(200'000, out);
+  EXPECT_GT(out.size(), first);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i].ts, out[i - 1].ts);
+  }
+}
+
+TEST(MergedSourceTest, ArrivalRateApproximatelyCombined) {
+  MergedSource m(1500.0, 0.7, 1 << 20, 11);
+  std::vector<Rec> out;
+  m.DrainUntil(10 * kUsPerSec, out);
+  // Two streams at 1500 t/s each over 10 s => ~30000 tuples.
+  EXPECT_NEAR(static_cast<double>(out.size()), 30000.0, 1500.0);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,94 @@
+#include "gen/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gen/stream_source.h"
+
+namespace sjoin {
+namespace {
+
+std::vector<Rec> SampleTrace(std::size_t n) {
+  MergedSource src(1000.0, 0.7, 1 << 16, 99);
+  std::vector<Rec> recs;
+  recs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) recs.push_back(src.Next());
+  return recs;
+}
+
+TEST(TraceTest, EncodeDecodeRoundTrip) {
+  auto recs = SampleTrace(500);
+  Writer w;
+  EncodeTrace(w, recs, 64);
+  Reader r(w.Bytes());
+  EXPECT_EQ(DecodeTrace(r), recs);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(TraceTest, EmptyTrace) {
+  Writer w;
+  EncodeTrace(w, {}, 64);
+  Reader r(w.Bytes());
+  EXPECT_TRUE(DecodeTrace(r).empty());
+}
+
+TEST(TraceTest, BadMagicRejected) {
+  Writer w;
+  w.PutU32(0xDEADBEEF);
+  w.PutU32(kTraceVersion);
+  Reader r(w.Bytes());
+  EXPECT_THROW(DecodeTrace(r), DecodeError);
+}
+
+TEST(TraceTest, TruncatedTraceRejected) {
+  auto recs = SampleTrace(100);
+  Writer w;
+  EncodeTrace(w, recs, 64);
+  auto bytes = w.Bytes();
+  Reader r(bytes.subspan(0, bytes.size() - 32));
+  EXPECT_THROW(DecodeTrace(r), DecodeError);
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  auto recs = SampleTrace(300);
+  const std::string path = ::testing::TempDir() + "/sjoin_trace_test.bin";
+  ASSERT_TRUE(WriteTraceFile(path, recs, 64));
+  bool ok = false;
+  EXPECT_EQ(ReadTraceFile(path, &ok), recs);
+  EXPECT_TRUE(ok);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MissingFileReportsFailure) {
+  bool ok = true;
+  EXPECT_TRUE(ReadTraceFile("/nonexistent/sjoin.bin", &ok).empty());
+  EXPECT_FALSE(ok);
+}
+
+TEST(TraceSourceTest, ReplaysInOrder) {
+  auto recs = SampleTrace(200);
+  TraceSource src(recs);
+  for (const Rec& expect : recs) {
+    ASSERT_FALSE(src.Exhausted());
+    EXPECT_EQ(src.PeekTs(), expect.ts);
+    EXPECT_EQ(src.Next(), expect);
+  }
+  EXPECT_TRUE(src.Exhausted());
+}
+
+TEST(TraceSourceTest, DrainUntilMatchesLiveSourceSemantics) {
+  auto recs = SampleTrace(500);
+  TraceSource src(recs);
+  std::vector<Rec> out;
+  const Time cut = recs[250].ts;
+  src.DrainUntil(cut, out);
+  for (const Rec& r : out) EXPECT_LT(r.ts, cut);
+  EXPECT_GE(src.PeekTs(), cut);
+  // The rest drains with a far-future horizon.
+  src.DrainUntil(recs.back().ts + 1, out);
+  EXPECT_EQ(out, recs);
+}
+
+}  // namespace
+}  // namespace sjoin

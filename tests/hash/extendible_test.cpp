@@ -1,0 +1,237 @@
+#include "hash/extendible.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sjoin {
+namespace {
+
+// A bucket of raw hash values; splitting distributes by the indicated bit.
+using IntBucket = std::vector<std::uint64_t>;
+using Dir = ExtendibleDirectory<IntBucket>;
+
+void SplitByBit(IntBucket&& from, IntBucket& zero, IntBucket& one,
+                std::uint32_t bit) {
+  for (std::uint64_t h : from) {
+    ((h >> bit) & 1 ? one : zero).push_back(h);
+  }
+}
+
+IntBucket MergeBuckets(IntBucket&& a, IntBucket&& b) {
+  IntBucket out = std::move(a);
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+TEST(ExtendibleTest, StartsWithOneBucketAtDepthZero) {
+  Dir dir;
+  EXPECT_EQ(dir.GlobalDepth(), 0u);
+  EXPECT_EQ(dir.EntryCount(), 1u);
+  EXPECT_EQ(dir.BucketCount(), 1u);
+  EXPECT_EQ(dir.Find(0).local_depth, 0u);
+  // Every hash addresses the same bucket at depth 0.
+  EXPECT_EQ(&dir.Find(0), &dir.Find(12345));
+}
+
+TEST(ExtendibleTest, FirstSplitDoublesDirectory) {
+  Dir dir;
+  dir.Find(0).bucket = {0b0, 0b1, 0b10, 0b11};
+  ASSERT_TRUE(dir.Split(0, SplitByBit));
+  EXPECT_EQ(dir.GlobalDepth(), 1u);
+  EXPECT_EQ(dir.EntryCount(), 2u);
+  EXPECT_EQ(dir.BucketCount(), 2u);
+  // Bit 0 separates the items.
+  EXPECT_EQ(dir.Find(0b0).bucket, (IntBucket{0b0, 0b10}));
+  EXPECT_EQ(dir.Find(0b1).bucket, (IntBucket{0b1, 0b11}));
+  EXPECT_EQ(dir.Find(0).local_depth, 1u);
+  EXPECT_EQ(dir.Find(1).local_depth, 1u);
+}
+
+TEST(ExtendibleTest, SplitWithoutDoublingWhenLocalDepthBelowGlobal) {
+  Dir dir;
+  dir.Find(0).bucket = {0, 1, 2, 3};
+  ASSERT_TRUE(dir.Split(0, SplitByBit));  // depth 0 -> 1, doubles
+  ASSERT_TRUE(dir.Split(0, SplitByBit));  // bucket 0 to depth 2, doubles
+  EXPECT_EQ(dir.GlobalDepth(), 2u);
+  // Bucket "1" still has local depth 1 and is aliased by entries 01 and 11.
+  EXPECT_EQ(dir.Find(0b01).local_depth, 1u);
+  EXPECT_EQ(&dir.Find(0b01), &dir.Find(0b11));
+  // Splitting the depth-1 bucket must NOT double the directory again.
+  ASSERT_TRUE(dir.Split(1, SplitByBit));
+  EXPECT_EQ(dir.GlobalDepth(), 2u);
+  EXPECT_EQ(dir.BucketCount(), 4u);
+}
+
+TEST(ExtendibleTest, AliasCountIsTwoToTheDepthGap) {
+  // The paper: 2^(d - d') entries point to a bucket of local depth d'.
+  Dir dir;
+  dir.Find(0).bucket = {0, 1, 2, 3, 4, 5, 6, 7};
+  ASSERT_TRUE(dir.Split(0, SplitByBit));
+  ASSERT_TRUE(dir.Split(0, SplitByBit));
+  ASSERT_TRUE(dir.Split(0, SplitByBit));
+  EXPECT_EQ(dir.GlobalDepth(), 3u);
+  const auto& shallow = dir.Find(0b1);  // local depth 1
+  ASSERT_EQ(shallow.local_depth, 1u);
+  int aliases = 0;
+  for (std::uint64_t e = 0; e < dir.EntryCount(); ++e) {
+    if (&dir.Find(e) == &shallow) ++aliases;
+  }
+  EXPECT_EQ(aliases, 4);  // 2^(3-1)
+}
+
+TEST(ExtendibleTest, MaxGlobalDepthBlocksSplit) {
+  Dir dir(2);
+  dir.Find(0).bucket = {0, 1, 2, 3};
+  EXPECT_TRUE(dir.Split(0, SplitByBit));
+  EXPECT_TRUE(dir.Split(0, SplitByBit));
+  EXPECT_EQ(dir.GlobalDepth(), 2u);
+  // The bucket at pattern 0 now has local depth == global == max.
+  EXPECT_FALSE(dir.Split(0, SplitByBit));
+  EXPECT_EQ(dir.GlobalDepth(), 2u);
+}
+
+TEST(ExtendibleTest, MergeRecombinesBuddies) {
+  Dir dir;
+  dir.Find(0).bucket = {0, 1, 2, 3};
+  ASSERT_TRUE(dir.Split(0, SplitByBit));
+  auto always = [](const IntBucket&, const IntBucket&) { return true; };
+  ASSERT_TRUE(dir.TryMergeWithBuddy(0, always, MergeBuckets));
+  EXPECT_EQ(dir.BucketCount(), 1u);
+  EXPECT_EQ(dir.Find(0).local_depth, 0u);
+  EXPECT_EQ(dir.Find(0).bucket.size(), 4u);
+  // ShrinkToFit should have halved the directory back.
+  EXPECT_EQ(dir.GlobalDepth(), 0u);
+}
+
+TEST(ExtendibleTest, MergeRefusedWhenDepthsDiffer) {
+  Dir dir;
+  dir.Find(0).bucket = {0, 1, 2, 3};
+  ASSERT_TRUE(dir.Split(0, SplitByBit));
+  ASSERT_TRUE(dir.Split(0, SplitByBit));
+  // Bucket at pattern 00 has depth 2; its depth-2 buddy is 10, but the
+  // bucket addressed at 01 has depth 1 -- merging 00 with 01's bucket must
+  // not happen. Buddy of 00 at depth 2 is 10: same depth 2, can merge.
+  auto always = [](const IntBucket&, const IntBucket&) { return true; };
+  EXPECT_TRUE(dir.TryMergeWithBuddy(0b00, always, MergeBuckets));
+  // Now bucket {00,10} has depth 1, buddy is 1 (depth 1): mergeable again.
+  EXPECT_TRUE(dir.TryMergeWithBuddy(0, always, MergeBuckets));
+  EXPECT_EQ(dir.BucketCount(), 1u);
+}
+
+TEST(ExtendibleTest, MergeRespectsPredicate) {
+  Dir dir;
+  dir.Find(0).bucket = {0, 1};
+  ASSERT_TRUE(dir.Split(0, SplitByBit));
+  auto never = [](const IntBucket&, const IntBucket&) { return false; };
+  EXPECT_FALSE(dir.TryMergeWithBuddy(0, never, MergeBuckets));
+  EXPECT_EQ(dir.BucketCount(), 2u);
+}
+
+TEST(ExtendibleTest, MergeAtDepthZeroRefused) {
+  Dir dir;
+  auto always = [](const IntBucket&, const IntBucket&) { return true; };
+  EXPECT_FALSE(dir.TryMergeWithBuddy(0, always, MergeBuckets));
+}
+
+TEST(ExtendibleTest, ForEachBucketVisitsEachOnce) {
+  Dir dir;
+  dir.Find(0).bucket = {0, 1, 2, 3};
+  ASSERT_TRUE(dir.Split(0, SplitByBit));
+  ASSERT_TRUE(dir.Split(0, SplitByBit));
+  std::size_t visits = 0;
+  std::size_t items = 0;
+  dir.ForEachBucket([&](Dir::Node& n) {
+    ++visits;
+    items += n.bucket.size();
+  });
+  EXPECT_EQ(visits, dir.BucketCount());
+  EXPECT_EQ(items, 4u);
+}
+
+TEST(ExtendibleTest, ForEachBucketIndexedGivesCanonicalPatterns) {
+  Dir dir;
+  dir.Find(0).bucket = {0, 1, 2, 3};
+  ASSERT_TRUE(dir.Split(0, SplitByBit));
+  ASSERT_TRUE(dir.Split(0, SplitByBit));
+  dir.ForEachBucketIndexed([&](std::uint64_t pattern, Dir::Node& n) {
+    // The canonical pattern must address exactly this bucket, and its low
+    // local_depth bits must reproduce the pattern.
+    EXPECT_EQ(&dir.Find(pattern), &n);
+    std::uint64_t mask = (std::uint64_t{1} << n.local_depth) - 1;
+    EXPECT_EQ(pattern & mask, pattern);
+  });
+}
+
+TEST(ExtendibleTest, PaperBuddyEntryFormula) {
+  // Section IV-D's closed form for the contiguous (MSB) layout:
+  // l_bud = l + 2^(d-d') when 2^(d-d'+1) divides l, else l - 2^(d-d').
+  EXPECT_EQ(PaperBuddyEntry(0, 3, 2), 2u);   // step 2, 4 | 0 => +2
+  EXPECT_EQ(PaperBuddyEntry(2, 3, 2), 0u);   // 4 does not divide 2 => -2
+  EXPECT_EQ(PaperBuddyEntry(4, 3, 2), 6u);
+  EXPECT_EQ(PaperBuddyEntry(6, 3, 2), 4u);
+  EXPECT_EQ(PaperBuddyEntry(0, 3, 1), 4u);   // step 4
+  EXPECT_EQ(PaperBuddyEntry(4, 3, 1), 0u);
+  // Buddy of buddy is the original.
+  for (std::uint32_t d = 1; d <= 4; ++d) {
+    for (std::uint32_t dl = 1; dl <= d; ++dl) {
+      std::uint64_t step = std::uint64_t{1} << (d - dl);
+      for (std::uint64_t l = 0; l < (std::uint64_t{1} << d); l += step) {
+        EXPECT_EQ(PaperBuddyEntry(PaperBuddyEntry(l, d, dl), d, dl), l);
+      }
+    }
+  }
+}
+
+// Property test: after arbitrary split/merge sequences every inserted hash
+// is found in a bucket whose canonical pattern matches its low bits, and no
+// item is ever lost or duplicated.
+class ExtendibleFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtendibleFuzzTest, RandomOpsPreserveAllItems) {
+  Pcg32 rng(GetParam(), 5);
+  Dir dir(8);
+  std::vector<std::uint64_t> items;
+  auto always = [](const IntBucket&, const IntBucket&) { return true; };
+
+  for (int op = 0; op < 2000; ++op) {
+    std::uint32_t kind = rng.NextBounded(10);
+    if (kind < 6 || items.empty()) {
+      std::uint64_t h = rng.NextU64();
+      items.push_back(h);
+      dir.Find(h).bucket.push_back(h);
+    } else if (kind < 8) {
+      std::uint64_t h = items[rng.NextBounded(
+          static_cast<std::uint32_t>(items.size()))];
+      (void)dir.Split(h, SplitByBit);
+    } else {
+      std::uint64_t h = items[rng.NextBounded(
+          static_cast<std::uint32_t>(items.size()))];
+      (void)dir.TryMergeWithBuddy(h, always, MergeBuckets);
+    }
+  }
+
+  // Every item must live in the bucket its hash addresses.
+  std::size_t total = 0;
+  dir.ForEachBucketIndexed([&](std::uint64_t pattern, Dir::Node& n) {
+    std::uint64_t mask = (std::uint64_t{1} << n.local_depth) - 1;
+    for (std::uint64_t h : n.bucket) {
+      EXPECT_EQ(h & mask, pattern & mask);
+    }
+    total += n.bucket.size();
+  });
+  EXPECT_EQ(total, items.size());
+  for (std::uint64_t h : items) {
+    const IntBucket& b = dir.Find(h).bucket;
+    EXPECT_NE(std::find(b.begin(), b.end(), h), b.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtendibleFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace sjoin

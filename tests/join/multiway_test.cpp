@@ -1,0 +1,141 @@
+#include "join/multiway.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace sjoin {
+namespace {
+
+using Canon = std::vector<std::pair<std::uint64_t, std::vector<Time>>>;
+
+Canon Canonical(const std::vector<MultiJoinOutput>& outs) {
+  Canon c;
+  for (const MultiJoinOutput& o : outs) c.emplace_back(o.key, o.component_ts);
+  std::sort(c.begin(), c.end());
+  return c;
+}
+
+std::vector<Rec> RandomTrace(std::uint64_t seed, std::size_t count,
+                             std::uint32_t streams, std::uint32_t keys,
+                             std::uint32_t max_gap_us) {
+  Pcg32 rng(seed, 3);
+  std::vector<Rec> recs;
+  Time ts = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    ts += 1 + rng.NextBounded(max_gap_us);
+    recs.push_back(Rec{ts, rng.NextBounded(keys),
+                       static_cast<StreamId>(rng.NextBounded(streams))});
+  }
+  return recs;
+}
+
+TEST(MultiwayTest, ThreeWayBasicComposite) {
+  MultiCollectSink sink;
+  MultiwayJoinModule join({100, 100, 100}, 4, &sink);
+  join.Process(Rec{10, 7, 0}, 1000);
+  join.Process(Rec{20, 7, 1}, 1001);
+  EXPECT_EQ(sink.Outputs().size(), 0u);  // no stream-2 component yet
+  join.Process(Rec{30, 7, 2}, 1002);
+  ASSERT_EQ(sink.Outputs().size(), 1u);
+  const MultiJoinOutput& o = sink.Outputs()[0];
+  EXPECT_EQ(o.key, 7u);
+  EXPECT_EQ(o.component_ts, (std::vector<Time>{10, 20, 30}));
+  EXPECT_EQ(o.newest, 2);
+  EXPECT_EQ(o.produced_at, 1002);
+}
+
+TEST(MultiwayTest, PerStreamWindowsApplyIndividually) {
+  MultiCollectSink sink;
+  // Stream 0 has a tight window, stream 1 a loose one.
+  MultiwayJoinModule join({10, 1000, 1000}, 4, &sink);
+  join.Process(Rec{0, 1, 0}, 0);
+  join.Process(Rec{5, 1, 1}, 0);
+  join.Process(Rec{100, 1, 2}, 0);  // newest; s0 component (ts=0) is > W0 old
+  EXPECT_TRUE(sink.Outputs().empty());
+  // A fresh stream-0 tuple inside every window completes the composite.
+  join.Process(Rec{101, 1, 0}, 0);
+  EXPECT_EQ(sink.Outputs().size(), 1u);
+}
+
+TEST(MultiwayTest, TwoWayDegeneratesToPairJoin) {
+  MultiCollectSink sink;
+  MultiwayJoinModule join({50, 50}, 4, &sink);
+  join.Process(Rec{10, 3, 0}, 0);
+  join.Process(Rec{40, 3, 1}, 0);
+  join.Process(Rec{80, 3, 0}, 0);
+  // Pairs: (10,40) and (80,40); (10 vs 80) same stream; all within 50.
+  EXPECT_EQ(sink.Outputs().size(), 2u);
+}
+
+TEST(MultiwayTest, CrossProductEnumeratesAllCombinations) {
+  MultiCollectSink sink;
+  MultiwayJoinModule join({1000, 1000, 1000}, 8, &sink);
+  for (Time t = 1; t <= 3; ++t) join.Process(Rec{t, 9, 0}, 0);
+  for (Time t = 11; t <= 12; ++t) join.Process(Rec{t, 9, 1}, 0);
+  join.Process(Rec{20, 9, 2}, 0);  // 3 x 2 combinations complete here
+  EXPECT_EQ(sink.Outputs().size(), 6u);
+}
+
+class MultiwayEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(MultiwayEquivalenceTest, MatchesDeclarativeReference) {
+  const auto [seed, nstreams] = GetParam();
+  auto recs = RandomTrace(seed, 400, static_cast<std::uint32_t>(nstreams),
+                          /*keys=*/4, /*max_gap_us=*/300);
+  std::vector<Duration> windows;
+  for (int k = 0; k < nstreams; ++k) {
+    windows.push_back(2000 + 700 * k);  // heterogeneous windows
+  }
+
+  MultiCollectSink sink;
+  MultiwayJoinModule join(windows, 4, &sink);
+  for (const Rec& r : recs) join.Process(r, r.ts);
+
+  auto expect = ReferenceMultiwayJoin(recs, windows);
+  EXPECT_EQ(Canonical(sink.Outputs()), Canonical(expect));
+  EXPECT_EQ(join.Composites(), sink.Outputs().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MultiwayEquivalenceTest,
+    ::testing::Values(std::make_tuple(std::uint64_t{1}, 2),
+                      std::make_tuple(std::uint64_t{2}, 3),
+                      std::make_tuple(std::uint64_t{3}, 3),
+                      std::make_tuple(std::uint64_t{4}, 4),
+                      std::make_tuple(std::uint64_t{5}, 5)));
+
+TEST(MultiwayTest, ComparisonsChargeScansOfAllOtherStreams) {
+  MultiStatsSink sink;
+  MultiwayJoinModule join({10'000, 10'000, 10'000}, 4, &sink);
+  for (Time t = 1; t <= 30; ++t) {
+    join.Process(Rec{t, 1, static_cast<StreamId>(t % 3)}, t);
+  }
+  // Each probe scans the sealed counts of two other streams: ~n^2/3 total.
+  EXPECT_GT(join.Comparisons(), 200u);
+}
+
+TEST(MultiwayTest, ExpiryBoundsWindowState) {
+  MultiStatsSink sink;
+  MultiwayJoinModule join({100, 100}, 2, &sink);
+  for (Time t = 1; t <= 5000; t += 5) {
+    join.Process(Rec{t, 1, static_cast<StreamId>((t / 5) % 2)}, t);
+  }
+  // Window holds ~20 tuples/stream; block granularity adds slack.
+  EXPECT_LT(join.WindowTuples(), 120u);
+}
+
+TEST(MultiwayTest, DelayStatsTrackProducedAt) {
+  MultiStatsSink sink;
+  MultiwayJoinModule join({100, 100}, 4, &sink);
+  join.Process(Rec{10, 2, 0}, 10);
+  join.Process(Rec{20, 2, 1}, 50);  // produced 30us after newest arrival
+  ASSERT_EQ(sink.Count(), 1u);
+  EXPECT_DOUBLE_EQ(sink.DelayUs().Mean(), 30.0);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,102 @@
+// Failure injection: every decoder must reject truncated or corrupted
+// payloads with DecodeError -- never crash, never read out of bounds, never
+// return silently wrong data on short input. (Malformed frames are exactly
+// what a node sees when a peer dies mid-send.)
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/codec.h"
+#include "window/state_codec.h"
+
+namespace sjoin {
+namespace {
+
+std::vector<std::uint8_t> EncodedBatch(std::size_t n) {
+  TupleBatchMsg m;
+  Pcg32 rng(17, 1);
+  Time ts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ts += 1 + rng.NextBounded(50);
+    m.recs.push_back(Rec{ts, rng.NextU64(),
+                         static_cast<StreamId>(rng.NextBounded(2))});
+  }
+  Writer w;
+  Encode(w, m, 64);
+  return std::move(w).TakeBuffer();
+}
+
+class TruncationFuzzTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TruncationFuzzTest, TruncatedTupleBatchAlwaysThrows) {
+  auto bytes = EncodedBatch(20);
+  const std::size_t cut = GetParam() % bytes.size();
+  if (cut == bytes.size()) return;
+  Reader r(std::span<const std::uint8_t>(bytes.data(), cut));
+  // Either throws, or (when the cut lands exactly after a whole tuple
+  // count-prefix boundary... it cannot: the count promises 20 tuples).
+  EXPECT_THROW((void)DecodeTupleBatch(r, 64), DecodeError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TruncationFuzzTest,
+                         ::testing::Values(0u, 1u, 7u, 8u, 9u, 63u, 64u,
+                                           100u, 500u, 1000u, 1279u));
+
+TEST(CodecFuzzTest, AllControlMessagesRejectTruncation) {
+  Writer w;
+  Encode(w, LoadReportMsg{0.5, 10, 20});
+  Encode(w, MoveCmdMsg{1, 2});
+  Encode(w, AckMsg{3});
+  Encode(w, ClockSyncMsg{100, 200});
+  Encode(w, ResultStatsMsg{5, 1.0, 2.0});
+  auto bytes = std::move(w).TakeBuffer();
+
+  for (std::size_t cut = 0; cut < 8; ++cut) {
+    Reader r(std::span<const std::uint8_t>(bytes.data(), cut));
+    EXPECT_THROW((void)DecodeLoadReport(r), DecodeError) << "cut=" << cut;
+  }
+}
+
+TEST(CodecFuzzTest, StateTransferRejectsLengthLies) {
+  // A state transfer whose inner length prefix exceeds the actual payload.
+  Writer w;
+  w.PutU32(7);          // partition id
+  w.PutU64(1'000'000);  // claims 1 MB of group state
+  w.PutU8(1);           // ...but delivers one byte
+  Reader r(w.Bytes());
+  EXPECT_THROW((void)DecodeStateTransfer(r, 64), DecodeError);
+}
+
+TEST(CodecFuzzTest, RandomCorruptionNeverCrashesStateDecode) {
+  // Build a real group state, then flip random bytes; decoding must either
+  // succeed (benign flip) or throw DecodeError / produce a group -- never
+  // crash. Structural lies about counts surface as DecodeError via the
+  // bounds checks in Reader.
+  JoinConfig jcfg;
+  jcfg.block_bytes = 128;
+  jcfg.theta_bytes = 512;
+  PartitionGroup g(jcfg, 32);
+  Pcg32 rng(23, 4);
+  for (Time t = 1; t <= 60; ++t) {
+    g.InstallSealed(Rec{t, rng.NextU64(), static_cast<StreamId>(t % 2)});
+  }
+  Writer w;
+  EncodeGroupState(w, g);
+  auto clean = std::move(w).TakeBuffer();
+
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bytes = clean;
+    std::size_t pos = rng.NextBounded(static_cast<std::uint32_t>(bytes.size()));
+    bytes[pos] ^= static_cast<std::uint8_t>(1 + rng.NextBounded(255));
+    Reader r(bytes);
+    try {
+      auto decoded = DecodeGroupState(r, jcfg, 32);
+      // Benign or content-only corruption: the group exists.
+      EXPECT_LE(decoded->TotalCount(), 600u);
+    } catch (const DecodeError&) {
+      // Structural corruption detected: also fine.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sjoin

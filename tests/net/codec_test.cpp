@@ -1,0 +1,152 @@
+#include "net/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sjoin {
+namespace {
+
+TEST(NetCodecTest, TupleBatchRoundTrip) {
+  TupleBatchMsg m;
+  for (Time t = 1; t <= 10; ++t) {
+    m.recs.push_back(Rec{t * 100, static_cast<std::uint64_t>(t * 7),
+                         static_cast<StreamId>(t % 2)});
+  }
+  Writer w;
+  Encode(w, m, 64);
+  EXPECT_EQ(w.Size(), TupleBatchMsg::WireSize(m.recs.size(), 64));
+  Reader r(w.Bytes());
+  TupleBatchMsg back = DecodeTupleBatch(r, 64);
+  EXPECT_EQ(back.recs, m.recs);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(NetCodecTest, EmptyTupleBatch) {
+  TupleBatchMsg m;
+  Writer w;
+  Encode(w, m, 64);
+  Reader r(w.Bytes());
+  EXPECT_TRUE(DecodeTupleBatch(r, 64).recs.empty());
+}
+
+TEST(NetCodecTest, TupleBatchWireSizeMatchesPaperTuples) {
+  // 64-byte tuples on the wire, plus the 8-byte count prefix.
+  EXPECT_EQ(TupleBatchMsg::WireSize(100, 64), 8u + 6400u);
+}
+
+TEST(NetCodecTest, LoadReportRoundTrip) {
+  LoadReportMsg m{0.375, 1234, 567890};
+  Writer w;
+  Encode(w, m);
+  Reader r(w.Bytes());
+  LoadReportMsg back = DecodeLoadReport(r);
+  EXPECT_DOUBLE_EQ(back.avg_buffer_occupancy, 0.375);
+  EXPECT_EQ(back.buffered_tuples, 1234u);
+  EXPECT_EQ(back.window_tuples, 567890u);
+}
+
+TEST(NetCodecTest, MoveCmdRoundTrip) {
+  MoveCmdMsg m{42, 3};
+  Writer w;
+  Encode(w, m);
+  Reader r(w.Bytes());
+  MoveCmdMsg back = DecodeMoveCmd(r);
+  EXPECT_EQ(back.partition_id, 42u);
+  EXPECT_EQ(back.peer, 3u);
+}
+
+TEST(NetCodecTest, StateTransferRoundTrip) {
+  StateTransferMsg m;
+  m.partition_id = 17;
+  m.group_state = {1, 2, 3, 4, 5};
+  m.pending = {Rec{10, 20, 0}, Rec{11, 21, 1}};
+  Writer w;
+  Encode(w, m, 64);
+  Reader r(w.Bytes());
+  StateTransferMsg back = DecodeStateTransfer(r, 64);
+  EXPECT_EQ(back.partition_id, 17u);
+  EXPECT_EQ(back.group_state, m.group_state);
+  EXPECT_EQ(back.pending, m.pending);
+}
+
+TEST(NetCodecTest, AckAndClockSyncRoundTrip) {
+  Writer w;
+  Encode(w, AckMsg{9});
+  Encode(w, ClockSyncMsg{123456, 200000});
+  Reader r(w.Bytes());
+  EXPECT_EQ(DecodeAck(r).partition_id, 9u);
+  ClockSyncMsg cs = DecodeClockSync(r);
+  EXPECT_EQ(cs.master_now, 123456);
+  EXPECT_EQ(cs.next_epoch_start, 200000);
+}
+
+TEST(NetCodecTest, ResultStatsRoundTrip) {
+  ResultStatsMsg m{1000, 2.5e6, 9e6};
+  Writer w;
+  Encode(w, m);
+  Reader r(w.Bytes());
+  ResultStatsMsg back = DecodeResultStats(r);
+  EXPECT_EQ(back.outputs, 1000u);
+  EXPECT_DOUBLE_EQ(back.delay_sum_us, 2.5e6);
+  EXPECT_DOUBLE_EQ(back.delay_max_us, 9e6);
+}
+
+TEST(PunctuatedCodecTest, RoundTripPreservesBatch) {
+  TupleBatchMsg m;
+  Pcg32 rng(3, 2);
+  Time ts = 0;
+  for (int i = 0; i < 50; ++i) {
+    ts += 1 + rng.NextBounded(100);
+    m.recs.push_back(Rec{ts, rng.NextU64(),
+                         static_cast<StreamId>(rng.NextBounded(2))});
+  }
+  Writer w;
+  EncodePunctuated(w, m, 64);
+  Reader r(w.Bytes());
+  TupleBatchMsg back = DecodePunctuated(r, 64);
+  EXPECT_EQ(back.recs, m.recs);  // identical content AND arrival order
+}
+
+TEST(PunctuatedCodecTest, SingleStreamBatchHasOnePunctuation) {
+  TupleBatchMsg m;
+  for (Time t = 1; t <= 10; ++t) m.recs.push_back(Rec{t, 5, 0});
+  Writer w;
+  EncodePunctuated(w, m, 64);
+  EXPECT_EQ(w.Size(), PunctuatedWireSize(10, 0, 64));
+  EXPECT_EQ(w.Size(), 8u + 11u * 64u);
+  Reader r(w.Bytes());
+  EXPECT_EQ(DecodePunctuated(r, 64).recs, m.recs);
+}
+
+TEST(PunctuatedCodecTest, EmptyBatch) {
+  TupleBatchMsg m;
+  Writer w;
+  EncodePunctuated(w, m, 64);
+  Reader r(w.Bytes());
+  EXPECT_TRUE(DecodePunctuated(r, 64).recs.empty());
+}
+
+TEST(PunctuatedCodecTest, OverheadBoundedByTwoPseudoTuples) {
+  // Both stream-id options cost the same asymptotically; punctuation adds
+  // at most one pseudo-tuple per stream per batch.
+  EXPECT_EQ(PunctuatedWireSize(100, 100, 64),
+            TupleBatchMsg::WireSize(200, 64) + 2 * 64);
+}
+
+TEST(PunctuatedCodecTest, TupleBeforePunctuationRejected) {
+  Writer w;
+  w.PutU64(1);
+  EncodeRec(w, Rec{123, 9, 0}, 64);  // no punctuation first
+  Reader r(w.Bytes());
+  EXPECT_THROW(DecodePunctuated(r, 64), DecodeError);
+}
+
+TEST(NetCodecTest, MessageWireBytesIncludesHeader) {
+  Message m;
+  m.payload = {1, 2, 3};
+  EXPECT_EQ(m.WireBytes(), 12u);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,93 @@
+#include "tuple/block.h"
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.h"
+#include "tuple/tuple.h"
+
+namespace sjoin {
+namespace {
+
+Rec R(Time ts, std::uint64_t key, StreamId s = 0) { return Rec{ts, key, s}; }
+
+TEST(BlockTest, AppendAndCapacity) {
+  Block b(4);
+  EXPECT_TRUE(b.Empty());
+  b.Append(R(1, 10));
+  b.Append(R(2, 20));
+  EXPECT_EQ(b.Size(), 2u);
+  EXPECT_FALSE(b.Full());
+  b.Append(R(3, 30));
+  b.Append(R(4, 40));
+  EXPECT_TRUE(b.Full());
+  EXPECT_EQ(b.MinTs(), 1);
+  EXPECT_EQ(b.MaxTs(), 4);
+}
+
+TEST(BlockTest, FreshTrackingAcrossJoinPasses) {
+  Block b(8);
+  b.Append(R(1, 1));
+  b.Append(R(2, 2));
+  EXPECT_EQ(b.FreshCount(), 2u);
+  EXPECT_EQ(b.JoinedRecords().size(), 0u);
+
+  b.MarkJoined();
+  EXPECT_EQ(b.FreshCount(), 0u);
+  EXPECT_EQ(b.JoinedRecords().size(), 2u);
+
+  // The paper reuses the empty portion of a partially joined head block.
+  b.Append(R(3, 3));
+  EXPECT_EQ(b.FreshCount(), 1u);
+  EXPECT_EQ(b.FreshRecords().front().ts, 3);
+  EXPECT_EQ(b.JoinedRecords().size(), 2u);
+
+  b.MarkJoined();
+  EXPECT_EQ(b.JoinedRecords().size(), 3u);
+}
+
+TEST(BlockTest, RecordsAreInInsertionOrder) {
+  Block b(4);
+  b.Append(R(5, 50));
+  b.Append(R(6, 60));
+  auto recs = b.Records();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].key, 50u);
+  EXPECT_EQ(recs[1].key, 60u);
+}
+
+TEST(RecCodecTest, RoundTripAtConfiguredWireSize) {
+  Rec rec{123456789, 0xFEEDFACE, 1};
+  Writer w;
+  EncodeRec(w, rec, 64);
+  EXPECT_EQ(w.Size(), 64u);  // exactly the paper's 64-byte tuples
+  Reader r(w.Bytes());
+  Rec back = DecodeRec(r, 64);
+  EXPECT_EQ(back, rec);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(RecCodecTest, MinimumWireSize) {
+  Rec rec{-5, 42, 0};
+  Writer w;
+  EncodeRec(w, rec, kMinWireTupleBytes);
+  EXPECT_EQ(w.Size(), kMinWireTupleBytes);
+  Reader r(w.Bytes());
+  EXPECT_EQ(DecodeRec(r, kMinWireTupleBytes), rec);
+}
+
+TEST(RecTest, OppositeStream) {
+  EXPECT_EQ(Opposite(0), 1);
+  EXPECT_EQ(Opposite(1), 0);
+}
+
+TEST(JoinOutputTest, ProductionDelayUsesNewerTimestamp) {
+  JoinOutput out;
+  out.left = R(100, 1, 0);
+  out.right = R(250, 1, 1);
+  out.produced_at = 300;
+  EXPECT_EQ(out.NewerTs(), 250);
+  EXPECT_EQ(out.ProductionDelay(), 50);
+}
+
+}  // namespace
+}  // namespace sjoin

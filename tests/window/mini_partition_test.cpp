@@ -1,0 +1,172 @@
+#include "window/mini_partition.h"
+
+#include <gtest/gtest.h>
+
+namespace sjoin {
+namespace {
+
+constexpr sjoin::Time kFarFuture = 9'000'000'000'000;
+
+Rec R(Time ts, std::uint64_t key, StreamId s = 0) { return Rec{ts, key, s}; }
+
+TEST(MiniPartitionTest, InsertedRecordsAreFreshUntilSealed) {
+  MiniPartition p(4);
+  p.Insert(R(1, 10));
+  p.Insert(R(2, 10));
+  EXPECT_EQ(p.FreshCount(), 2u);
+  EXPECT_EQ(p.SealedCount(), 0u);
+  // Fresh records are invisible to probes (duplicate-elimination rule).
+  EXPECT_TRUE(p.ProbeSealed(10, 0, kFarFuture).empty());
+
+  p.Seal();
+  EXPECT_EQ(p.FreshCount(), 0u);
+  EXPECT_EQ(p.SealedCount(), 2u);
+  EXPECT_EQ(p.ProbeSealed(10, 0, kFarFuture).size(), 2u);
+}
+
+TEST(MiniPartitionTest, HeadFullOnlyWithFreshContent) {
+  MiniPartition p(2);
+  p.Insert(R(1, 1));
+  EXPECT_FALSE(p.HeadFull());
+  p.Insert(R(2, 2));
+  EXPECT_TRUE(p.HeadFull());
+  p.Seal();
+  EXPECT_FALSE(p.HeadFull());  // full but nothing fresh
+}
+
+TEST(MiniPartitionTest, ProbeFiltersByKeyAndWindow) {
+  MiniPartition p(8);
+  p.Insert(R(100, 7));
+  p.Insert(R(200, 7));
+  p.Insert(R(300, 9));
+  p.Seal();
+  // Probe for key 7 within the window starting at ts >= 150.
+  auto m = p.ProbeSealed(7, 150, kFarFuture);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], 200);
+  // min_ts below everything returns both.
+  EXPECT_EQ(p.ProbeSealed(7, 0, kFarFuture).size(), 2u);
+  // Unknown key.
+  EXPECT_TRUE(p.ProbeSealed(1234, 0, kFarFuture).empty());
+}
+
+TEST(MiniPartitionTest, ProbeSpanIsAscendingTimestamps) {
+  MiniPartition p(8);
+  for (Time t = 1; t <= 5; ++t) p.Insert(R(t * 10, 3));
+  p.Seal();
+  auto m = p.ProbeSealed(3, 0, kFarFuture);
+  ASSERT_EQ(m.size(), 5u);
+  for (std::size_t i = 1; i < m.size(); ++i) EXPECT_GT(m[i], m[i - 1]);
+}
+
+TEST(MiniPartitionTest, ExpireRemovesWholeOldBlocks) {
+  MiniPartition p(2);  // tiny blocks
+  p.Insert(R(1, 1));
+  p.Insert(R(2, 1));
+  p.Seal();
+  p.Insert(R(10, 1));
+  p.Insert(R(11, 1));
+  p.Seal();
+  p.Insert(R(20, 1));  // head block, stays
+  EXPECT_EQ(p.BlockCount(), 3u);
+
+  auto expired = p.ExpireBlocks(/*low_ts=*/5);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].MaxTs(), 2);
+  EXPECT_EQ(p.TotalCount(), 3u);
+  EXPECT_EQ(p.SealedCount(), 2u);
+  // Expired records are no longer probe-visible.
+  EXPECT_EQ(p.ProbeSealed(1, 0, kFarFuture).size(), 2u);
+}
+
+TEST(MiniPartitionTest, HeadBlockNeverExpires) {
+  MiniPartition p(2);
+  p.Insert(R(1, 1));
+  p.Insert(R(2, 1));
+  p.Seal();
+  // Even with a watermark far past everything, the head block stays.
+  auto expired = p.ExpireBlocks(1'000'000);
+  EXPECT_TRUE(expired.empty());
+  EXPECT_EQ(p.TotalCount(), 2u);
+}
+
+TEST(MiniPartitionTest, BlockExpiresOnlyWhenNewestRecordIsOld) {
+  MiniPartition p(2);
+  p.Insert(R(1, 1));
+  p.Insert(R(100, 1));  // same block: newest ts 100
+  p.Seal();
+  p.Insert(R(200, 1));
+  // low_ts = 50: record at ts=1 is out of window but its block is not.
+  EXPECT_TRUE(p.ExpireBlocks(50).empty());
+  EXPECT_EQ(p.ExpireBlocks(150).size(), 1u);
+}
+
+TEST(MiniPartitionTest, ExpiryKeepsIndexConsistentAcrossManyBlocks) {
+  MiniPartition p(4);
+  for (Time t = 1; t <= 100; ++t) {
+    p.Insert(R(t, static_cast<std::uint64_t>(t % 3)));
+    p.Seal();
+  }
+  (void)p.ExpireBlocks(50);
+  // Remaining probe-visible timestamps must all be >= 49 (block granular).
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    for (Time ts : p.ProbeSealed(k, 0, kFarFuture)) EXPECT_GE(ts, 45);
+  }
+  // And probing with a min_ts still works.
+  auto m = p.ProbeSealed(0, 90, kFarFuture);
+  for (Time ts : m) EXPECT_GE(ts, 90);
+}
+
+TEST(MiniPartitionTest, InstallSealedIsImmediatelyVisible) {
+  MiniPartition p(4);
+  p.InstallSealed(R(5, 42));
+  p.InstallSealed(R(6, 42));
+  EXPECT_EQ(p.FreshCount(), 0u);
+  EXPECT_EQ(p.SealedCount(), 2u);
+  EXPECT_EQ(p.ProbeSealed(42, 0, kFarFuture).size(), 2u);
+}
+
+TEST(MiniPartitionTest, MixedInstallAndInsertKeepTemporalOrder) {
+  MiniPartition p(4);
+  p.InstallSealed(R(5, 1));
+  p.Insert(R(7, 1));
+  EXPECT_EQ(p.FreshCount(), 1u);
+  EXPECT_EQ(p.SealedCount(), 1u);
+  p.Seal();
+  auto m = p.ProbeSealed(1, 0, kFarFuture);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], 5);
+  EXPECT_EQ(m[1], 7);
+}
+
+TEST(MiniPartitionTest, ForEachRecordVisitsInTemporalOrder) {
+  MiniPartition p(2);
+  for (Time t = 1; t <= 7; ++t) {
+    p.Insert(R(t, 9));
+    p.Seal();
+  }
+  Time prev = 0;
+  std::size_t n = 0;
+  p.ForEachRecord([&](const Rec& r) {
+    EXPECT_GT(r.ts, prev);
+    prev = r.ts;
+    ++n;
+  });
+  EXPECT_EQ(n, 7u);
+}
+
+TEST(MiniPartitionTest, IndexCompactionUnderLongExpiryStream) {
+  // Exercise the dead-prefix compaction path (> 64 expired per key).
+  MiniPartition p(4);
+  for (Time t = 1; t <= 2000; ++t) {
+    p.Insert(R(t, 0));
+    p.Seal();
+    (void)p.ExpireBlocks(t - 100);
+  }
+  auto m = p.ProbeSealed(0, 0, kFarFuture);
+  EXPECT_GE(m.size(), 90u);
+  EXPECT_LE(m.size(), 110u);
+}
+
+}  // namespace
+}  // namespace sjoin
