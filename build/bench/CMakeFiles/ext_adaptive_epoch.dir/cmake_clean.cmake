@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adaptive_epoch.dir/ext_adaptive_epoch.cpp.o"
+  "CMakeFiles/ext_adaptive_epoch.dir/ext_adaptive_epoch.cpp.o.d"
+  "ext_adaptive_epoch"
+  "ext_adaptive_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

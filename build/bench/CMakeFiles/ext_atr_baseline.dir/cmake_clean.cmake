@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_atr_baseline.dir/ext_atr_baseline.cpp.o"
+  "CMakeFiles/ext_atr_baseline.dir/ext_atr_baseline.cpp.o.d"
+  "ext_atr_baseline"
+  "ext_atr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_atr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_beta_sweep.dir/ext_beta_sweep.cpp.o"
+  "CMakeFiles/ext_beta_sweep.dir/ext_beta_sweep.cpp.o.d"
+  "ext_beta_sweep"
+  "ext_beta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_beta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

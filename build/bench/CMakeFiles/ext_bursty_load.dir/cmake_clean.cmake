@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bursty_load.dir/ext_bursty_load.cpp.o"
+  "CMakeFiles/ext_bursty_load.dir/ext_bursty_load.cpp.o.d"
+  "ext_bursty_load"
+  "ext_bursty_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bursty_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

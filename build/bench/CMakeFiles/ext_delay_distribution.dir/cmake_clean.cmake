@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_delay_distribution.dir/ext_delay_distribution.cpp.o"
+  "CMakeFiles/ext_delay_distribution.dir/ext_delay_distribution.cpp.o.d"
+  "ext_delay_distribution"
+  "ext_delay_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_delay_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

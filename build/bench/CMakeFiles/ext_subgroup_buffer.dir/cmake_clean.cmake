@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_subgroup_buffer.dir/ext_subgroup_buffer.cpp.o"
+  "CMakeFiles/ext_subgroup_buffer.dir/ext_subgroup_buffer.cpp.o.d"
+  "ext_subgroup_buffer"
+  "ext_subgroup_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_subgroup_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

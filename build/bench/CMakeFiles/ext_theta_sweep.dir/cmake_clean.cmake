@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_theta_sweep.dir/ext_theta_sweep.cpp.o"
+  "CMakeFiles/ext_theta_sweep.dir/ext_theta_sweep.cpp.o.d"
+  "ext_theta_sweep"
+  "ext_theta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_theta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

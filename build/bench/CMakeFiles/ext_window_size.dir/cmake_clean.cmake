@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_window_size.dir/ext_window_size.cpp.o"
+  "CMakeFiles/ext_window_size.dir/ext_window_size.cpp.o.d"
+  "ext_window_size"
+  "ext_window_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_window_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_delay_small.dir/fig05_delay_small.cpp.o"
+  "CMakeFiles/fig05_delay_small.dir/fig05_delay_small.cpp.o.d"
+  "fig05_delay_small"
+  "fig05_delay_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_delay_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cpu_finetune.dir/fig07_cpu_finetune.cpp.o"
+  "CMakeFiles/fig07_cpu_finetune.dir/fig07_cpu_finetune.cpp.o.d"
+  "fig07_cpu_finetune"
+  "fig07_cpu_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cpu_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_delay_no_finetune.dir/fig08_delay_no_finetune.cpp.o"
+  "CMakeFiles/fig08_delay_no_finetune.dir/fig08_delay_no_finetune.cpp.o.d"
+  "fig08_delay_no_finetune"
+  "fig08_delay_no_finetune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_delay_no_finetune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_idle_comm_no_tune.dir/fig09_idle_comm_no_tune.cpp.o"
+  "CMakeFiles/fig09_idle_comm_no_tune.dir/fig09_idle_comm_no_tune.cpp.o.d"
+  "fig09_idle_comm_no_tune"
+  "fig09_idle_comm_no_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_idle_comm_no_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

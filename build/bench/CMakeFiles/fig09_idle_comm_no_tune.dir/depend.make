@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_idle_comm_no_tune.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_idle_comm_tune.dir/fig10_idle_comm_tune.cpp.o"
+  "CMakeFiles/fig10_idle_comm_tune.dir/fig10_idle_comm_tune.cpp.o.d"
+  "fig10_idle_comm_tune"
+  "fig10_idle_comm_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_idle_comm_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

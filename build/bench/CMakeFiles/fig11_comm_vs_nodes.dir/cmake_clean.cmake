@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_comm_vs_nodes.dir/fig11_comm_vs_nodes.cpp.o"
+  "CMakeFiles/fig11_comm_vs_nodes.dir/fig11_comm_vs_nodes.cpp.o.d"
+  "fig11_comm_vs_nodes"
+  "fig11_comm_vs_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_comm_vs_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_comm_vs_rate.dir/fig12_comm_vs_rate.cpp.o"
+  "CMakeFiles/fig12_comm_vs_rate.dir/fig12_comm_vs_rate.cpp.o.d"
+  "fig12_comm_vs_rate"
+  "fig12_comm_vs_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_comm_vs_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_comm_vs_epoch.dir/fig14_comm_vs_epoch.cpp.o"
+  "CMakeFiles/fig14_comm_vs_epoch.dir/fig14_comm_vs_epoch.cpp.o.d"
+  "fig14_comm_vs_epoch"
+  "fig14_comm_vs_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_comm_vs_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_defaults.dir/table1_defaults.cpp.o"
+  "CMakeFiles/table1_defaults.dir/table1_defaults.cpp.o.d"
+  "table1_defaults"
+  "table1_defaults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_defaults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

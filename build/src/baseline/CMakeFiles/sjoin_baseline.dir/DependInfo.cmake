@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/atr.cpp" "src/baseline/CMakeFiles/sjoin_baseline.dir/atr.cpp.o" "gcc" "src/baseline/CMakeFiles/sjoin_baseline.dir/atr.cpp.o.d"
+  "/root/repo/src/baseline/ctr.cpp" "src/baseline/CMakeFiles/sjoin_baseline.dir/ctr.cpp.o" "gcc" "src/baseline/CMakeFiles/sjoin_baseline.dir/ctr.cpp.o.d"
+  "/root/repo/src/baseline/single_node.cpp" "src/baseline/CMakeFiles/sjoin_baseline.dir/single_node.cpp.o" "gcc" "src/baseline/CMakeFiles/sjoin_baseline.dir/single_node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/sjoin_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/sjoin_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sjoin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/sjoin_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/sjoin_tuple.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjoin_baseline.dir/atr.cpp.o"
+  "CMakeFiles/sjoin_baseline.dir/atr.cpp.o.d"
+  "CMakeFiles/sjoin_baseline.dir/ctr.cpp.o"
+  "CMakeFiles/sjoin_baseline.dir/ctr.cpp.o.d"
+  "CMakeFiles/sjoin_baseline.dir/single_node.cpp.o"
+  "CMakeFiles/sjoin_baseline.dir/single_node.cpp.o.d"
+  "libsjoin_baseline.a"
+  "libsjoin_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjoin_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

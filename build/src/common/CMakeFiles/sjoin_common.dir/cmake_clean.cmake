@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjoin_common.dir/clock.cpp.o"
+  "CMakeFiles/sjoin_common.dir/clock.cpp.o.d"
+  "CMakeFiles/sjoin_common.dir/config.cpp.o"
+  "CMakeFiles/sjoin_common.dir/config.cpp.o.d"
+  "CMakeFiles/sjoin_common.dir/flags.cpp.o"
+  "CMakeFiles/sjoin_common.dir/flags.cpp.o.d"
+  "CMakeFiles/sjoin_common.dir/log.cpp.o"
+  "CMakeFiles/sjoin_common.dir/log.cpp.o.d"
+  "CMakeFiles/sjoin_common.dir/rng.cpp.o"
+  "CMakeFiles/sjoin_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sjoin_common.dir/serialize.cpp.o"
+  "CMakeFiles/sjoin_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/sjoin_common.dir/stats.cpp.o"
+  "CMakeFiles/sjoin_common.dir/stats.cpp.o.d"
+  "libsjoin_common.a"
+  "libsjoin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjoin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balancer.cpp" "src/core/CMakeFiles/sjoin_core.dir/balancer.cpp.o" "gcc" "src/core/CMakeFiles/sjoin_core.dir/balancer.cpp.o.d"
+  "/root/repo/src/core/epoch_tuner.cpp" "src/core/CMakeFiles/sjoin_core.dir/epoch_tuner.cpp.o" "gcc" "src/core/CMakeFiles/sjoin_core.dir/epoch_tuner.cpp.o.d"
+  "/root/repo/src/core/master_buffer.cpp" "src/core/CMakeFiles/sjoin_core.dir/master_buffer.cpp.o" "gcc" "src/core/CMakeFiles/sjoin_core.dir/master_buffer.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/sjoin_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/sjoin_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/partition_map.cpp" "src/core/CMakeFiles/sjoin_core.dir/partition_map.cpp.o" "gcc" "src/core/CMakeFiles/sjoin_core.dir/partition_map.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/sjoin_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/sjoin_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/sim_driver.cpp" "src/core/CMakeFiles/sjoin_core.dir/sim_driver.cpp.o" "gcc" "src/core/CMakeFiles/sjoin_core.dir/sim_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/sjoin_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/sjoin_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/sjoin_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/sjoin_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sjoin_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

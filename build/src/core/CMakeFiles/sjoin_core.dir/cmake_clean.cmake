@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjoin_core.dir/balancer.cpp.o"
+  "CMakeFiles/sjoin_core.dir/balancer.cpp.o.d"
+  "CMakeFiles/sjoin_core.dir/epoch_tuner.cpp.o"
+  "CMakeFiles/sjoin_core.dir/epoch_tuner.cpp.o.d"
+  "CMakeFiles/sjoin_core.dir/master_buffer.cpp.o"
+  "CMakeFiles/sjoin_core.dir/master_buffer.cpp.o.d"
+  "CMakeFiles/sjoin_core.dir/metrics.cpp.o"
+  "CMakeFiles/sjoin_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/sjoin_core.dir/partition_map.cpp.o"
+  "CMakeFiles/sjoin_core.dir/partition_map.cpp.o.d"
+  "CMakeFiles/sjoin_core.dir/runner.cpp.o"
+  "CMakeFiles/sjoin_core.dir/runner.cpp.o.d"
+  "CMakeFiles/sjoin_core.dir/sim_driver.cpp.o"
+  "CMakeFiles/sjoin_core.dir/sim_driver.cpp.o.d"
+  "libsjoin_core.a"
+  "libsjoin_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjoin_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

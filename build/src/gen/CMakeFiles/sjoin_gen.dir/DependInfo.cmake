@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/bmodel.cpp" "src/gen/CMakeFiles/sjoin_gen.dir/bmodel.cpp.o" "gcc" "src/gen/CMakeFiles/sjoin_gen.dir/bmodel.cpp.o.d"
+  "/root/repo/src/gen/poisson.cpp" "src/gen/CMakeFiles/sjoin_gen.dir/poisson.cpp.o" "gcc" "src/gen/CMakeFiles/sjoin_gen.dir/poisson.cpp.o.d"
+  "/root/repo/src/gen/rate_schedule.cpp" "src/gen/CMakeFiles/sjoin_gen.dir/rate_schedule.cpp.o" "gcc" "src/gen/CMakeFiles/sjoin_gen.dir/rate_schedule.cpp.o.d"
+  "/root/repo/src/gen/stream_source.cpp" "src/gen/CMakeFiles/sjoin_gen.dir/stream_source.cpp.o" "gcc" "src/gen/CMakeFiles/sjoin_gen.dir/stream_source.cpp.o.d"
+  "/root/repo/src/gen/trace.cpp" "src/gen/CMakeFiles/sjoin_gen.dir/trace.cpp.o" "gcc" "src/gen/CMakeFiles/sjoin_gen.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/sjoin_tuple.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

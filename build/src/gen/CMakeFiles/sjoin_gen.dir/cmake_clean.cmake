@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjoin_gen.dir/bmodel.cpp.o"
+  "CMakeFiles/sjoin_gen.dir/bmodel.cpp.o.d"
+  "CMakeFiles/sjoin_gen.dir/poisson.cpp.o"
+  "CMakeFiles/sjoin_gen.dir/poisson.cpp.o.d"
+  "CMakeFiles/sjoin_gen.dir/rate_schedule.cpp.o"
+  "CMakeFiles/sjoin_gen.dir/rate_schedule.cpp.o.d"
+  "CMakeFiles/sjoin_gen.dir/stream_source.cpp.o"
+  "CMakeFiles/sjoin_gen.dir/stream_source.cpp.o.d"
+  "CMakeFiles/sjoin_gen.dir/trace.cpp.o"
+  "CMakeFiles/sjoin_gen.dir/trace.cpp.o.d"
+  "libsjoin_gen.a"
+  "libsjoin_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjoin_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

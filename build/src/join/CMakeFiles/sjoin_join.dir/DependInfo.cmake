@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/join_module.cpp" "src/join/CMakeFiles/sjoin_join.dir/join_module.cpp.o" "gcc" "src/join/CMakeFiles/sjoin_join.dir/join_module.cpp.o.d"
+  "/root/repo/src/join/multiway.cpp" "src/join/CMakeFiles/sjoin_join.dir/multiway.cpp.o" "gcc" "src/join/CMakeFiles/sjoin_join.dir/multiway.cpp.o.d"
+  "/root/repo/src/join/reference_join.cpp" "src/join/CMakeFiles/sjoin_join.dir/reference_join.cpp.o" "gcc" "src/join/CMakeFiles/sjoin_join.dir/reference_join.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/sjoin_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/sjoin_window.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

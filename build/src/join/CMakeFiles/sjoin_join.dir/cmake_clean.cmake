@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjoin_join.dir/join_module.cpp.o"
+  "CMakeFiles/sjoin_join.dir/join_module.cpp.o.d"
+  "CMakeFiles/sjoin_join.dir/multiway.cpp.o"
+  "CMakeFiles/sjoin_join.dir/multiway.cpp.o.d"
+  "CMakeFiles/sjoin_join.dir/reference_join.cpp.o"
+  "CMakeFiles/sjoin_join.dir/reference_join.cpp.o.d"
+  "libsjoin_join.a"
+  "libsjoin_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjoin_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/codec.cpp" "src/net/CMakeFiles/sjoin_net.dir/codec.cpp.o" "gcc" "src/net/CMakeFiles/sjoin_net.dir/codec.cpp.o.d"
+  "/root/repo/src/net/inproc_transport.cpp" "src/net/CMakeFiles/sjoin_net.dir/inproc_transport.cpp.o" "gcc" "src/net/CMakeFiles/sjoin_net.dir/inproc_transport.cpp.o.d"
+  "/root/repo/src/net/socket_transport.cpp" "src/net/CMakeFiles/sjoin_net.dir/socket_transport.cpp.o" "gcc" "src/net/CMakeFiles/sjoin_net.dir/socket_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/sjoin_tuple.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

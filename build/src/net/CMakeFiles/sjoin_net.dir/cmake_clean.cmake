@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjoin_net.dir/codec.cpp.o"
+  "CMakeFiles/sjoin_net.dir/codec.cpp.o.d"
+  "CMakeFiles/sjoin_net.dir/inproc_transport.cpp.o"
+  "CMakeFiles/sjoin_net.dir/inproc_transport.cpp.o.d"
+  "CMakeFiles/sjoin_net.dir/socket_transport.cpp.o"
+  "CMakeFiles/sjoin_net.dir/socket_transport.cpp.o.d"
+  "libsjoin_net.a"
+  "libsjoin_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjoin_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjoin_tuple.dir/block.cpp.o"
+  "CMakeFiles/sjoin_tuple.dir/block.cpp.o.d"
+  "CMakeFiles/sjoin_tuple.dir/tuple.cpp.o"
+  "CMakeFiles/sjoin_tuple.dir/tuple.cpp.o.d"
+  "libsjoin_tuple.a"
+  "libsjoin_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjoin_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

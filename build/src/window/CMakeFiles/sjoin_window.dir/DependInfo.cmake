@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/window/mini_partition.cpp" "src/window/CMakeFiles/sjoin_window.dir/mini_partition.cpp.o" "gcc" "src/window/CMakeFiles/sjoin_window.dir/mini_partition.cpp.o.d"
+  "/root/repo/src/window/partition_group.cpp" "src/window/CMakeFiles/sjoin_window.dir/partition_group.cpp.o" "gcc" "src/window/CMakeFiles/sjoin_window.dir/partition_group.cpp.o.d"
+  "/root/repo/src/window/state_codec.cpp" "src/window/CMakeFiles/sjoin_window.dir/state_codec.cpp.o" "gcc" "src/window/CMakeFiles/sjoin_window.dir/state_codec.cpp.o.d"
+  "/root/repo/src/window/window_store.cpp" "src/window/CMakeFiles/sjoin_window.dir/window_store.cpp.o" "gcc" "src/window/CMakeFiles/sjoin_window.dir/window_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/sjoin_tuple.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

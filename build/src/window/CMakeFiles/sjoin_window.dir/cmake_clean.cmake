@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sjoin_window.dir/mini_partition.cpp.o"
+  "CMakeFiles/sjoin_window.dir/mini_partition.cpp.o.d"
+  "CMakeFiles/sjoin_window.dir/partition_group.cpp.o"
+  "CMakeFiles/sjoin_window.dir/partition_group.cpp.o.d"
+  "CMakeFiles/sjoin_window.dir/state_codec.cpp.o"
+  "CMakeFiles/sjoin_window.dir/state_codec.cpp.o.d"
+  "CMakeFiles/sjoin_window.dir/window_store.cpp.o"
+  "CMakeFiles/sjoin_window.dir/window_store.cpp.o.d"
+  "libsjoin_window.a"
+  "libsjoin_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sjoin_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

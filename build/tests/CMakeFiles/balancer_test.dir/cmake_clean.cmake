@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/balancer_test.dir/core/balancer_test.cpp.o"
+  "CMakeFiles/balancer_test.dir/core/balancer_test.cpp.o.d"
+  "balancer_test"
+  "balancer_test.pdb"
+  "balancer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/balancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bmodel_test.dir/gen/bmodel_test.cpp.o"
+  "CMakeFiles/bmodel_test.dir/gen/bmodel_test.cpp.o.d"
+  "bmodel_test"
+  "bmodel_test.pdb"
+  "bmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bnl_equivalence_test.dir/join/bnl_equivalence_test.cpp.o"
+  "CMakeFiles/bnl_equivalence_test.dir/join/bnl_equivalence_test.cpp.o.d"
+  "bnl_equivalence_test"
+  "bnl_equivalence_test.pdb"
+  "bnl_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bnl_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_tuner_test.dir/core/epoch_tuner_test.cpp.o"
+  "CMakeFiles/epoch_tuner_test.dir/core/epoch_tuner_test.cpp.o.d"
+  "epoch_tuner_test"
+  "epoch_tuner_test.pdb"
+  "epoch_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

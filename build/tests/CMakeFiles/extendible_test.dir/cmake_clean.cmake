@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extendible_test.dir/hash/extendible_test.cpp.o"
+  "CMakeFiles/extendible_test.dir/hash/extendible_test.cpp.o.d"
+  "extendible_test"
+  "extendible_test.pdb"
+  "extendible_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extendible_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

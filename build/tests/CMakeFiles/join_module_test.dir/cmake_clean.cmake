@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_module_test.dir/join/join_module_test.cpp.o"
+  "CMakeFiles/join_module_test.dir/join/join_module_test.cpp.o.d"
+  "join_module_test"
+  "join_module_test.pdb"
+  "join_module_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_module_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

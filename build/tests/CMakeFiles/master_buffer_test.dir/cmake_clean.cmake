@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/master_buffer_test.dir/core/master_buffer_test.cpp.o"
+  "CMakeFiles/master_buffer_test.dir/core/master_buffer_test.cpp.o.d"
+  "master_buffer_test"
+  "master_buffer_test.pdb"
+  "master_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/master_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_fuzz_test.dir/join/migration_fuzz_test.cpp.o"
+  "CMakeFiles/migration_fuzz_test.dir/join/migration_fuzz_test.cpp.o.d"
+  "migration_fuzz_test"
+  "migration_fuzz_test.pdb"
+  "migration_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

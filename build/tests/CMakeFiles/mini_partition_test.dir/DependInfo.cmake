@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/window/mini_partition_test.cpp" "tests/CMakeFiles/mini_partition_test.dir/window/mini_partition_test.cpp.o" "gcc" "tests/CMakeFiles/mini_partition_test.dir/window/mini_partition_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/sjoin_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sjoin_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/sjoin_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/sjoin_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sjoin_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/sjoin_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/sjoin_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

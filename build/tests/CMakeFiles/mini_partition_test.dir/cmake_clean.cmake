@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_partition_test.dir/window/mini_partition_test.cpp.o"
+  "CMakeFiles/mini_partition_test.dir/window/mini_partition_test.cpp.o.d"
+  "mini_partition_test"
+  "mini_partition_test.pdb"
+  "mini_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_group_test.dir/window/partition_group_test.cpp.o"
+  "CMakeFiles/partition_group_test.dir/window/partition_group_test.cpp.o.d"
+  "partition_group_test"
+  "partition_group_test.pdb"
+  "partition_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

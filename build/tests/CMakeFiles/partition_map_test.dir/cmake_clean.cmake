@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_map_test.dir/core/partition_map_test.cpp.o"
+  "CMakeFiles/partition_map_test.dir/core/partition_map_test.cpp.o.d"
+  "partition_map_test"
+  "partition_map_test.pdb"
+  "partition_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_test.dir/gen/poisson_test.cpp.o"
+  "CMakeFiles/poisson_test.dir/gen/poisson_test.cpp.o.d"
+  "poisson_test"
+  "poisson_test.pdb"
+  "poisson_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

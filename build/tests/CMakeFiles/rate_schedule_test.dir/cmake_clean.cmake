@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_schedule_test.dir/gen/rate_schedule_test.cpp.o"
+  "CMakeFiles/rate_schedule_test.dir/gen/rate_schedule_test.cpp.o.d"
+  "rate_schedule_test"
+  "rate_schedule_test.pdb"
+  "rate_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

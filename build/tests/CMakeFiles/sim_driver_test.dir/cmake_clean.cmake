@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_driver_test.dir/core/sim_driver_test.cpp.o"
+  "CMakeFiles/sim_driver_test.dir/core/sim_driver_test.cpp.o.d"
+  "sim_driver_test"
+  "sim_driver_test.pdb"
+  "sim_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_transport_test.dir/net/socket_transport_test.cpp.o"
+  "CMakeFiles/socket_transport_test.dir/net/socket_transport_test.cpp.o.d"
+  "socket_transport_test"
+  "socket_transport_test.pdb"
+  "socket_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_codec_test.dir/window/state_codec_test.cpp.o"
+  "CMakeFiles/state_codec_test.dir/window/state_codec_test.cpp.o.d"
+  "state_codec_test"
+  "state_codec_test.pdb"
+  "state_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_source_test.dir/gen/stream_source_test.cpp.o"
+  "CMakeFiles/stream_source_test.dir/gen/stream_source_test.cpp.o.d"
+  "stream_source_test"
+  "stream_source_test.pdb"
+  "stream_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
