@@ -35,6 +35,25 @@ std::vector<MovePlan> PairSuppliersWithConsumers(
   return plans;
 }
 
+std::vector<EvacuationMove> PlanEvacuation(
+    const PartitionMap& pmap, SlaveIdx dead,
+    const std::vector<SlaveIdx>& survivors) {
+  std::vector<EvacuationMove> moves;
+  if (survivors.empty()) return moves;
+  std::vector<std::size_t> load;
+  load.reserve(survivors.size());
+  for (SlaveIdx s : survivors) load.push_back(pmap.CountOf(s));
+  for (PartitionId pid : pmap.PartitionsOf(dead)) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < survivors.size(); ++i) {
+      if (load[i] < load[best]) best = i;
+    }
+    ++load[best];
+    moves.push_back(EvacuationMove{pid, survivors[best]});
+  }
+  return moves;
+}
+
 DeclusterAction DecideDecluster(const std::vector<Role>& roles, double beta,
                                 std::uint32_t active, std::uint32_t total) {
   std::uint32_t n_sup = 0;

@@ -34,6 +34,21 @@ struct MovePlan {
 /// slave list; unpaired suppliers (or consumers) are left alone.
 std::vector<MovePlan> PairSuppliersWithConsumers(const std::vector<Role>& roles);
 
+/// One forced reassignment of a dead slave's partition-group.
+struct EvacuationMove {
+  PartitionId pid = 0;
+  SlaveIdx target = 0;  ///< surviving slave that takes over the partition
+};
+
+/// Plans the forced evacuation of every partition-group owned by `dead`:
+/// each is reassigned to the surviving slave with the fewest assigned
+/// partitions at that point (ties to the lowest index), keeping the
+/// survivors balanced. Deterministic. `survivors` must be non-empty and must
+/// not contain `dead`.
+std::vector<EvacuationMove> PlanEvacuation(
+    const PartitionMap& pmap, SlaveIdx dead,
+    const std::vector<SlaveIdx>& survivors);
+
 enum class DeclusterAction : std::uint8_t { kNone, kGrow, kShrink };
 
 /// Degree-of-declustering decision given the current classification.

@@ -5,7 +5,9 @@
 #include <cassert>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <variant>
 
@@ -38,6 +40,19 @@ void SleepUntil(const WallClock& clock, Time t) {
   }
 }
 
+/// Effectively-unbounded ProcessFor budget: drain the whole buffer.
+constexpr Duration kDrainBudget = 365LL * 24 * 3600 * kUsPerSec;
+
+/// One in-flight partition-group migration, tracked until both movers ack.
+struct PendingMove {
+  PartitionId pid = 0;
+  SlaveIdx sup = 0;
+  SlaveIdx con = 0;
+  bool sup_acked = false;
+  bool con_acked = false;
+  std::uint64_t seq = 0;
+};
+
 }  // namespace
 
 MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
@@ -57,7 +72,65 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
   MasterSummary sum;
   std::vector<double> occupancy(n, 0.0);
   std::vector<bool> in_flight(cfg.join.num_partitions, false);
-  std::uint32_t pending_acks = 0;
+  std::vector<bool> alive(n, true);
+  std::vector<std::uint64_t> batches_sent(n, 0);
+  std::vector<PendingMove> moves;
+  std::uint64_t next_move_seq = 1;
+
+  auto live_count = [&] {
+    return static_cast<std::uint32_t>(
+        std::count(alive.begin(), alive.end(), true));
+  };
+
+  // Dead-slave verdict: exclude the rank from all subsequent epochs, cancel
+  // migrations it was party to (their withheld partitions are released; any
+  // state the transfer carried died with the node), and force-evacuate its
+  // partition-groups onto the survivors. Survivors re-grow window state for
+  // the rehosted groups from new arrivals (WindowStore creates groups on
+  // first touch), so the run keeps producing results.
+  auto evict = [&](SlaveIdx dead) {
+    alive[dead] = false;
+    ++sum.dead_slaves;
+    for (auto it = moves.begin(); it != moves.end();) {
+      if (it->sup == dead || it->con == dead) {
+        in_flight[it->pid] = false;
+        it = moves.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::vector<SlaveIdx> survivors;
+    for (SlaveIdx i = 0; i < n; ++i) {
+      if (alive[i]) survivors.push_back(i);
+    }
+    std::uint64_t rehosted = 0;
+    if (!survivors.empty()) {
+      for (const EvacuationMove& ev : PlanEvacuation(pmap, dead, survivors)) {
+        pmap.SetOwner(ev.pid, ev.target);
+        ++rehosted;
+      }
+    }
+    sum.groups_rehosted += rehosted;
+    SJOIN_INFO("master: slave " << dead + 1 << " declared dead; rehosted "
+                                << rehosted << " partition-groups onto "
+                                << survivors.size() << " survivors");
+  };
+
+  // Marks one mover's ack on the matching pending move; when both movers
+  // confirmed, the withheld partition is released. Acks with an unmatched
+  // seq are duplicates of finished moves and are ignored.
+  auto handle_ack = [&](SlaveIdx src, const AckMsg& ack) {
+    for (auto it = moves.begin(); it != moves.end(); ++it) {
+      if (it->seq != ack.move_seq) continue;
+      if (src == it->sup) it->sup_acked = true;
+      if (src == it->con) it->con_acked = true;
+      if (it->sup_acked && it->con_acked) {
+        in_flight[it->pid] = false;
+        moves.erase(it);
+      }
+      return;
+    }
+  };
 
   // Clock sync opens every connection (Algorithm 1 line 18 analogue).
   for (Rank s = 1; s <= n; ++s) {
@@ -66,21 +139,39 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     transport.Send(s, Make(MsgType::kClockSync, std::move(w)));
   }
 
+  const std::vector<Rec>* trace = opts.input_trace;
+  std::size_t trace_pos = 0;
+
   Time next_reorg = cfg.epoch.t_rep;
-  for (Time epoch_start = cfg.epoch.t_dist; epoch_start <= opts.run_for;
-       epoch_start += cfg.epoch.t_dist) {
+  for (Time epoch_start = cfg.epoch.t_dist;; epoch_start += cfg.epoch.t_dist) {
+    const bool exhausted = trace != nullptr && trace_pos >= trace->size();
+    if (exhausted || epoch_start > opts.run_for) break;
+    if (live_count() == 0) break;
     SleepUntil(clock, epoch_start);
     ++sum.epochs;
 
     // Buffer all arrivals of this epoch into the per-partition mini-buffers.
-    std::vector<Rec> arrivals;
-    source.DrainUntil(clock.Now(), arrivals);
-    for (const Rec& rec : arrivals) {
-      buffer.Add(rec, PartitionOf(rec.key, cfg.join.num_partitions));
+    // A trace is drained by virtual epoch time (tuple timestamps against the
+    // epoch boundary), so the distributed tuple set is deterministic; the
+    // live source is drained by the wall clock.
+    if (trace != nullptr) {
+      while (trace_pos < trace->size() &&
+             (*trace)[trace_pos].ts <= epoch_start) {
+        const Rec& rec = (*trace)[trace_pos++];
+        buffer.Add(rec, PartitionOf(rec.key, cfg.join.num_partitions));
+      }
+    } else {
+      std::vector<Rec> arrivals;
+      source.DrainUntil(clock.Now(), arrivals);
+      for (const Rec& rec : arrivals) {
+        buffer.Add(rec, PartitionOf(rec.key, cfg.join.num_partitions));
+      }
     }
 
-    // Distribute serially; each slave's comm module answers with its load.
+    // Distribute serially; each live slave's comm module answers with its
+    // load report for exactly this batch (seq-matched below).
     for (Rank s = 1; s <= n; ++s) {
+      if (!alive[s - 1]) continue;
       std::vector<PartitionId> pids;
       for (PartitionId pid : pmap.PartitionsOf(s - 1)) {
         if (!in_flight[pid]) pids.push_back(pid);
@@ -91,62 +182,140 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       Writer w(TupleBatchMsg::WireSize(batch.recs.size(), tb));
       Encode(w, batch, tb);
       transport.Send(s, Make(MsgType::kTupleBatch, std::move(w)));
+      ++batches_sent[s - 1];
     }
+
+    // Collect this epoch's load reports. Every receive is bounded: after
+    // recv_max_retries consecutive timeouts the slave is declared dead and
+    // the epoch moves on -- the master never blocks on a crashed or hung
+    // peer. Migration acks ride the same channels and are consumed here.
     for (Rank s = 1; s <= n; ++s) {
-      while (true) {
-        auto msg = transport.RecvFrom(s);
-        if (!msg.has_value()) return sum;  // transport torn down
-        if (msg->type == MsgType::kAck) {
-          Reader ar(msg->payload);
-          AckMsg ack = DecodeAck(ar);
-          if (pending_acks > 0 && --pending_acks == 0) {
-            // both movers confirmed: release withheld partitions
-            std::fill(in_flight.begin(), in_flight.end(), false);
+      if (!alive[s - 1]) continue;
+      std::uint32_t strikes = 0;
+      while (alive[s - 1]) {
+        RecvResult res = transport.RecvFromTimed(s, opts.recv_timeout_us);
+        if (res.status == RecvStatus::kClosed) {
+          // The peer (or the whole transport) is gone; instant verdict.
+          evict(s - 1);
+          break;
+        }
+        if (res.status == RecvStatus::kTimeout) {
+          if (++strikes > opts.recv_max_retries) {
+            evict(s - 1);
+            break;
           }
-          (void)ack;
           continue;
         }
-        if (msg->type == MsgType::kLoadReport) {
-          Reader lr(msg->payload);
-          occupancy[s - 1] = DecodeLoadReport(lr).avg_buffer_occupancy;
+        strikes = 0;
+        if (res.msg.type == MsgType::kAck) {
+          Reader ar(res.msg.payload);
+          const AckMsg ack = DecodeAck(ar);
+          handle_ack(s - 1, ack);
+          continue;
+        }
+        if (res.msg.type == MsgType::kLoadReport) {
+          Reader lr(res.msg.payload);
+          const LoadReportMsg report = DecodeLoadReport(lr);
+          // Only the report answering the batch just sent counts; stale or
+          // duplicated reports (seq mismatch) are discarded.
+          if (report.seq != batches_sent[s - 1]) continue;
+          occupancy[s - 1] = report.avg_buffer_occupancy;
           break;
         }
       }
     }
 
-    // Reorganization.
-    if (clock.Now() >= next_reorg && pending_acks == 0) {
+    // Reorganization: only over live slaves, and only with no migration
+    // still in flight.
+    if (clock.Now() >= next_reorg && moves.empty()) {
       next_reorg += cfg.epoch.t_rep;
-      std::vector<Role> roles = ClassifySlaves(occupancy, cfg.balance);
+      std::vector<SlaveIdx> live_idx;
+      std::vector<double> occ_live;
+      for (SlaveIdx i = 0; i < n; ++i) {
+        if (!alive[i]) continue;
+        live_idx.push_back(i);
+        occ_live.push_back(occupancy[i]);
+      }
+      std::vector<Role> roles = ClassifySlaves(occ_live, cfg.balance);
       for (const MovePlan& plan : PairSuppliersWithConsumers(roles)) {
-        const SlaveIdx sup = plan.supplier;
-        const SlaveIdx con = plan.consumer;
+        const SlaveIdx sup = live_idx[plan.supplier];
+        const SlaveIdx con = live_idx[plan.consumer];
         std::vector<PartitionId> pids = pmap.PartitionsOf(sup);
         if (pids.empty()) continue;
-        PartitionId pid = pids[rng.NextBounded(
-            static_cast<std::uint32_t>(pids.size()))];
+        PartitionId pid =
+            pids[rng.NextBounded(static_cast<std::uint32_t>(pids.size()))];
+        const std::uint64_t seq = next_move_seq++;
         in_flight[pid] = true;
-        pending_acks += 2;
+        moves.push_back(PendingMove{pid, sup, con, false, false, seq});
         Writer wm;
-        Encode(wm, MoveCmdMsg{pid, con + 1});
+        Encode(wm, MoveCmdMsg{pid, con + 1, seq});
         transport.Send(sup + 1, Make(MsgType::kMoveCmd, std::move(wm)));
         Writer wi;
-        Encode(wi, MoveCmdMsg{pid, sup + 1});
+        Encode(wi, MoveCmdMsg{pid, sup + 1, seq});
         transport.Send(con + 1, Make(MsgType::kInstallCmd, std::move(wi)));
         pmap.SetOwner(pid, con);
         ++sum.migrations;
         SJOIN_INFO("master: moving partition " << pid << " from slave "
-                                               << sup + 1 << " to "
-                                               << con + 1);
+                                               << sup + 1 << " to " << con + 1
+                                               << " (move " << seq << ")");
       }
     }
   }
 
-  for (Rank s = 1; s <= n; ++s) {
-    transport.Send(s, Message{MsgType::kShutdown, 0, {}});
+  // Drain in-flight migrations before shutting down: abandoning a move
+  // mid-flight would strand its state transfer (and the buffered tuples it
+  // carries). Every wait is still bounded -- an unresponsive mover gets the
+  // same dead-slave verdict as in the epoch loop.
+  {
+    std::uint32_t strikes = 0;
+    while (!moves.empty() && live_count() > 0) {
+      const PendingMove& mv = moves.front();
+      const Rank s = (!mv.sup_acked ? mv.sup : mv.con) + 1;
+      RecvResult res = transport.RecvFromTimed(s, opts.recv_timeout_us);
+      if (res.status == RecvStatus::kClosed) {
+        evict(s - 1);
+        strikes = 0;
+        continue;
+      }
+      if (res.status == RecvStatus::kTimeout) {
+        if (++strikes > opts.recv_max_retries) {
+          evict(s - 1);
+          strikes = 0;
+        }
+        continue;
+      }
+      strikes = 0;
+      if (res.msg.type == MsgType::kAck) {
+        Reader ar(res.msg.payload);
+        handle_ack(s - 1, DecodeAck(ar));
+      }
+      // Late load reports / duplicates are discarded.
+    }
   }
-  // The slaves shut the collector down after flushing their final stats.
-  (void)collector;
+
+  // Final sweep: distribute the tuples that were withheld while their
+  // partition was in flight (the drain released every in_flight flag).
+  for (Rank s = 1; s <= n; ++s) {
+    if (!alive[s - 1]) continue;
+    TupleBatchMsg batch;
+    batch.recs = buffer.DrainFor(pmap.PartitionsOf(s - 1));
+    if (batch.recs.empty()) continue;
+    sum.tuples_sent += batch.recs.size();
+    Writer w(TupleBatchMsg::WireSize(batch.recs.size(), tb));
+    Encode(w, batch, tb);
+    transport.Send(s, Make(MsgType::kTupleBatch, std::move(w)));
+    ++batches_sent[s - 1];
+  }
+
+  for (Rank s = 1; s <= n; ++s) {
+    if (alive[s - 1]) transport.Send(s, Message{MsgType::kShutdown, 0, {}});
+  }
+  // Tell the collector how many slaves are still alive to report; dead
+  // slaves will never deliver their kShutdown, and the collector must not
+  // wait for them.
+  Writer wc;
+  wc.PutU32(live_count());
+  transport.Send(collector, Make(MsgType::kShutdown, std::move(wc)));
   return sum;
 }
 
@@ -159,12 +328,20 @@ struct BatchWork {
 struct ExtractWork {
   PartitionId pid;
   Rank consumer;
+  std::uint64_t seq;
+};
+/// kInstallCmd: the master announced that `supplier` will send this group.
+struct ExpectWork {
+  PartitionId pid;
+  Rank supplier;
+  std::uint64_t seq;
 };
 struct InstallWork {
   StateTransferMsg state;
 };
 struct StopWork {};
-using SlaveWork = std::variant<BatchWork, ExtractWork, InstallWork, StopWork>;
+using SlaveWork =
+    std::variant<BatchWork, ExtractWork, ExpectWork, InstallWork, StopWork>;
 
 }  // namespace
 
@@ -174,10 +351,9 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
   assert(self >= 1 && self <= cfg.num_slaves);
   const Rank collector = cfg.num_slaves + 1;
   const std::size_t tb = cfg.workload.tuple_bytes;
-  const Duration spin =
-      self - 1 < opts.slave_spin_us_per_tuple.size()
-          ? opts.slave_spin_us_per_tuple[self - 1]
-          : 0;
+  const Duration spin = self - 1 < opts.slave_spin_us_per_tuple.size()
+                            ? opts.slave_spin_us_per_tuple[self - 1]
+                            : 0;
 
   WallClock clock;
   std::atomic<Time> clock_offset{0};  // master_time - local_time
@@ -197,6 +373,7 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
 
   // --- comm module -----------------------------------------------------
   std::thread comm([&] {
+    std::uint64_t batches_seen = 0;
     while (true) {
       auto msg = transport.Recv();
       if (!msg.has_value()) {
@@ -213,12 +390,15 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
         case MsgType::kTupleBatch: {
           Reader r(msg->payload);
           TupleBatchMsg batch = DecodeTupleBatch(r, tb);
-          // Load report: buffer occupancy before this batch lands.
+          // Load report: buffer occupancy before this batch lands. `seq`
+          // names the batch it answers so the master can discard stale or
+          // duplicated reports.
           LoadReportMsg report;
           report.buffered_tuples = inbox_tuples.load();
           report.avg_buffer_occupancy = std::min(
               1.0, static_cast<double>(report.buffered_tuples * tb) /
                        static_cast<double>(cfg.balance.slave_buffer_bytes));
+          report.seq = ++batches_seen;
           Writer w;
           Encode(w, report);
           inbox_tuples.fetch_add(batch.recs.size());
@@ -229,12 +409,15 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
         case MsgType::kMoveCmd: {
           Reader r(msg->payload);
           MoveCmdMsg mc = DecodeMoveCmd(r);
-          push(ExtractWork{mc.partition_id, mc.peer});
+          push(ExtractWork{mc.partition_id, mc.peer, mc.move_seq});
           break;
         }
-        case MsgType::kInstallCmd:
-          // The state itself arrives from the supplier; nothing to do.
+        case MsgType::kInstallCmd: {
+          Reader r(msg->payload);
+          MoveCmdMsg mc = DecodeMoveCmd(r);
+          push(ExpectWork{mc.partition_id, mc.peer, mc.move_seq});
           break;
+        }
         case MsgType::kStateTransfer: {
           Reader r(msg->payload);
           push(InstallWork{DecodeStateTransfer(r, tb)});
@@ -261,7 +444,13 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
   wall_cfg.cost.msg_fixed_us = 0;
   wall_cfg.cost.move_ns = 0.0;
   StatsSink sink;
-  JoinModule join(wall_cfg, &sink);
+  std::vector<JoinSink*> fan{&sink};
+  if (self - 1 < opts.slave_extra_sinks.size() &&
+      opts.slave_extra_sinks[self - 1] != nullptr) {
+    fan.push_back(opts.slave_extra_sinks[self - 1]);
+  }
+  TeeSink tee(fan);
+  JoinModule join(wall_cfg, &tee);
   SlaveSummary sum;
   std::uint64_t reported_outputs = 0;
   double reported_delay_sum = 0.0;
@@ -278,6 +467,29 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
     Writer w;
     Encode(w, stats);
     transport.Send(collector, Make(MsgType::kResultStats, std::move(w)));
+  };
+
+  // Migration bookkeeping for idempotent installs: a transfer is applied
+  // exactly once, when both its kInstallCmd and its kStateTransfer have
+  // arrived (in either order -- they travel on different channels), keyed by
+  // the master-global move_seq. `completed` absorbs duplicated transfers;
+  // `stash` holds transfers that overtook their install command.
+  std::set<std::uint64_t> completed;
+  std::map<std::uint64_t, ExpectWork> expected;
+  std::map<std::uint64_t, StateTransferMsg> stash;
+  constexpr std::size_t kMaxStash = 64;
+
+  auto install = [&](StateTransferMsg& st) {
+    Reader gr(st.group_state);
+    join.InstallGroup(st.partition_id, DecodeGroupState(gr, cfg.join, tb));
+    join.EnqueueBatch(st.pending);
+    join.ProcessFor(clock.Now() + clock_offset.load(), kDrainBudget);
+    completed.insert(st.move_seq);
+    Writer wa;
+    Encode(wa, AckMsg{st.partition_id, st.move_seq});
+    transport.Send(0, Make(MsgType::kAck, std::move(wa)));
+    ++sum.groups_moved_in;
+    flush_stats();
   };
 
   bool running = true;
@@ -299,8 +511,7 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
       }
       join.EnqueueBatch(batch->recs);
       const std::uint64_t before = join.TuplesProcessed();
-      join.ProcessFor(clock.Now() + clock_offset.load(),
-                      365LL * 24 * 3600 * kUsPerSec);
+      join.ProcessFor(clock.Now() + clock_offset.load(), kDrainBudget);
       const std::uint64_t done = join.TuplesProcessed() - before;
       sum.tuples_processed += done;
       inbox_tuples.fetch_sub(std::min<std::size_t>(
@@ -310,8 +521,8 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
       if (join.Store().Find(ex->pid) == nullptr) {
         // Nothing owned yet (e.g. moved before any tuple arrived): ship an
         // empty group so the protocol still completes.
-        join.InstallGroup(ex->pid, std::make_unique<PartitionGroup>(
-                                       cfg.join, tb));
+        join.InstallGroup(ex->pid,
+                          std::make_unique<PartitionGroup>(cfg.join, tb));
       }
       Duration cost = 0;
       std::vector<Rec> pending;
@@ -322,25 +533,38 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
       st.partition_id = ex->pid;
       st.group_state = std::move(gw).TakeBuffer();
       st.pending = std::move(pending);
+      st.move_seq = ex->seq;
       Writer w;
       Encode(w, st, tb);
       transport.Send(ex->consumer, Make(MsgType::kStateTransfer, std::move(w)));
       Writer wa;
-      Encode(wa, AckMsg{ex->pid});
+      Encode(wa, AckMsg{ex->pid, ex->seq});
       transport.Send(0, Make(MsgType::kAck, std::move(wa)));
       ++sum.groups_moved_out;
+    } else if (auto* exp = std::get_if<ExpectWork>(&work)) {
+      if (completed.count(exp->seq) != 0) {
+        // Already installed (transfer and command both seen); stale copy.
+      } else if (auto it = stash.find(exp->seq); it != stash.end()) {
+        StateTransferMsg st = std::move(it->second);
+        stash.erase(it);
+        install(st);
+      } else {
+        expected.emplace(exp->seq, *exp);
+      }
     } else if (auto* in = std::get_if<InstallWork>(&work)) {
-      Reader gr(in->state.group_state);
-      join.InstallGroup(in->state.partition_id,
-                        DecodeGroupState(gr, cfg.join, tb));
-      join.EnqueueBatch(in->state.pending);
-      join.ProcessFor(clock.Now() + clock_offset.load(),
-                      365LL * 24 * 3600 * kUsPerSec);
-      Writer wa;
-      Encode(wa, AckMsg{in->state.partition_id});
-      transport.Send(0, Make(MsgType::kAck, std::move(wa)));
-      ++sum.groups_moved_in;
-      flush_stats();
+      StateTransferMsg& st = in->state;
+      if (completed.count(st.move_seq) != 0) {
+        // Duplicated kStateTransfer: the group is installed; drop it.
+      } else if (expected.count(st.move_seq) != 0) {
+        expected.erase(st.move_seq);
+        install(st);
+      } else {
+        // The transfer overtook its kInstallCmd (different channels); hold
+        // it until the command arrives. The stash is bounded -- overflow
+        // discards the oldest move, which then resolves as a crash would.
+        if (stash.size() >= kMaxStash) stash.erase(stash.begin());
+        stash.emplace(st.move_seq, std::move(st));
+      }
     } else {
       running = false;
     }
@@ -357,12 +581,23 @@ CollectorSummary RunCollectorNode(Transport& transport,
                                   const SystemConfig& cfg) {
   CollectorSummary sum;
   double delay_sum = 0.0;
-  std::uint32_t shutdowns = 0;
-  while (shutdowns < cfg.num_slaves) {
+  std::uint32_t slave_shutdowns = 0;
+  // Until the master says otherwise, expect every slave to report; the
+  // master's kShutdown carries the live-slave count, excluding crashed
+  // slaves whose final kShutdown will never arrive.
+  std::uint32_t expected = cfg.num_slaves;
+  while (slave_shutdowns < expected) {
     auto msg = transport.Recv();
     if (!msg.has_value()) break;
     if (msg->type == MsgType::kShutdown) {
-      ++shutdowns;
+      if (msg->from == 0) {
+        if (msg->payload.size() >= 4) {
+          Reader r(msg->payload);
+          expected = std::min(expected, r.GetU32());
+        }
+      } else {
+        ++slave_shutdowns;
+      }
       continue;
     }
     if (msg->type != MsgType::kResultStats) continue;

@@ -8,13 +8,30 @@
 // central communication constraint):
 //   1. master -> slave_i : kTupleBatch (this epoch's tuples, serially);
 //   2. slave_i -> master : kLoadReport (answered immediately by the slave's
-//      comm module, independent of join backlog);
+//      comm module, independent of join backlog; carries the batch sequence
+//      it answers so duplicates are discarded);
 //   3. at reorganization epochs the master classifies the reports, then per
 //      supplier/consumer pair: kMoveCmd -> supplier, kInstallCmd ->
 //      consumer, supplier -> consumer kStateTransfer, both -> master kAck;
 //      the master withholds the moving partition's tuples until both acks.
+//      Every message of the sub-protocol carries the migration's move_seq,
+//      so duplicated or stale copies are identified and ignored.
 // Slaves push kResultStats deltas to the collector; kShutdown tears
-// everything down.
+// everything down (the master's copy to the collector names how many live
+// slaves will still report).
+//
+// Fault tolerance (see DESIGN.md "Fault model"): the master never waits on
+// a slave unboundedly. Every receive runs under `recv_timeout_us`; after
+// `recv_max_retries` consecutive timeouts the slave is declared dead:
+//   * it is excluded from all subsequent epochs and reorganizations;
+//   * migrations it was party to are cancelled (withheld partitions are
+//     released);
+//   * its partition-groups are force-evacuated to the surviving slaves
+//     (balancer PlanEvacuation); their window state died with the node, so
+//     joins spanning it are lost -- new tuples re-grow state at the new
+//     owners.
+// Master and collector death are out of scope (single coordinator, as in
+// the paper).
 //
 // Each slave runs the paper's two software components as two threads: the
 // comm module (blocking Recv, immediate load replies, inbox append) and the
@@ -28,7 +45,9 @@
 
 #include "common/config.h"
 #include "common/time.h"
+#include "join/sink.h"
 #include "net/transport.h"
+#include "tuple/tuple.h"
 
 namespace sjoin {
 
@@ -40,12 +59,33 @@ struct WallOptions {
   /// wait), emulating the paper's non-dedicated nodes with background load;
   /// index = slave rank - 1. Empty = no spin.
   std::vector<Duration> slave_spin_us_per_tuple;
+
+  /// Master-side timeout of one receive attempt while waiting on a slave.
+  Duration recv_timeout_us = 1 * kUsPerSec;
+
+  /// Consecutive timeouts on one slave before the dead-slave verdict; the
+  /// worst-case wait per slave per epoch is recv_timeout_us * (retries + 1).
+  std::uint32_t recv_max_retries = 4;
+
+  /// When set, the master distributes this fixed, timestamp-ordered trace
+  /// instead of drawing from the configured Poisson source, and runs until
+  /// the trace is exhausted (`run_for` still caps the run). This makes the
+  /// distributed tuple set -- and hence the cluster's join answer --
+  /// deterministic, which the chaos harness checks against reference_join.
+  const std::vector<Rec>* input_trace = nullptr;
+
+  /// Optional extra per-slave sinks (index = rank - 1; nullptr entries ok):
+  /// every join output is also delivered here. The chaos harness uses
+  /// CollectSinks to materialize the cluster's exact output set.
+  std::vector<JoinSink*> slave_extra_sinks;
 };
 
 struct MasterSummary {
   std::uint64_t tuples_sent = 0;
   std::uint64_t epochs = 0;
   std::uint64_t migrations = 0;
+  std::uint32_t dead_slaves = 0;      ///< slaves evicted by the timeout verdict
+  std::uint64_t groups_rehosted = 0;  ///< partitions force-evacuated off them
 };
 
 struct SlaveSummary {
@@ -62,8 +102,8 @@ struct CollectorSummary {
   std::uint32_t reports = 0;
 };
 
-/// Runs the master node until `opts.run_for` elapses, then shuts the
-/// cluster down. `transport.Self()` must be 0.
+/// Runs the master node until `opts.run_for` elapses (or `opts.input_trace`
+/// drains), then shuts the cluster down. `transport.Self()` must be 0.
 MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
                             const WallOptions& opts);
 

@@ -90,6 +90,7 @@ void Encode(Writer& w, const LoadReportMsg& m) {
   w.PutDouble(m.avg_buffer_occupancy);
   w.PutU64(m.buffered_tuples);
   w.PutU64(m.window_tuples);
+  w.PutU64(m.seq);
 }
 
 LoadReportMsg DecodeLoadReport(Reader& r) {
@@ -97,18 +98,21 @@ LoadReportMsg DecodeLoadReport(Reader& r) {
   m.avg_buffer_occupancy = r.GetDouble();
   m.buffered_tuples = r.GetU64();
   m.window_tuples = r.GetU64();
+  m.seq = r.GetU64();
   return m;
 }
 
 void Encode(Writer& w, const MoveCmdMsg& m) {
   w.PutU32(m.partition_id);
   w.PutU32(m.peer);
+  w.PutU64(m.move_seq);
 }
 
 MoveCmdMsg DecodeMoveCmd(Reader& r) {
   MoveCmdMsg m;
   m.partition_id = r.GetU32();
   m.peer = r.GetU32();
+  m.move_seq = r.GetU64();
   return m;
 }
 
@@ -118,6 +122,7 @@ void Encode(Writer& w, const StateTransferMsg& m, std::size_t tuple_bytes) {
   w.PutBytes(m.group_state);
   w.PutU64(m.pending.size());
   for (const Rec& rec : m.pending) EncodeRec(w, rec, tuple_bytes);
+  w.PutU64(m.move_seq);
 }
 
 StateTransferMsg DecodeStateTransfer(Reader& r, std::size_t tuple_bytes) {
@@ -133,12 +138,21 @@ StateTransferMsg DecodeStateTransfer(Reader& r, std::size_t tuple_bytes) {
   for (std::uint64_t i = 0; i < n; ++i) {
     m.pending.push_back(DecodeRec(r, tuple_bytes));
   }
+  m.move_seq = r.GetU64();
   return m;
 }
 
-void Encode(Writer& w, const AckMsg& m) { w.PutU32(m.partition_id); }
+void Encode(Writer& w, const AckMsg& m) {
+  w.PutU32(m.partition_id);
+  w.PutU64(m.move_seq);
+}
 
-AckMsg DecodeAck(Reader& r) { return AckMsg{r.GetU32()}; }
+AckMsg DecodeAck(Reader& r) {
+  AckMsg m;
+  m.partition_id = r.GetU32();
+  m.move_seq = r.GetU64();
+  return m;
+}
 
 void Encode(Writer& w, const ClockSyncMsg& m) {
   w.PutI64(m.master_now);

@@ -42,19 +42,28 @@ std::size_t PunctuatedWireSize(std::size_t stream0_count,
                                std::size_t stream1_count,
                                std::size_t tuple_bytes);
 
-/// slave -> master: load feedback for the reorganization protocol.
+/// slave -> master: load feedback for the reorganization protocol. `seq`
+/// counts the kTupleBatch this report answers (1-based, per slave): the
+/// master accepts only the report matching the batch it just sent, which
+/// makes duplicated or stale reports harmless (idempotent protocol
+/// hardening; see core/runner.h).
 struct LoadReportMsg {
   double avg_buffer_occupancy = 0.0;  ///< mean of per-epoch occupancy samples
   std::uint64_t buffered_tuples = 0;
   std::uint64_t window_tuples = 0;
+  std::uint64_t seq = 0;
 };
 void Encode(Writer& w, const LoadReportMsg& m);
 LoadReportMsg DecodeLoadReport(Reader& r);
 
-/// master -> supplier / consumer: one partition-group migration.
+/// master -> supplier / consumer: one partition-group migration. `move_seq`
+/// is a master-global migration counter echoed through kStateTransfer and
+/// kAck, so every party can discard duplicated or stale copies of the
+/// reorganization sub-protocol messages exactly.
 struct MoveCmdMsg {
   std::uint32_t partition_id = 0;
   Rank peer = 0;  ///< consumer (in kMoveCmd) or supplier (in kInstallCmd)
+  std::uint64_t move_seq = 0;
 };
 void Encode(Writer& w, const MoveCmdMsg& m);
 MoveCmdMsg DecodeMoveCmd(Reader& r);
@@ -64,6 +73,7 @@ struct StateTransferMsg {
   std::uint32_t partition_id = 0;
   std::vector<std::uint8_t> group_state;  ///< window/state_codec payload
   std::vector<Rec> pending;
+  std::uint64_t move_seq = 0;  ///< echo of the kMoveCmd that caused this
 };
 void Encode(Writer& w, const StateTransferMsg& m, std::size_t tuple_bytes);
 StateTransferMsg DecodeStateTransfer(Reader& r, std::size_t tuple_bytes);
@@ -71,6 +81,7 @@ StateTransferMsg DecodeStateTransfer(Reader& r, std::size_t tuple_bytes);
 /// mover -> master.
 struct AckMsg {
   std::uint32_t partition_id = 0;
+  std::uint64_t move_seq = 0;  ///< echo of the migration being acknowledged
 };
 void Encode(Writer& w, const AckMsg& m);
 AckMsg DecodeAck(Reader& r);

@@ -1,6 +1,7 @@
 #include "net/inproc_transport.h"
 
 #include <cassert>
+#include <chrono>
 
 namespace sjoin {
 
@@ -27,6 +28,11 @@ void InProcHub::Shutdown() {
   }
 }
 
+bool InProcHub::Down() {
+  std::lock_guard<std::mutex> lock(down_mu_);
+  return down_;
+}
+
 void InProcHub::Push(Rank to, Message msg) {
   assert(to < boxes_.size());
   Mailbox& box = *boxes_[to];
@@ -40,15 +46,32 @@ void InProcHub::Push(Rank to, Message msg) {
 std::optional<Message> InProcHub::Pop(Rank self) {
   Mailbox& box = *boxes_[self];
   std::unique_lock<std::mutex> lock(box.mu);
-  box.cv.wait(lock, [&] {
-    if (!box.queue.empty()) return true;
-    std::lock_guard<std::mutex> dl(down_mu_);
-    return down_;
-  });
+  box.cv.wait(lock, [&] { return !box.queue.empty() || Down(); });
   if (box.queue.empty()) return std::nullopt;  // shutdown
   Message msg = std::move(box.queue.front());
   box.queue.pop_front();
   return msg;
+}
+
+RecvResult InProcHub::PopTimed(Rank self, Duration timeout_us) {
+  Mailbox& box = *boxes_[self];
+  std::unique_lock<std::mutex> lock(box.mu);
+  const auto ready = [&] { return !box.queue.empty() || Down(); };
+  bool got = true;
+  if (timeout_us < 0) {
+    box.cv.wait(lock, ready);  // negative timeout: wait forever
+  } else {
+    got = box.cv.wait_for(lock, std::chrono::microseconds(timeout_us), ready);
+  }
+  RecvResult res;
+  if (!box.queue.empty()) {
+    res.status = RecvStatus::kOk;
+    res.msg = std::move(box.queue.front());
+    box.queue.pop_front();
+    return res;
+  }
+  res.status = got ? RecvStatus::kClosed : RecvStatus::kTimeout;
+  return res;
 }
 
 void InProcEndpoint::Send(Rank to, Message msg) {
@@ -78,6 +101,45 @@ std::optional<Message> InProcEndpoint::RecvFrom(Rank from) {
     if (!msg.has_value()) return std::nullopt;
     if (msg->from == from) return msg;
     stash_.push_back(std::move(*msg));
+  }
+}
+
+RecvResult InProcEndpoint::RecvTimed(Duration timeout_us) {
+  if (!stash_.empty()) {
+    RecvResult res;
+    res.status = RecvStatus::kOk;
+    res.msg = std::move(stash_.front());
+    stash_.pop_front();
+    return res;
+  }
+  return hub_->PopTimed(self_, timeout_us);
+}
+
+RecvResult InProcEndpoint::RecvFromTimed(Rank from, Duration timeout_us) {
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    if (it->from == from) {
+      RecvResult res;
+      res.status = RecvStatus::kOk;
+      res.msg = std::move(*it);
+      stash_.erase(it);
+      return res;
+    }
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(timeout_us);
+  while (true) {
+    Duration left = -1;
+    if (timeout_us >= 0) {
+      const auto now = std::chrono::steady_clock::now();
+      left = std::chrono::duration_cast<std::chrono::microseconds>(deadline -
+                                                                   now)
+                 .count();
+      if (left <= 0) return RecvResult{RecvStatus::kTimeout, {}};
+    }
+    RecvResult res = hub_->PopTimed(self_, left);
+    if (!res.Ok()) return res;
+    if (res.msg.from == from) return res;
+    stash_.push_back(std::move(res.msg));
   }
 }
 

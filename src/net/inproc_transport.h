@@ -1,7 +1,8 @@
 // In-process transport: one mailbox per rank, protected by mutex/condvar.
 // Endpoints are handed to node threads; Send never blocks for long (the
 // mailbox is unbounded; the epoch protocol itself bounds outstanding data),
-// Recv blocks until a message or hub shutdown.
+// Recv blocks until a message or hub shutdown. The timed variants wait at
+// most the given number of microseconds.
 #pragma once
 
 #include <condition_variable>
@@ -24,6 +25,8 @@ class InProcEndpoint final : public Transport {
   void Send(Rank to, Message msg) override;
   std::optional<Message> Recv() override;
   std::optional<Message> RecvFrom(Rank from) override;
+  RecvResult RecvTimed(Duration timeout_us) override;
+  RecvResult RecvFromTimed(Rank from, Duration timeout_us) override;
 
  private:
   InProcHub* hub_;
@@ -53,6 +56,12 @@ class InProcHub {
 
   void Push(Rank to, Message msg);
   std::optional<Message> Pop(Rank self);
+
+  /// Timed pop: kTimeout after `timeout_us` with an empty mailbox, kClosed
+  /// after Shutdown() drained the queue.
+  RecvResult PopTimed(Rank self, Duration timeout_us);
+
+  bool Down();
 
   std::vector<std::unique_ptr<Mailbox>> boxes_;
   bool down_ = false;

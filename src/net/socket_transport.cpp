@@ -6,6 +6,7 @@
 
 #include <cassert>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -15,33 +16,38 @@ namespace sjoin {
 
 namespace {
 
-void WriteAll(int fd, const std::uint8_t* data, std::size_t len) {
+/// Writes the full buffer; returns false when the peer is gone (EPIPE /
+/// ECONNRESET), which the caller treats as a dead peer, not an error.
+/// MSG_NOSIGNAL keeps a dying peer from killing us with SIGPIPE.
+bool SendAll(int fd, const std::uint8_t* data, std::size_t len) {
   while (len > 0) {
-    ssize_t n = ::write(fd, data, len);
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET || errno == EBADF) {
+        return false;
+      }
       throw std::runtime_error(std::string("socket write failed: ") +
                                std::strerror(errno));
     }
     data += n;
     len -= static_cast<std::size_t>(n);
   }
+  return true;
 }
 
-/// Returns false on clean EOF before any byte was read.
+/// Returns false on EOF (clean between frames, or the peer died mid-write).
 bool ReadAll(int fd, std::uint8_t* data, std::size_t len) {
   std::size_t got = 0;
   while (got < len) {
     ssize_t n = ::read(fd, data + got, len - got);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return false;
       throw std::runtime_error(std::string("socket read failed: ") +
                                std::strerror(errno));
     }
-    if (n == 0) {
-      if (got == 0) return false;
-      throw std::runtime_error("socket closed mid-frame");
-    }
+    if (n == 0) return false;
     got += static_cast<std::size_t>(n);
   }
   return true;
@@ -56,21 +62,41 @@ SocketEndpoint::~SocketEndpoint() {
   for (auto& [rank, fd] : fds_) {
     if (fd >= 0) ::close(fd);
   }
+  for (int fd : dead_fds_) ::close(fd);
+}
+
+int SocketEndpoint::FdOf(Rank rank) const {
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  auto it = fds_.find(rank);
+  return it == fds_.end() ? -1 : it->second;
+}
+
+void SocketEndpoint::MarkDead(Rank rank) {
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  auto it = fds_.find(rank);
+  if (it == fds_.end() || it->second < 0) return;
+  // Park the fd instead of closing: a sender racing this verdict must hit
+  // EPIPE on the dead socket, never a recycled descriptor number.
+  dead_fds_.push_back(it->second);
+  it->second = -1;
 }
 
 void SocketEndpoint::Send(Rank to, Message msg) {
-  std::lock_guard<std::mutex> lock(send_mu_);
-  auto it = fds_.find(to);
-  assert(it != fds_.end() && it->second >= 0);
+  const int fd = FdOf(to);
+  if (fd < 0) return;  // dead peer: drop (protocol recovers via timeouts)
   msg.from = self_;
 
   Writer header(9);
   header.PutU32(msg.from);
   header.PutU8(static_cast<std::uint8_t>(msg.type));
   header.PutU32(static_cast<std::uint32_t>(msg.payload.size()));
-  WriteAll(it->second, header.Bytes().data(), header.Size());
-  if (!msg.payload.empty()) {
-    WriteAll(it->second, msg.payload.data(), msg.payload.size());
+
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (!SendAll(fd, header.Bytes().data(), header.Size()) ||
+      (!msg.payload.empty() &&
+       !SendAll(fd, msg.payload.data(), msg.payload.size()))) {
+    MarkDead(to);
+    return;
   }
   bytes_sent_ += msg.WireBytes();
 }
@@ -85,7 +111,7 @@ std::optional<Message> SocketEndpoint::ReadFrame(int fd) {
   std::uint32_t len = r.GetU32();
   msg.payload.resize(len);
   if (len > 0 && !ReadAll(fd, msg.payload.data(), len)) {
-    throw std::runtime_error("socket closed mid-frame");
+    return std::nullopt;  // peer died mid-frame: the partial frame is lost
   }
   bytes_received_ += msg.WireBytes();
   return msg;
@@ -97,53 +123,99 @@ std::optional<Message> SocketEndpoint::Recv() {
     stash_.erase(stash_.begin());
     return msg;
   }
-  return RecvFromWire();
+  RecvResult res = RecvFromWire(-1);
+  if (!res.Ok()) return std::nullopt;
+  return std::move(res.msg);
 }
 
-std::optional<Message> SocketEndpoint::RecvFromWire() {
+RecvResult SocketEndpoint::RecvFromWire(Duration timeout_us) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_us < 0 ? 0
+                                                                 : timeout_us);
   while (true) {
     std::vector<pollfd> pfds;
     std::vector<Rank> ranks;
-    for (auto& [rank, fd] : fds_) {
-      if (fd < 0) continue;
-      pfds.push_back(pollfd{fd, POLLIN, 0});
-      ranks.push_back(rank);
+    {
+      std::lock_guard<std::mutex> lock(fd_mu_);
+      for (auto& [rank, fd] : fds_) {
+        if (fd < 0) continue;
+        pfds.push_back(pollfd{fd, POLLIN, 0});
+        ranks.push_back(rank);
+      }
     }
-    if (pfds.empty()) return std::nullopt;  // every peer gone
-    int rc = ::poll(pfds.data(), pfds.size(), -1);
+    if (pfds.empty()) return RecvResult{RecvStatus::kClosed, {}};
+
+    int wait_ms = -1;
+    if (timeout_us >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left < 0) return RecvResult{RecvStatus::kTimeout, {}};
+      wait_ms = static_cast<int>(left) + 1;  // round up: never busy-spin
+    }
+    int rc = ::poll(pfds.data(), pfds.size(), wait_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       throw std::runtime_error(std::string("poll failed: ") +
                                std::strerror(errno));
     }
+    if (rc == 0) return RecvResult{RecvStatus::kTimeout, {}};
     for (std::size_t i = 0; i < pfds.size(); ++i) {
-      if ((pfds[i].revents & (POLLIN | POLLHUP)) == 0) continue;
-      int fd = pfds[i].fd;
-      std::optional<Message> msg = ReadFrame(fd);
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      std::optional<Message> msg = ReadFrame(pfds[i].fd);
       if (!msg.has_value()) {
-        ::close(fd);
-        fds_[ranks[i]] = -1;
+        MarkDead(ranks[i]);
         continue;
       }
-      return msg;
+      return RecvResult{RecvStatus::kOk, std::move(*msg)};
     }
   }
 }
 
 std::optional<Message> SocketEndpoint::RecvFrom(Rank from) {
+  RecvResult res = RecvFromTimed(from, -1);
+  if (!res.Ok()) return std::nullopt;
+  return std::move(res.msg);
+}
+
+RecvResult SocketEndpoint::RecvTimed(Duration timeout_us) {
+  if (!stash_.empty()) {
+    RecvResult res{RecvStatus::kOk, std::move(stash_.front())};
+    stash_.erase(stash_.begin());
+    return res;
+  }
+  return RecvFromWire(timeout_us);
+}
+
+RecvResult SocketEndpoint::RecvFromTimed(Rank from, Duration timeout_us) {
   for (auto it = stash_.begin(); it != stash_.end(); ++it) {
     if (it->from == from) {
-      Message msg = std::move(*it);
+      RecvResult res{RecvStatus::kOk, std::move(*it)};
       stash_.erase(it);
-      return msg;
+      return res;
     }
   }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_us < 0 ? 0
+                                                                 : timeout_us);
   while (true) {
-    // Read from the wire directly: Recv() would hand the stash back.
-    std::optional<Message> msg = RecvFromWire();
-    if (!msg.has_value()) return std::nullopt;
-    if (msg->from == from) return msg;
-    stash_.push_back(std::move(*msg));
+    if (FdOf(from) < 0) return RecvResult{RecvStatus::kClosed, {}};
+    Duration left = -1;
+    if (timeout_us >= 0) {
+      left = std::chrono::duration_cast<std::chrono::microseconds>(
+                 deadline - std::chrono::steady_clock::now())
+                 .count();
+      if (left < 0) return RecvResult{RecvStatus::kTimeout, {}};
+    }
+    RecvResult res = RecvFromWire(left);
+    if (res.status == RecvStatus::kClosed) {
+      // Every peer is gone (or just this one -- checked at loop top).
+      if (FdOf(from) < 0) return RecvResult{RecvStatus::kClosed, {}};
+      continue;
+    }
+    if (!res.Ok()) return res;
+    if (res.msg.from == from) return res;
+    stash_.push_back(std::move(res.msg));
   }
 }
 

@@ -7,6 +7,12 @@
 // substituting AF_INET sockets here is a one-line change).
 //
 // Framing: [from u32][type u8][len u32][payload], little endian.
+//
+// Crash tolerance: a peer closing its socket (cleanly or mid-frame) marks
+// that peer dead instead of tearing the endpoint down -- subsequent sends to
+// it are silently dropped (MSG_NOSIGNAL, EPIPE swallowed) and receives treat
+// it as gone. The epoch protocol reacts to dead peers via the timed receive
+// verdicts, not via transport exceptions.
 #pragma once
 
 #include <map>
@@ -30,27 +36,41 @@ class SocketEndpoint final : public Transport {
 
   Rank Self() const override { return self_; }
 
-  /// Thread-safe: a node's comm and join threads may both send.
+  /// Thread-safe: a node's comm and join threads may both send. Sends to a
+  /// dead peer are dropped.
   void Send(Rank to, Message msg) override;
   std::optional<Message> Recv() override;
   std::optional<Message> RecvFrom(Rank from) override;
+  RecvResult RecvTimed(Duration timeout_us) override;
+  RecvResult RecvFromTimed(Rank from, Duration timeout_us) override;
 
   /// Bytes sent/received so far (communication accounting in wall mode).
   std::size_t BytesSent() const { return bytes_sent_; }
   std::size_t BytesReceived() const { return bytes_received_; }
 
  private:
-  /// Reads one frame from `fd`; returns nullopt on EOF (peer closed).
+  /// Reads one frame from `fd`; returns nullopt when the peer closed the
+  /// connection (cleanly between frames or dead mid-frame).
   std::optional<Message> ReadFrame(int fd);
 
-  /// Blocking read of the next frame from any live fd, bypassing the stash.
-  std::optional<Message> RecvFromWire();
+  /// Blocking/timed read of the next frame from any live fd, bypassing the
+  /// stash. `timeout_us < 0` means wait forever.
+  RecvResult RecvFromWire(Duration timeout_us);
+
+  /// Current fd of `rank`, or -1 when the peer is dead/unknown.
+  int FdOf(Rank rank) const;
+
+  /// Marks `rank` dead; its fd is parked until the destructor (so a
+  /// concurrent sender never writes to a recycled descriptor).
+  void MarkDead(Rank rank);
 
   Rank self_;
+  mutable std::mutex fd_mu_;    // guards fds_ and dead_fds_
   std::map<Rank, int> fds_;
-  std::mutex send_mu_;  // serializes frames from concurrent senders
+  std::vector<int> dead_fds_;   // parked until destruction
+  std::mutex send_mu_;          // serializes frames from concurrent senders
+  std::size_t bytes_sent_ = 0;  // guarded by send_mu_
   std::vector<Message> stash_;
-  std::size_t bytes_sent_ = 0;
   std::size_t bytes_received_ = 0;
 };
 

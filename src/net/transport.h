@@ -2,18 +2,42 @@
 //
 // The paper's algorithm only ever needs blocking send/recv over persistent
 // pairwise connections used in a fixed, predefined order -- precisely the
-// primitives below. Two implementations exist:
+// primitives below. Implementations:
 //   * InProcTransport (inproc_transport.h): bounded in-process channels
 //     between threads, for integration tests of the wall-clock runners;
 //   * SocketTransport (socket_transport.h): real AF_UNIX sockets between
-//     forked OS processes -- the multi-process shared-nothing deployment.
+//     forked OS processes -- the multi-process shared-nothing deployment;
+//   * FaultTransport (fault_transport.h): a decorator over either of the
+//     above that injects deterministic, seeded faults (delay, reordering
+//     across peers, duplication, drop-with-retransmit, peer crash/hang) for
+//     chaos testing the epoch protocol.
+//
+// The timed receive variants exist because a perfectly reliable network is a
+// fiction at production scale: a wedged peer must not block its partners
+// forever. The master uses them to bound every protocol wait and to reach a
+// dead-slave verdict (see core/runner.h).
 #pragma once
 
 #include <optional>
 
+#include "common/time.h"
 #include "net/message.h"
 
 namespace sjoin {
+
+/// Outcome of a timed receive.
+enum class RecvStatus : std::uint8_t {
+  kOk,       ///< a message was delivered
+  kTimeout,  ///< the timeout elapsed with no eligible message
+  kClosed,   ///< the transport (or the requested peer) is gone for good
+};
+
+struct RecvResult {
+  RecvStatus status = RecvStatus::kClosed;
+  Message msg;  ///< valid only when status == kOk
+
+  bool Ok() const { return status == RecvStatus::kOk; }
+};
 
 class Transport {
  public:
@@ -22,7 +46,9 @@ class Transport {
   /// This endpoint's rank.
   virtual Rank Self() const = 0;
 
-  /// Blocking send to `to`. `msg.from` is stamped with Self().
+  /// Blocking send to `to`. `msg.from` is stamped with Self(). Sending to a
+  /// peer that is known to be gone is a silent no-op (the epoch protocol
+  /// handles missing replies via timeouts, not send failures).
   virtual void Send(Rank to, Message msg) = 0;
 
   /// Blocking receive from any peer (the `from` field identifies the
@@ -34,6 +60,16 @@ class Transport {
   /// calls. This is the primitive the paper's fixed communication sequence
   /// relies on.
   virtual std::optional<Message> RecvFrom(Rank from) = 0;
+
+  /// Timed receive from any peer. Returns kTimeout when `timeout_us`
+  /// microseconds elapse without a message; kClosed on shutdown.
+  virtual RecvResult RecvTimed(Duration timeout_us) = 0;
+
+  /// Timed receive from a specific peer. Messages from other peers arriving
+  /// meanwhile are stashed for later delivery (they do not reset the
+  /// timeout). Returns kClosed when the transport is shut down or the peer's
+  /// connection is gone for good.
+  virtual RecvResult RecvFromTimed(Rank from, Duration timeout_us) = 0;
 };
 
 }  // namespace sjoin

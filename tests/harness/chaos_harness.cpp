@@ -1,0 +1,137 @@
+#include "harness/chaos_harness.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "common/rng.h"
+#include "join/sink.h"
+#include "net/inproc_transport.h"
+
+namespace sjoin {
+
+namespace {
+
+JoinPair PairOf(const JoinOutput& out) {
+  return JoinPair{out.left.ts, out.right.ts, out.left.key};
+}
+
+/// FNV-1a over the sorted pair list: a compact, order-stable output digest.
+std::uint64_t HashPairs(const std::vector<JoinPair>& pairs) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const JoinPair& p : pairs) {
+    mix(static_cast<std::uint64_t>(p.ts0));
+    mix(static_cast<std::uint64_t>(p.ts1));
+    mix(p.key);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string ChaosClusterResult::Summary() const {
+  std::ostringstream os;
+  os << "tuples_sent=" << master.tuples_sent << " epochs=" << master.epochs
+     << " migrations=" << master.migrations
+     << " dead_slaves=" << master.dead_slaves
+     << " groups_rehosted=" << master.groups_rehosted << "\n";
+  os << "outputs=" << outputs.size() << " hash=" << HashPairs(outputs)
+     << " missing=" << missing.size() << " extra=" << extra.size() << "\n";
+  for (std::size_t r = 0; r < fault_stats.size(); ++r) {
+    const FaultStats& fs = fault_stats[r];
+    os << "rank" << r << ": delivered=" << fs.delivered
+       << " delayed=" << fs.delayed << " duplicated=" << fs.duplicated
+       << " retransmitted=" << fs.retransmitted << "\n";
+  }
+  os << "collector: outputs=" << collector.outputs
+     << " reports=" << collector.reports << "\n";
+  return std::move(os).str();
+}
+
+ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
+  const Rank n = opts.cfg.num_slaves;
+  InProcHub hub(n + 2);
+
+  std::vector<std::unique_ptr<FaultEndpoint>> endpoints(n + 2);
+  for (Rank r = 0; r < n + 2; ++r) {
+    endpoints[r] =
+        std::make_unique<FaultEndpoint>(hub.Endpoint(r), opts.faults);
+  }
+
+  std::vector<CollectSink> sinks(n);
+  WallOptions wall = opts.wall;
+  wall.input_trace = &opts.trace;
+  wall.slave_extra_sinks.clear();
+  for (Rank s = 0; s < n; ++s) wall.slave_extra_sinks.push_back(&sinks[s]);
+
+  ChaosClusterResult result;
+  result.slaves.resize(n);
+
+  std::vector<std::thread> slave_threads;
+  slave_threads.reserve(n);
+  for (Rank s = 1; s <= n; ++s) {
+    slave_threads.emplace_back([&, s] {
+      result.slaves[s - 1] = RunSlaveNode(*endpoints[s], opts.cfg, wall);
+    });
+  }
+  std::thread collector_thread([&] {
+    result.collector = RunCollectorNode(*endpoints[n + 1], opts.cfg);
+  });
+
+  result.master = RunMasterNode(*endpoints[0], opts.cfg, wall);
+  // The collector exits once every live slave delivered its final stats and
+  // shutdown; a crashed-hanging slave never will, so tear the hub down only
+  // after the collector is done, to unblock that slave's threads.
+  collector_thread.join();
+  hub.Shutdown();
+  for (std::thread& t : slave_threads) t.join();
+
+  for (Rank r = 0; r < n + 2; ++r) {
+    result.fault_stats.push_back(endpoints[r]->Stats());
+  }
+
+  for (const CollectSink& sink : sinks) {
+    for (const JoinOutput& out : sink.Outputs()) {
+      result.outputs.push_back(PairOf(out));
+    }
+  }
+  std::sort(result.outputs.begin(), result.outputs.end());
+  result.reference =
+      ReferenceSlidingJoin(opts.trace, opts.cfg.join.window);
+  std::set_difference(result.reference.begin(), result.reference.end(),
+                      result.outputs.begin(), result.outputs.end(),
+                      std::back_inserter(result.missing));
+  std::set_difference(result.outputs.begin(), result.outputs.end(),
+                      result.reference.begin(), result.reference.end(),
+                      std::back_inserter(result.extra));
+  result.exact = result.missing.empty() && result.extra.empty();
+  return result;
+}
+
+std::vector<Rec> MakeChaosTrace(std::uint64_t seed, std::size_t count,
+                                Time span_us, std::uint64_t key_domain) {
+  Pcg32 rng(Mix64(seed ^ 0xC4A05ULL), 7);
+  std::vector<Rec> trace;
+  trace.reserve(count);
+  const Time step =
+      std::max<Time>(1, span_us / static_cast<Time>(count > 0 ? count : 1));
+  Time ts = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    ts += 1 + rng.NextBounded(static_cast<std::uint32_t>(step));
+    Rec rec;
+    rec.ts = ts;
+    rec.key = rng.NextBounded(static_cast<std::uint32_t>(key_domain));
+    rec.stream = static_cast<StreamId>(i & 1);
+    trace.push_back(rec);
+  }
+  return trace;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,68 @@
+// Chaos-test harness: runs a full master/slaves/collector cluster over
+// InProcTransport decorated with FaultEndpoint, under a seeded fault
+// schedule, and differentially checks the cluster's join output against
+// ReferenceSlidingJoin over the same input trace.
+//
+// The input is a fixed, timestamp-ordered trace distributed at virtual
+// epoch boundaries (WallOptions::input_trace), so the tuple set every run
+// joins -- and therefore the declarative answer -- is deterministic. The
+// differential check then states the protocol's delivery guarantees:
+//   * with delay / reorder / duplicate faults (and bounded
+//     drop-with-retransmit) the cluster output must EQUAL the reference:
+//     nothing lost, nothing duplicated;
+//   * with a crashed slave the output must be a SUBSET of the reference
+//     (`extra` empty): window state that died with the node may lose
+//     matches, but hardening must never fabricate or double-deliver one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "core/runner.h"
+#include "join/reference_join.h"
+#include "net/fault_transport.h"
+#include "tuple/tuple.h"
+
+namespace sjoin {
+
+struct ChaosClusterOptions {
+  SystemConfig cfg;
+  WallOptions wall;    ///< input_trace / slave_extra_sinks are set by the run
+  FaultConfig faults;  ///< applied to every endpoint (master included)
+  std::vector<Rec> trace;  ///< timestamp-ordered input, required
+};
+
+struct ChaosClusterResult {
+  MasterSummary master;
+  std::vector<SlaveSummary> slaves;
+  CollectorSummary collector;
+  std::vector<FaultStats> fault_stats;  ///< per rank, 0 .. num_slaves+1
+
+  std::vector<JoinPair> outputs;    ///< cluster-produced pairs, sorted
+  std::vector<JoinPair> reference;  ///< ground truth over the trace, sorted
+  std::vector<JoinPair> missing;    ///< reference \ outputs
+  std::vector<JoinPair> extra;      ///< outputs \ reference (incl. dups)
+  bool exact = false;               ///< missing and extra both empty
+
+  /// Deterministic digest of the run: every counter that depends only on
+  /// the trace, the config, and the fault seed (no wall-clock-derived
+  /// quantity). Two runs with identical options must produce identical
+  /// summaries -- the seeded-determinism test compares these byte for byte.
+  std::string Summary() const;
+};
+
+/// Runs the full cluster (one thread per rank) to completion and evaluates
+/// the differential check. Always returns; a harness-level deadlock would
+/// mean the hardened protocol failed its no-unbounded-wait guarantee.
+ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts);
+
+/// Builds a deterministic two-stream trace: `count` tuples alternating
+/// streams, strictly increasing timestamps evenly spread over [1, span_us],
+/// keys drawn from [0, key_domain) with a seeded PCG. Small domains give
+/// dense matches.
+std::vector<Rec> MakeChaosTrace(std::uint64_t seed, std::size_t count,
+                                Time span_us, std::uint64_t key_domain);
+
+}  // namespace sjoin

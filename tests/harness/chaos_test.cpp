@@ -1,0 +1,232 @@
+// Chaos tests: full clusters over InProcTransport + FaultTransport under
+// seeded fault schedules, differentially checked against the reference
+// join (see chaos_harness.h for the guarantees each check states).
+#include "harness/chaos_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace sjoin {
+namespace {
+
+/// Small, fast cluster: 3 slaves, short virtual epochs, a fixed dense
+/// trace. One run takes a few hundred milliseconds of wall time.
+ChaosClusterOptions BaseOptions(std::uint64_t fault_seed) {
+  ChaosClusterOptions opts;
+  opts.cfg.num_slaves = 3;
+  opts.cfg.join.num_partitions = 24;
+  opts.cfg.join.window = 30 * kUsPerMs;
+  opts.cfg.epoch.t_dist = 5 * kUsPerMs;
+  opts.cfg.epoch.t_rep = 20 * kUsPerMs;
+  opts.wall.run_for = 10 * kUsPerSec;  // cap; the trace ends the run
+  opts.wall.recv_timeout_us = 250 * kUsPerMs;
+  opts.wall.recv_max_retries = 3;
+  opts.faults.seed = fault_seed;
+  opts.trace = MakeChaosTrace(/*seed=*/97, /*count=*/1200,
+                              /*span_us=*/150 * kUsPerMs,
+                              /*key_domain=*/40);
+  return opts;
+}
+
+std::uint64_t TotalDelayed(const ChaosClusterResult& r) {
+  std::uint64_t total = 0;
+  for (const FaultStats& fs : r.fault_stats) total += fs.delayed;
+  return total;
+}
+
+std::uint64_t TotalDuplicated(const ChaosClusterResult& r) {
+  std::uint64_t total = 0;
+  for (const FaultStats& fs : r.fault_stats) total += fs.duplicated;
+  return total;
+}
+
+std::uint64_t TotalRetransmitted(const ChaosClusterResult& r) {
+  std::uint64_t total = 0;
+  for (const FaultStats& fs : r.fault_stats) total += fs.retransmitted;
+  return total;
+}
+
+TEST(ChaosTest, ExactOutputWithoutFaults) {
+  ChaosClusterOptions opts = BaseOptions(1);
+  ChaosClusterResult r = RunChaosCluster(opts);
+  EXPECT_GT(r.reference.size(), 100u);
+  EXPECT_TRUE(r.exact) << "missing=" << r.missing.size()
+                       << " extra=" << r.extra.size();
+  EXPECT_EQ(r.master.dead_slaves, 0u);
+}
+
+// Delays reorder deliveries across peers (per-channel FIFO is preserved, as
+// on a real slow link); the cluster's answer must not change.
+TEST(ChaosTest, ExactOutputUnderDelayAndReorder) {
+  ChaosClusterOptions opts = BaseOptions(2);
+  opts.faults.delay_prob = 0.4;
+  opts.faults.delay_min_us = 1 * kUsPerMs;
+  opts.faults.delay_max_us = 8 * kUsPerMs;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  EXPECT_GT(TotalDelayed(r), 0u);
+  EXPECT_TRUE(r.exact) << "missing=" << r.missing.size()
+                       << " extra=" << r.extra.size();
+  EXPECT_EQ(r.master.dead_slaves, 0u);
+}
+
+// Every eligible control message (kAck, kLoadReport, kStateTransfer) is
+// duplicated; seq/move_seq idempotency must absorb all of them.
+TEST(ChaosTest, ExactOutputUnderDuplicates) {
+  ChaosClusterOptions opts = BaseOptions(3);
+  opts.faults.duplicate_prob = 1.0;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  EXPECT_GT(TotalDuplicated(r), 0u);
+  EXPECT_TRUE(r.exact) << "missing=" << r.missing.size()
+                       << " extra=" << r.extra.size();
+}
+
+TEST(ChaosTest, ExactOutputUnderDropWithRetransmit) {
+  ChaosClusterOptions opts = BaseOptions(4);
+  opts.faults.drop_prob = 0.3;
+  opts.faults.retransmit_delay_us = 5 * kUsPerMs;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  EXPECT_GT(TotalRetransmitted(r), 0u);
+  EXPECT_TRUE(r.exact) << "missing=" << r.missing.size()
+                       << " extra=" << r.extra.size();
+}
+
+TEST(ChaosTest, ExactOutputUnderCombinedFaults) {
+  ChaosClusterOptions opts = BaseOptions(5);
+  opts.faults.delay_prob = 0.3;
+  opts.faults.delay_min_us = 1 * kUsPerMs;
+  opts.faults.delay_max_us = 6 * kUsPerMs;
+  opts.faults.duplicate_prob = 0.5;
+  opts.faults.drop_prob = 0.15;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  EXPECT_GT(TotalDelayed(r), 0u);
+  EXPECT_GT(TotalDuplicated(r), 0u);
+  EXPECT_GT(TotalRetransmitted(r), 0u);
+  EXPECT_TRUE(r.exact) << "missing=" << r.missing.size()
+                       << " extra=" << r.extra.size();
+}
+
+// Migrations are forced (one slave is slowed until it classifies as a
+// supplier at every reorganization) while faults run; the reorganization
+// sub-protocol under duplicated/reordered control traffic must still
+// deliver the exact answer.
+TEST(ChaosTest, ExactOutputWithMigrationsUnderFaults) {
+  ChaosClusterOptions opts = BaseOptions(6);
+  opts.cfg.epoch.t_rep = 15 * kUsPerMs;
+  opts.cfg.balance.th_sup = 1e-6;  // any backlog => supplier
+  opts.cfg.balance.th_con = 1e-9;  // empty buffer => consumer
+  opts.wall.slave_spin_us_per_tuple = {500, 0, 0};
+  opts.faults.delay_prob = 0.3;
+  opts.faults.delay_min_us = 1 * kUsPerMs;
+  opts.faults.delay_max_us = 6 * kUsPerMs;
+  opts.faults.duplicate_prob = 0.5;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  EXPECT_TRUE(r.exact) << "migrations=" << r.master.migrations
+                       << " missing=" << r.missing.size()
+                       << " extra=" << r.extra.size();
+  EXPECT_EQ(r.master.dead_slaves, 0u);
+}
+
+/// Common assertions of the crashed-slave scenarios: the run completes (the
+/// test returning at all proves no unbounded wait), the dead rank's
+/// partition-groups are re-hosted, the surviving cluster keeps producing
+/// results with delay stats, and the output never exceeds the reference.
+void CheckCrashRun(const ChaosClusterResult& r) {
+  EXPECT_EQ(r.master.dead_slaves, 1u);
+  EXPECT_GT(r.master.groups_rehosted, 0u);
+  // Superset-free: crash may lose matches, never fabricate them.
+  EXPECT_TRUE(r.extra.empty()) << "extra=" << r.extra.size();
+  EXPECT_GT(r.missing.size(), 0u);  // the dead window really lost matches
+  // Survivors kept producing and reporting delay stats to the collector.
+  EXPECT_GT(r.collector.outputs, 0u);
+  EXPECT_GT(r.collector.reports, 0u);
+  EXPECT_GE(r.collector.avg_delay_us, 0.0);
+  EXPECT_GT(r.slaves[1].outputs + r.slaves[2].outputs, 0u);
+}
+
+// Slave 1 crashes (receives report kClosed locally; its sends vanish) upon
+// its 4th tuple batch -- the first reorganization epoch (t_rep = 4 *
+// t_dist). The master's bounded receives must evict it and evacuate its
+// partition-groups.
+TEST(ChaosTest, SlaveCrashAtReorganizationEpoch) {
+  ChaosClusterOptions opts = BaseOptions(7);
+  opts.wall.recv_timeout_us = 30 * kUsPerMs;
+  opts.wall.recv_max_retries = 2;
+  opts.faults.crash_rank = 1;
+  opts.faults.crash_after_batches = 4;  // epoch 4 == first reorg epoch
+  opts.faults.crash_hang = false;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  CheckCrashRun(r);
+}
+
+// Same, but the slave hangs instead of dying visibly: its receives block
+// forever and its sends are swallowed -- the worst case for its peers. The
+// timeout verdict is the only way out, and nothing may deadlock.
+TEST(ChaosTest, SlaveHangAtReorganizationEpoch) {
+  ChaosClusterOptions opts = BaseOptions(8);
+  opts.wall.recv_timeout_us = 30 * kUsPerMs;
+  opts.wall.recv_max_retries = 2;
+  opts.faults.crash_rank = 1;
+  opts.faults.crash_after_batches = 4;
+  opts.faults.crash_hang = true;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  CheckCrashRun(r);
+}
+
+// A crash under concurrent delay/duplicate faults: the combination must
+// still complete and stay superset-free.
+TEST(ChaosTest, SlaveCrashUnderCombinedFaults) {
+  ChaosClusterOptions opts = BaseOptions(9);
+  opts.wall.recv_timeout_us = 30 * kUsPerMs;
+  opts.wall.recv_max_retries = 2;
+  opts.faults.delay_prob = 0.3;
+  opts.faults.delay_min_us = 1 * kUsPerMs;
+  opts.faults.delay_max_us = 6 * kUsPerMs;
+  opts.faults.duplicate_prob = 0.5;
+  opts.faults.crash_rank = 2;
+  opts.faults.crash_after_batches = 8;
+  opts.faults.crash_hang = true;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  EXPECT_EQ(r.master.dead_slaves, 1u);
+  EXPECT_GT(r.master.groups_rehosted, 0u);
+  EXPECT_TRUE(r.extra.empty()) << "extra=" << r.extra.size();
+  EXPECT_GT(r.collector.outputs, 0u);
+}
+
+// Two runs with the same fault seed must produce byte-identical summaries:
+// the fault schedule and every deterministic counter repeat exactly.
+// Migrations are suppressed (their timing is wall-clock dependent) -- the
+// summary covers tuples, epochs, outputs, the output-set hash, and all
+// injected-fault counters.
+TEST(ChaosTest, SameSeedSameSummary) {
+  ChaosClusterOptions opts = BaseOptions(10);
+  opts.cfg.balance.th_sup = 2.0;  // occupancy <= 1: no suppliers, no moves
+  opts.faults.delay_prob = 0.3;
+  opts.faults.delay_min_us = 1 * kUsPerMs;
+  opts.faults.delay_max_us = 6 * kUsPerMs;
+  opts.faults.duplicate_prob = 0.5;
+  opts.faults.drop_prob = 0.15;
+  ChaosClusterResult a = RunChaosCluster(opts);
+  ChaosClusterResult b = RunChaosCluster(opts);
+  EXPECT_TRUE(a.exact);
+  EXPECT_GT(TotalDuplicated(a), 0u);
+  EXPECT_EQ(a.Summary(), b.Summary());
+}
+
+// A different seed must produce a different fault schedule (sanity check
+// that determinism is not vacuous).
+TEST(ChaosTest, DifferentSeedDifferentSchedule) {
+  ChaosClusterOptions opts = BaseOptions(11);
+  opts.faults.delay_prob = 0.3;
+  opts.faults.duplicate_prob = 0.5;
+  ChaosClusterResult a = RunChaosCluster(opts);
+  opts.faults.seed = 12;
+  ChaosClusterResult b = RunChaosCluster(opts);
+  EXPECT_TRUE(a.exact);
+  EXPECT_TRUE(b.exact);
+  EXPECT_NE(TotalDelayed(a) * 1000 + TotalDuplicated(a),
+            TotalDelayed(b) * 1000 + TotalDuplicated(b));
+}
+
+}  // namespace
+}  // namespace sjoin

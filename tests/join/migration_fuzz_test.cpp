@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "join/join_module.h"
 #include "join/reference_join.h"
+#include "testutil/fuzz_env.h"
 #include "window/state_codec.h"
 
 namespace sjoin {
@@ -102,9 +103,10 @@ TEST_P(MigrationFuzzTest, OutputsInvariantUnderRandomMigrations) {
   EXPECT_EQ(got, expect) << "seed " << seed;
 }
 
+// Seeds 1..N with N = SJOIN_FUZZ_ITERS (default 10): a soak run widens the
+// seed range without rebuilding.
 INSTANTIATE_TEST_SUITE_P(Seeds, MigrationFuzzTest,
-                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
-                                           9u, 10u));
+                         ::testing::ValuesIn(FuzzSeeds(10)));
 
 }  // namespace
 }  // namespace sjoin

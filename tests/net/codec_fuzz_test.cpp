@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "net/codec.h"
+#include "testutil/fuzz_env.h"
 #include "window/state_codec.h"
 
 namespace sjoin {
@@ -37,9 +38,21 @@ TEST_P(TruncationFuzzTest, TruncatedTupleBatchAlwaysThrows) {
   EXPECT_THROW((void)DecodeTupleBatch(r, 64), DecodeError);
 }
 
+// Hand-picked boundary cuts plus SJOIN_FUZZ_ITERS seeded random ones (the
+// encoded 20-tuple batch is 8 + 20*64 = 1288 bytes).
+std::vector<std::size_t> TruncationCuts() {
+  std::vector<std::size_t> cuts{0u, 1u, 7u, 8u,  9u,    63u,
+                                64u, 100u, 500u, 1000u, 1279u};
+  Pcg32 rng(99, 3);
+  const int extra = FuzzIters(16);
+  for (int i = 0; i < extra; ++i) {
+    cuts.push_back(rng.NextBounded(1288));
+  }
+  return cuts;
+}
+
 INSTANTIATE_TEST_SUITE_P(Cuts, TruncationFuzzTest,
-                         ::testing::Values(0u, 1u, 7u, 8u, 9u, 63u, 64u,
-                                           100u, 500u, 1000u, 1279u));
+                         ::testing::ValuesIn(TruncationCuts()));
 
 TEST(CodecFuzzTest, AllControlMessagesRejectTruncation) {
   Writer w;
@@ -83,7 +96,8 @@ TEST(CodecFuzzTest, RandomCorruptionNeverCrashesStateDecode) {
   EncodeGroupState(w, g);
   auto clean = std::move(w).TakeBuffer();
 
-  for (int trial = 0; trial < 200; ++trial) {
+  const int trials = FuzzIters(200);
+  for (int trial = 0; trial < trials; ++trial) {
     auto bytes = clean;
     std::size_t pos = rng.NextBounded(static_cast<std::uint32_t>(bytes.size()));
     bytes[pos] ^= static_cast<std::uint8_t>(1 + rng.NextBounded(255));

@@ -1,0 +1,188 @@
+#include "net/fault_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/inproc_transport.h"
+
+namespace sjoin {
+namespace {
+
+Message Tagged(MsgType type, std::uint8_t tag) {
+  Message m;
+  m.type = type;
+  m.payload = {tag};
+  return m;
+}
+
+TEST(FaultTransportTest, PassthroughWithoutFaults) {
+  InProcHub hub(2);
+  auto plain = hub.Endpoint(0);
+  FaultEndpoint faulty(hub.Endpoint(1), FaultConfig{});
+  plain->Send(1, Tagged(MsgType::kTupleBatch, 7));
+  auto msg = faulty.Recv();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload[0], 7);
+  EXPECT_EQ(msg->from, 0u);
+  EXPECT_EQ(faulty.Stats().delivered, 1u);
+  EXPECT_EQ(faulty.Stats().delayed, 0u);
+}
+
+// Delays hold messages but never reorder one sender's stream: the channel
+// queue is strictly head-of-line.
+TEST(FaultTransportTest, DelayPreservesPerChannelFifo) {
+  InProcHub hub(2);
+  auto sender = hub.Endpoint(0);
+  FaultConfig cfg;
+  cfg.seed = 42;
+  cfg.delay_prob = 0.7;
+  cfg.delay_min_us = 500;
+  cfg.delay_max_us = 3000;
+  FaultEndpoint faulty(hub.Endpoint(1), cfg);
+  constexpr int kCount = 32;
+  for (int i = 0; i < kCount; ++i) {
+    sender->Send(1, Tagged(MsgType::kTupleBatch,
+                           static_cast<std::uint8_t>(i)));
+  }
+  for (int i = 0; i < kCount; ++i) {
+    auto msg = faulty.Recv();
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->payload[0], i) << "reordered within one channel";
+  }
+  EXPECT_GT(faulty.Stats().delayed, 0u);
+}
+
+TEST(FaultTransportTest, DuplicatesOnlyIdempotentControlTypes) {
+  InProcHub hub(2);
+  auto sender = hub.Endpoint(0);
+  FaultConfig cfg;
+  cfg.duplicate_prob = 1.0;
+  FaultEndpoint faulty(hub.Endpoint(1), cfg);
+  sender->Send(1, Tagged(MsgType::kAck, 1));
+  sender->Send(1, Tagged(MsgType::kTupleBatch, 2));
+  sender->Send(1, Tagged(MsgType::kLoadReport, 3));
+
+  std::vector<std::uint8_t> tags;
+  for (int i = 0; i < 5; ++i) {
+    RecvResult res = faulty.RecvTimed(200 * kUsPerMs);
+    ASSERT_TRUE(res.Ok());
+    tags.push_back(res.msg.payload[0]);
+  }
+  // kAck and kLoadReport duplicated (copy right after the original);
+  // kTupleBatch must not be.
+  EXPECT_EQ(tags, (std::vector<std::uint8_t>{1, 1, 2, 3, 3}));
+  EXPECT_EQ(faulty.Stats().duplicated, 2u);
+  EXPECT_EQ(faulty.RecvTimed(1000).status, RecvStatus::kTimeout);
+}
+
+// Dropped messages are retransmitted after a bound -- nothing is ever lost
+// permanently.
+TEST(FaultTransportTest, DropWithRetransmitLosesNothing) {
+  InProcHub hub(2);
+  auto sender = hub.Endpoint(0);
+  FaultConfig cfg;
+  cfg.drop_prob = 1.0;
+  cfg.retransmit_delay_us = 2 * kUsPerMs;
+  FaultEndpoint faulty(hub.Endpoint(1), cfg);
+  constexpr int kCount = 10;
+  for (int i = 0; i < kCount; ++i) {
+    sender->Send(1, Tagged(MsgType::kTupleBatch,
+                           static_cast<std::uint8_t>(i)));
+  }
+  for (int i = 0; i < kCount; ++i) {
+    RecvResult res = faulty.RecvTimed(500 * kUsPerMs);
+    ASSERT_TRUE(res.Ok());
+    EXPECT_EQ(res.msg.payload[0], i);
+  }
+  EXPECT_EQ(faulty.Stats().retransmitted, static_cast<std::uint64_t>(kCount));
+}
+
+TEST(FaultTransportTest, CrashDiscardsAndSwallows) {
+  InProcHub hub(2);
+  auto sender = hub.Endpoint(0);
+  FaultConfig cfg;
+  cfg.crash_rank = 1;
+  cfg.crash_after_batches = 2;
+  FaultEndpoint faulty(hub.Endpoint(1), cfg);
+  sender->Send(1, Tagged(MsgType::kTupleBatch, 0));
+  sender->Send(1, Tagged(MsgType::kTupleBatch, 1));  // the killing batch
+  sender->Send(1, Tagged(MsgType::kTupleBatch, 2));
+
+  auto first = faulty.Recv();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->payload[0], 0);
+  // The second batch triggers death; it and everything after is lost.
+  EXPECT_FALSE(faulty.Recv().has_value());
+  EXPECT_TRUE(faulty.Dead());
+  faulty.Send(0, Tagged(MsgType::kAck, 9));
+  EXPECT_EQ(faulty.SwallowedSends(), 1u);
+}
+
+// Hang mode: after death receives block past any timeout until the inner
+// transport shuts down.
+TEST(FaultTransportTest, HangBlocksUntilInnerShutdown) {
+  InProcHub hub(2);
+  auto sender = hub.Endpoint(0);
+  FaultConfig cfg;
+  cfg.crash_rank = 1;
+  cfg.crash_after_batches = 1;
+  cfg.crash_hang = true;
+  FaultEndpoint faulty(hub.Endpoint(1), cfg);
+  sender->Send(1, Tagged(MsgType::kTupleBatch, 0));
+
+  std::optional<Message> got = Tagged(MsgType::kAck, 0);
+  std::thread receiver([&] { got = faulty.Recv(); });
+  // Give the receiver time to enter the hang, then tear the hub down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  hub.Shutdown();
+  receiver.join();
+  EXPECT_FALSE(got.has_value());
+  EXPECT_TRUE(faulty.Dead());
+}
+
+// The fault schedule is a pure function of (seed, receiver, sender, message
+// index): replaying the same sends yields identical decisions.
+TEST(FaultTransportTest, SameSeedSameSchedule) {
+  auto run = [](std::uint64_t seed) {
+    InProcHub hub(2);
+    auto sender = hub.Endpoint(0);
+    FaultConfig cfg;
+    cfg.seed = seed;
+    cfg.delay_prob = 0.4;
+    cfg.delay_min_us = 100;
+    cfg.delay_max_us = 500;
+    cfg.duplicate_prob = 0.5;
+    cfg.drop_prob = 0.2;
+    FaultEndpoint faulty(hub.Endpoint(1), cfg);
+    for (int i = 0; i < 40; ++i) {
+      sender->Send(1, Tagged(i % 2 == 0 ? MsgType::kLoadReport
+                                        : MsgType::kTupleBatch,
+                             static_cast<std::uint8_t>(i)));
+    }
+    FaultStats out;
+    while (true) {
+      RecvResult res = faulty.RecvTimed(50 * kUsPerMs);
+      if (!res.Ok()) break;
+      out = faulty.Stats();
+    }
+    return out;
+  };
+  const FaultStats a = run(123);
+  const FaultStats b = run(123);
+  const FaultStats c = run(124);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.delayed, b.delayed);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  EXPECT_EQ(a.retransmitted, b.retransmitted);
+  EXPECT_GT(a.delayed, 0u);
+  EXPECT_GT(a.duplicated, 0u);
+  // A different seed gives a different schedule.
+  EXPECT_NE(a.delayed * 10000 + a.duplicated * 100 + a.retransmitted,
+            c.delayed * 10000 + c.duplicated * 100 + c.retransmitted);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -73,6 +73,70 @@ TEST(InProcTransportTest, ShutdownUnblocksRecv) {
   EXPECT_FALSE(got.has_value());
 }
 
+TEST(InProcTransportTest, RecvTimedTimesOutOnSilentPeer) {
+  InProcHub hub(2);
+  auto a = hub.Endpoint(0);
+  RecvResult res = a->RecvTimed(5 * kUsPerMs);
+  EXPECT_EQ(res.status, RecvStatus::kTimeout);
+  RecvResult from_res = a->RecvFromTimed(1, 5 * kUsPerMs);
+  EXPECT_EQ(from_res.status, RecvStatus::kTimeout);
+}
+
+TEST(InProcTransportTest, RecvFromTimedDeliversFromSlowPeer) {
+  InProcHub hub(2);
+  auto a = hub.Endpoint(0);
+  auto b = hub.Endpoint(1);
+  std::thread slow([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    b->Send(0, Msg(MsgType::kLoadReport, {5}));
+  });
+  RecvResult res = a->RecvFromTimed(1, 2 * kUsPerSec);
+  slow.join();
+  ASSERT_EQ(res.status, RecvStatus::kOk);
+  EXPECT_EQ(res.msg.from, 1u);
+  EXPECT_EQ(res.msg.payload[0], 5);
+}
+
+TEST(InProcTransportTest, RecvFromTimedIgnoresOtherSendersUntilTimeout) {
+  InProcHub hub(3);
+  auto a = hub.Endpoint(0);
+  auto c = hub.Endpoint(2);
+  c->Send(0, Msg(MsgType::kAck, {9}));
+  // Rank 1 stays silent: the timed wait must not be satisfied by rank 2.
+  RecvResult res = a->RecvFromTimed(1, 10 * kUsPerMs);
+  EXPECT_EQ(res.status, RecvStatus::kTimeout);
+  // Rank 2's message is still there afterwards.
+  auto got = a->Recv();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->from, 2u);
+}
+
+TEST(InProcTransportTest, RecvTimedReportsClosedAfterShutdown) {
+  InProcHub hub(2);
+  auto a = hub.Endpoint(0);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    hub.Shutdown();
+  });
+  RecvResult res = a->RecvTimed(5 * kUsPerSec);
+  closer.join();
+  EXPECT_EQ(res.status, RecvStatus::kClosed);
+  EXPECT_EQ(a->RecvFromTimed(1, 5 * kUsPerMs).status, RecvStatus::kClosed);
+}
+
+TEST(InProcTransportTest, RecvTimedNegativeTimeoutWaitsForever) {
+  InProcHub hub(2);
+  auto a = hub.Endpoint(0);
+  auto b = hub.Endpoint(1);
+  std::thread slow([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    b->Send(0, Msg(MsgType::kAck, {1}));
+  });
+  RecvResult res = a->RecvTimed(-1);
+  slow.join();
+  EXPECT_EQ(res.status, RecvStatus::kOk);
+}
+
 TEST(InProcTransportTest, ManyToOneStress) {
   constexpr int kSenders = 4;
   constexpr int kEach = 500;

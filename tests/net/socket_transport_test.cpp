@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <thread>
 
@@ -96,6 +97,63 @@ TEST(SocketTransportTest, RecvFromStashesOtherPeers) {
   auto rest = n2.Recv();
   ASSERT_TRUE(rest.has_value());
   EXPECT_EQ(rest->from, 0u);
+}
+
+TEST(SocketTransportTest, RecvTimedTimesOutOnSilentPeer) {
+  auto [a, b] = MakePair();
+  RecvResult res = b->RecvTimed(5 * kUsPerMs);
+  EXPECT_EQ(res.status, RecvStatus::kTimeout);
+  EXPECT_EQ(b->RecvFromTimed(0, 5 * kUsPerMs).status, RecvStatus::kTimeout);
+  // The connection is still usable afterwards.
+  a->Send(1, Msg(MsgType::kAck, {3}));
+  RecvResult ok = b->RecvTimed(2 * kUsPerSec);
+  ASSERT_EQ(ok.status, RecvStatus::kOk);
+  EXPECT_EQ(ok.msg.payload[0], 3);
+}
+
+TEST(SocketTransportTest, RecvFromTimedDeliversFromSlowPeer) {
+  auto [a, b] = MakePair();
+  std::thread slow([&a = a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a->Send(1, Msg(MsgType::kLoadReport, {6}));
+  });
+  RecvResult res = b->RecvFromTimed(0, 2 * kUsPerSec);
+  slow.join();
+  ASSERT_EQ(res.status, RecvStatus::kOk);
+  EXPECT_EQ(res.msg.from, 0u);
+  EXPECT_EQ(res.msg.payload[0], 6);
+}
+
+TEST(SocketTransportTest, RecvTimedReportsClosedPeer) {
+  auto [a, b] = MakePair();
+  a.reset();  // peer process "crashes": fd closed
+  RecvResult res = b->RecvTimed(2 * kUsPerSec);
+  EXPECT_EQ(res.status, RecvStatus::kClosed);
+  EXPECT_EQ(b->RecvFromTimed(0, 5 * kUsPerMs).status, RecvStatus::kClosed);
+}
+
+TEST(SocketTransportTest, PeerClosingMidMessageReportsClosed) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  SocketEndpoint b(1, {{0, sv[1]}});
+  // Hand-write half a frame header (type + from, but only part of the
+  // length), then close: the receiver must treat the truncated frame as a
+  // dead peer, not hang or throw.
+  const std::uint8_t partial[] = {1, 0, 0, 0, 0, 9};
+  ASSERT_EQ(::send(sv[0], partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+  ASSERT_EQ(::close(sv[0]), 0);
+  RecvResult res = b.RecvTimed(2 * kUsPerSec);
+  EXPECT_EQ(res.status, RecvStatus::kClosed);
+}
+
+TEST(SocketTransportTest, SendToDeadPeerIsDropped) {
+  auto [a, b] = MakePair();
+  b.reset();
+  // Must neither raise SIGPIPE nor throw; the message is dropped and the
+  // peer is marked dead.
+  for (int i = 0; i < 3; ++i) a->Send(1, Msg(MsgType::kTupleBatch, {1}));
+  EXPECT_EQ(a->RecvTimed(5 * kUsPerMs).status, RecvStatus::kClosed);
 }
 
 TEST(SocketMeshTest, FullMeshConnectsEveryPair) {

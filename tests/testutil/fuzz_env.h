@@ -1,0 +1,36 @@
+// SJOIN_FUZZ_ITERS: one environment knob scaling every fuzz-style test.
+//
+// The checked-in defaults keep CI fast; a soak run simply exports a larger
+// value (e.g. `SJOIN_FUZZ_ITERS=10000 ctest -R fuzz`) without rebuilding.
+// Values below 1 and unparsable values fall back to the default.
+#pragma once
+
+#include <cstdlib>
+#include <vector>
+
+namespace sjoin {
+
+/// Iteration count for a fuzz loop: SJOIN_FUZZ_ITERS if set and >= 1,
+/// otherwise `dflt`.
+inline int FuzzIters(int dflt) {
+  const char* env = std::getenv("SJOIN_FUZZ_ITERS");
+  if (env == nullptr || *env == '\0') return dflt;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || v < 1) return dflt;
+  if (v > 1'000'000'000L) return 1'000'000'000;
+  return static_cast<int>(v);
+}
+
+/// Seed list for value-parameterized fuzz suites: seeds 1..FuzzIters(dflt).
+inline std::vector<std::uint64_t> FuzzSeeds(int dflt) {
+  const int n = FuzzIters(dflt);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    seeds.push_back(static_cast<std::uint64_t>(i));
+  }
+  return seeds;
+}
+
+}  // namespace sjoin
