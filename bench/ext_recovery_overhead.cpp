@@ -1,0 +1,176 @@
+// Extension: the replication trade-off of ISSUE 2 -- checkpoint interval vs
+// replication overhead and recovery cost.
+//
+// A wall-clock mini-cluster (master + 3 slaves + collector over
+// InProcTransport + FaultTransport) distributes a fixed trace; one slave
+// crashes mid-run and its partition-groups fail over to their buddies with
+// the retained batches replayed. Sweeping the checkpoint interval exposes
+// the paper-style trade-off:
+//   * small intervals  -> more checkpoint traffic (ckpt_bytes), but a short
+//     retention buffer and a small replay at recovery;
+//   * large intervals  -> cheap steady state, but the master retains more
+//     epochs and recovery replays more tuples.
+// `recovery_ms` is the master-observed failover span (dead-slave verdict
+// through the last retained batch redelivered); `replayed_tuples` is the
+// recovery work the adopting buddies must redo.
+//
+// Every run is differentially safe by construction (the chaos suite asserts
+// exactness under this exact scenario); this bench only measures cost.
+//
+//   column 1: checkpoint interval in distribution epochs ("off" = baseline)
+//   gnuplot: plot "..." using 1:4 (overhead %), 1:7 (replayed tuples)
+//
+// SJOIN_BENCH=quick shrinks the trace for smoke runs.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "core/runner.h"
+#include "net/fault_transport.h"
+#include "net/inproc_transport.h"
+
+namespace {
+
+using namespace sjoin;
+
+bool QuickMode() {
+  const char* v = std::getenv("SJOIN_BENCH");
+  return v != nullptr && std::strcmp(v, "quick") == 0;
+}
+
+/// Deterministic two-stream trace with strictly increasing timestamps.
+std::vector<Rec> MakeTrace(std::size_t count, Time span_us,
+                           std::uint64_t key_domain) {
+  Pcg32 rng(Mix64(0xBEEFULL), 7);
+  std::vector<Rec> trace;
+  trace.reserve(count);
+  const Time step = std::max<Time>(1, span_us / static_cast<Time>(count));
+  Time ts = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    ts += 1 + rng.NextBounded(static_cast<std::uint32_t>(step));
+    Rec rec;
+    rec.ts = ts;
+    rec.key = rng.NextBounded(static_cast<std::uint32_t>(key_domain));
+    rec.stream = static_cast<StreamId>(i & 1);
+    trace.push_back(rec);
+  }
+  return trace;
+}
+
+struct RunResult {
+  MasterSummary master;
+  std::vector<SlaveSummary> slaves;
+};
+
+/// One full cluster run over in-process channels: every rank is a thread,
+/// every endpoint is decorated with the (possibly crash-injecting) fault
+/// transport.
+RunResult RunCluster(const SystemConfig& cfg, const WallOptions& wall,
+                     const FaultConfig& faults) {
+  const Rank n = cfg.num_slaves;
+  InProcHub hub(n + 2);
+  std::vector<std::unique_ptr<FaultEndpoint>> eps(n + 2);
+  for (Rank r = 0; r < n + 2; ++r) {
+    eps[r] = std::make_unique<FaultEndpoint>(hub.Endpoint(r), faults);
+  }
+
+  RunResult result;
+  result.slaves.resize(n);
+  std::vector<std::thread> threads;
+  threads.reserve(n + 1);
+  for (Rank s = 1; s <= n; ++s) {
+    threads.emplace_back([&, s] {
+      result.slaves[s - 1] = RunSlaveNode(*eps[s], cfg, wall);
+    });
+  }
+  std::thread collector([&] { (void)RunCollectorNode(*eps[n + 1], cfg); });
+
+  result.master = RunMasterNode(*eps[0], cfg, wall);
+  collector.join();
+  hub.Shutdown();
+  for (std::thread& t : threads) t.join();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = QuickMode();
+  const std::size_t tuples = quick ? 2400 : 8000;
+  const Time span = (quick ? 300 : 900) * kUsPerMs;
+
+  SystemConfig cfg;
+  cfg.num_slaves = 3;
+  cfg.join.num_partitions = 24;
+  cfg.join.window = 40 * kUsPerMs;
+  cfg.epoch.t_dist = 5 * kUsPerMs;
+  cfg.epoch.t_rep = 1000 * kUsPerSec;  // no reorganizations: isolate repl cost
+  cfg.workload.tuple_bytes = 64;
+
+  WallOptions wall;
+  wall.run_for = 60 * kUsPerSec;  // cap; the trace ends the run
+  wall.recv_timeout_us = 30 * kUsPerMs;
+  wall.recv_max_retries = 2;
+  const std::vector<Rec> trace = MakeTrace(tuples, span, 60);
+  wall.input_trace = &trace;
+
+  FaultConfig crash;
+  crash.crash_rank = 1;
+  // Crash mid-run: roughly half the trace distributed, retention live.
+  crash.crash_after_batches =
+      static_cast<std::uint64_t>(span / cfg.epoch.t_dist) / 2;
+
+  std::printf("# ext_recovery_overhead -- replication overhead and recovery "
+              "cost vs checkpoint interval\n");
+  std::printf("# cfg: %s\n", Summarize(cfg).c_str());
+  std::printf("# trace: %zu tuples over %.3f s, slave 1 crashes at epoch "
+              "%llu%s\n",
+              tuples, UsToSeconds(span),
+              static_cast<unsigned long long>(crash.crash_after_batches),
+              quick ? " (quick mode)" : "");
+  std::printf("# expected shape: ckpt_bytes falls and replayed_tuples grows "
+              "as the interval widens\n");
+  std::printf("%-10s %12s %12s %12s %10s %12s %14s %12s\n", "ckpt_every",
+              "tuple_bytes", "ckpt_bytes", "overhead_pct", "ckpt_acks",
+              "replay_batch", "replay_tuples", "recovery_ms");
+
+  // Baseline: replication off, same crash -- no overhead, no recovery (the
+  // dead groups' matches are simply lost).
+  {
+    SystemConfig base = cfg;
+    base.replication.enabled = false;
+    RunResult r = RunCluster(base, wall, crash);
+    std::printf("%-10s %12llu %12llu %12.2f %10llu %12llu %14llu %12.2f\n",
+                "off",
+                static_cast<unsigned long long>(r.master.tuples_sent * 64),
+                0ULL, 0.0, 0ULL, 0ULL, 0ULL, 0.0);
+  }
+
+  for (std::uint32_t every : {1u, 2u, 4u, 8u, 16u}) {
+    SystemConfig run_cfg = cfg;
+    run_cfg.replication.enabled = true;
+    run_cfg.replication.ckpt_interval_epochs = every;
+    RunResult r = RunCluster(run_cfg, wall, crash);
+    const double tuple_bytes =
+        static_cast<double>(r.master.tuples_sent) * 64.0;
+    const double overhead =
+        tuple_bytes > 0.0
+            ? 100.0 * static_cast<double>(r.master.ckpt_bytes) / tuple_bytes
+            : 0.0;
+    std::printf("%-10u %12llu %12llu %12.2f %10llu %12llu %14llu %12.2f\n",
+                every,
+                static_cast<unsigned long long>(r.master.tuples_sent * 64),
+                static_cast<unsigned long long>(r.master.ckpt_bytes), overhead,
+                static_cast<unsigned long long>(r.master.ckpt_acks),
+                static_cast<unsigned long long>(r.master.replayed_batches),
+                static_cast<unsigned long long>(r.master.replayed_tuples),
+                static_cast<double>(r.master.recovery_us) / 1000.0);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -4,7 +4,11 @@
 // multi-process on one machine" configuration; pointing the transport at
 // AF_INET sockets would spread the same binaries across hosts.
 //
-//   $ ./build/examples/multiprocess_cluster [num_slaves] [seconds]
+//   $ ./build/examples/multiprocess_cluster [num_slaves] [seconds] [inet]
+//
+// Passing "inet" as the third argument switches the mesh to AF_INET TCP
+// connections over loopback (cfg.net.use_inet) -- the real network stack
+// instead of AF_UNIX socketpairs.
 //
 // Slave 1 is given an artificial per-tuple processing cost (the paper's
 // non-dedicated node with background load), so the reorganization protocol
@@ -14,6 +18,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "core/runner.h"
 #include "net/socket_transport.h"
@@ -35,6 +40,7 @@ int main(int argc, char** argv) {
   cfg.workload.lambda = 2000.0;
   cfg.workload.key_domain = 10'000;
   cfg.balance.th_sup = 0.02;  // migrate eagerly in this short demo
+  cfg.net.use_inet = argc > 3 && std::strcmp(argv[3], "inet") == 0;
 
   WallOptions opts;
   opts.run_for = SecondsToUs(seconds);
@@ -44,11 +50,13 @@ int main(int argc, char** argv) {
   opts.slave_spin_us_per_tuple[0] = 1500;
 
   const Rank ranks = num_slaves + 2;  // master + slaves + collector
-  SocketMesh mesh(ranks);
+  SocketMesh mesh(ranks, cfg.net.use_inet ? SocketDomain::kInet
+                                          : SocketDomain::kUnix);
 
-  std::printf("forking %u processes (1 master, %u slaves, 1 collector), "
-              "running %.1f s...\n",
-              ranks, num_slaves, seconds);
+  std::printf("forking %u processes (1 master, %u slaves, 1 collector) "
+              "over %s, running %.1f s...\n",
+              ranks, num_slaves, cfg.net.use_inet ? "loopback TCP" : "AF_UNIX",
+              seconds);
   std::fflush(stdout);
 
   std::vector<pid_t> children;

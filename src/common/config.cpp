@@ -19,7 +19,12 @@ std::string Summarize(const SystemConfig& cfg) {
      << " b=" << cfg.workload.b_skew
      << " Th_sup=" << cfg.balance.th_sup << " Th_con=" << cfg.balance.th_con
      << " beta=" << cfg.balance.beta
-     << " adaptive=" << (cfg.balance.adaptive_declustering ? "on" : "off");
+     << " adaptive=" << (cfg.balance.adaptive_declustering ? "on" : "off")
+     << " repl=" << (cfg.replication.enabled ? "on" : "off");
+  if (cfg.replication.enabled) {
+    os << " ckpt_every=" << cfg.replication.ckpt_interval_epochs;
+  }
+  os << " net=" << (cfg.net.use_inet ? "inet" : "unix");
   return os.str();
 }
 

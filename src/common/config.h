@@ -104,6 +104,33 @@ struct EpochConfig {
   bool use_punctuation = false;
 };
 
+/// Partition-group replication and crash recovery (wall-clock runners; see
+/// core/runner.h "Replication and failover"). Off by default: the paper's
+/// protocol carries no redundancy, and the virtual-time SimDriver never
+/// crashes. When enabled, every partition-group's owner ships incremental
+/// state deltas to a buddy slave at checkpoint epochs, the master retains
+/// distributed tuples until the covering checkpoint is acknowledged, and a
+/// slave crash fails its groups over to their buddies with the retained
+/// tuples replayed -- producing exactly the reference join output.
+struct ReplicationConfig {
+  bool enabled = false;
+
+  /// A checkpoint sweep runs every this many distribution epochs. Smaller
+  /// intervals shrink the master's retention buffer and the recovery replay,
+  /// at the price of more checkpoint traffic (bench/ext_recovery_overhead
+  /// sweeps this trade-off).
+  std::uint32_t ckpt_interval_epochs = 4;
+};
+
+/// Transport selection for the multi-process deployment (launchers that
+/// build a SocketMesh; in-process channel transports ignore this).
+struct NetConfig {
+  /// false: AF_UNIX socketpairs (default). true: AF_INET TCP connections
+  /// over loopback -- the real network stack, same framing and crash
+  /// semantics (net/socket_transport.h SocketDomain::kInet).
+  bool use_inet = false;
+};
+
 /// One phase of a cyclic piecewise-constant rate schedule.
 struct RatePhase {
   Duration duration = 0;
@@ -140,6 +167,8 @@ struct SystemConfig {
   BalanceConfig balance;
   EpochConfig epoch;
   EpochTunerConfig epoch_tuner;  ///< extension: adaptive t_d (off by default)
+  ReplicationConfig replication;  ///< buddy replication (off by default)
+  NetConfig net;                  ///< transport domain of socket launchers
   WorkloadConfig workload;
   CostModel cost;
 

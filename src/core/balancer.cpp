@@ -37,16 +37,28 @@ std::vector<MovePlan> PairSuppliersWithConsumers(
 
 std::vector<EvacuationMove> PlanEvacuation(
     const PartitionMap& pmap, SlaveIdx dead,
-    const std::vector<SlaveIdx>& survivors) {
+    const std::vector<SlaveIdx>& survivors, bool prefer_buddies) {
   std::vector<EvacuationMove> moves;
   if (survivors.empty()) return moves;
   std::vector<std::size_t> load;
   load.reserve(survivors.size());
   for (SlaveIdx s : survivors) load.push_back(pmap.CountOf(s));
   for (PartitionId pid : pmap.PartitionsOf(dead)) {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < survivors.size(); ++i) {
-      if (load[i] < load[best]) best = i;
+    std::size_t best = survivors.size();
+    if (prefer_buddies) {
+      const SlaveIdx buddy = pmap.BuddyOf(pid);
+      for (std::size_t i = 0; i < survivors.size(); ++i) {
+        if (survivors[i] == buddy) {
+          best = i;
+          break;
+        }
+      }
+    }
+    if (best == survivors.size()) {
+      best = 0;
+      for (std::size_t i = 1; i < survivors.size(); ++i) {
+        if (load[i] < load[best]) best = i;
+      }
     }
     ++load[best];
     moves.push_back(EvacuationMove{pid, survivors[best]});

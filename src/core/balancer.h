@@ -43,11 +43,15 @@ struct EvacuationMove {
 /// Plans the forced evacuation of every partition-group owned by `dead`:
 /// each is reassigned to the surviving slave with the fewest assigned
 /// partitions at that point (ties to the lowest index), keeping the
-/// survivors balanced. Deterministic. `survivors` must be non-empty and must
-/// not contain `dead`.
+/// survivors balanced. With `prefer_buddies` (buddy replication active) a
+/// group whose buddy survives goes to that buddy instead -- the buddy holds
+/// the group's checkpointed replica, so recovery needs no state transfer;
+/// the least-loaded rule stays as the fallback for groups whose buddy died
+/// too. Deterministic. `survivors` must be non-empty and must not contain
+/// `dead`.
 std::vector<EvacuationMove> PlanEvacuation(
     const PartitionMap& pmap, SlaveIdx dead,
-    const std::vector<SlaveIdx>& survivors);
+    const std::vector<SlaveIdx>& survivors, bool prefer_buddies = false);
 
 enum class DeclusterAction : std::uint8_t { kNone, kGrow, kShrink };
 

@@ -8,8 +8,10 @@ PartitionMap::PartitionMap(std::uint32_t num_partitions,
                            SlaveIdx active_slaves) {
   assert(active_slaves > 0);
   owner_.resize(num_partitions);
+  buddy_.resize(num_partitions);
   for (std::uint32_t p = 0; p < num_partitions; ++p) {
     owner_[p] = p % active_slaves;
+    buddy_[p] = (owner_[p] + 1) % active_slaves;
   }
 }
 

@@ -18,10 +18,18 @@ using SlaveIdx = std::uint32_t;
 class PartitionMap {
  public:
   /// Distributes `num_partitions` round-robin over slaves [0, active).
+  /// Buddies (replica holders) default to the ring successor of each owner,
+  /// so with >= 2 active slaves every group starts with buddy != owner.
   PartitionMap(std::uint32_t num_partitions, SlaveIdx active_slaves);
 
   SlaveIdx OwnerOf(PartitionId pid) const { return owner_[pid]; }
   void SetOwner(PartitionId pid, SlaveIdx slave) { owner_[pid] = slave; }
+
+  /// Replica holder for `pid` under buddy replication. Meaningful only when
+  /// replication is enabled; maintained master-side (the map is the single
+  /// source of truth, shipped to owners inside kCkptCmd entries).
+  SlaveIdx BuddyOf(PartitionId pid) const { return buddy_[pid]; }
+  void SetBuddy(PartitionId pid, SlaveIdx slave) { buddy_[pid] = slave; }
 
   std::uint32_t NumPartitions() const {
     return static_cast<std::uint32_t>(owner_.size());
@@ -35,6 +43,7 @@ class PartitionMap {
 
  private:
   std::vector<SlaveIdx> owner_;
+  std::vector<SlaveIdx> buddy_;
 };
 
 }  // namespace sjoin

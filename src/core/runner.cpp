@@ -18,6 +18,7 @@
 #include "core/master_buffer.h"
 #include "core/partition_map.h"
 #include "gen/stream_source.h"
+#include "join/epoch_tag_sink.h"
 #include "join/join_module.h"
 #include "net/codec.h"
 #include "window/state_codec.h"
@@ -77,9 +78,37 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
   std::vector<PendingMove> moves;
   std::uint64_t next_move_seq = 1;
 
+  // Replication bookkeeping (see runner.h "Replication and failover"):
+  // retained tuple batches per (group, epoch), dropped when the current
+  // buddy acknowledges a checkpoint covering their epoch; `acked` is that
+  // watermark; `need_full` forces the next checkpoint of a group to be a
+  // full snapshot (initially, and after any owner or buddy change).
+  const bool repl = cfg.replication.enabled && n >= 2;
+  const std::uint32_t ckpt_every =
+      std::max<std::uint32_t>(1, cfg.replication.ckpt_interval_epochs);
+  const std::uint32_t npart = cfg.join.num_partitions;
+  std::vector<std::deque<std::pair<std::uint64_t, std::vector<Rec>>>> retained(
+      repl ? npart : 0);
+  std::vector<std::uint64_t> acked(repl ? npart : 0, 0);
+  std::vector<bool> need_full(repl ? npart : 0, true);
+
   auto live_count = [&] {
     return static_cast<std::uint32_t>(
         std::count(alive.begin(), alive.end(), true));
+  };
+
+  // Re-points a group's buddy to the first live ring successor of its
+  // owner. The new buddy holds no segments: the ack watermark resets and the
+  // next checkpoint must be a full snapshot.
+  auto rering_buddy = [&](PartitionId pid, SlaveIdx owner) {
+    for (SlaveIdx step = 1; step < n; ++step) {
+      const SlaveIdx cand = (owner + step) % n;
+      if (!alive[cand]) continue;
+      pmap.SetBuddy(pid, cand);
+      acked[pid] = 0;
+      need_full[pid] = true;
+      return;
+    }
   };
 
   // Dead-slave verdict: exclude the rank from all subsequent epochs, cancel
@@ -89,11 +118,21 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
   // the rehosted groups from new arrivals (WindowStore creates groups on
   // first touch), so the run keeps producing results.
   auto evict = [&](SlaveIdx dead) {
+    WallClock recovery_clock;
+    const Time recovery_t0 = recovery_clock.Now();
     alive[dead] = false;
     ++sum.dead_slaves;
+    // Cancel migrations the dead slave was party to. With replication, a
+    // move whose supplier died before the consumer confirmed the install
+    // leaves the group's live state in limbo (the transfer may never have
+    // been sent) -- such groups are failed over like the dead slave's own.
+    std::vector<PartitionId> orphaned;
     for (auto it = moves.begin(); it != moves.end();) {
       if (it->sup == dead || it->con == dead) {
         in_flight[it->pid] = false;
+        if (repl && it->sup == dead && !it->con_acked) {
+          orphaned.push_back(it->pid);
+        }
         it = moves.erase(it);
       } else {
         ++it;
@@ -103,17 +142,96 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     for (SlaveIdx i = 0; i < n; ++i) {
       if (alive[i]) survivors.push_back(i);
     }
+
+    // One group's failover: reassign ownership, record the voiding entry,
+    // and re-ring the buddy (the target usually *is* the old buddy, so the
+    // group needs a fresh one -- starting from a full snapshot).
+    struct Adopt {
+      PartitionId pid;
+      std::uint64_t replay_from;
+    };
+    std::map<SlaveIdx, std::vector<Adopt>> adopts;
+    auto fail_over = [&](PartitionId pid, SlaveIdx target) {
+      const std::uint64_t replay_from = acked[pid] + 1;
+      if (target != pmap.BuddyOf(pid)) ++sum.degraded_failovers;
+      pmap.SetOwner(pid, target);
+      adopts[target].push_back(Adopt{pid, replay_from});
+      sum.failovers.push_back(FailoverRecord{pid, target + 1, replay_from});
+      ++sum.groups_failed_over;
+      rering_buddy(pid, target);
+    };
+
     std::uint64_t rehosted = 0;
     if (!survivors.empty()) {
-      for (const EvacuationMove& ev : PlanEvacuation(pmap, dead, survivors)) {
-        pmap.SetOwner(ev.pid, ev.target);
+      for (const EvacuationMove& ev :
+           PlanEvacuation(pmap, dead, survivors, repl)) {
+        if (repl) {
+          fail_over(ev.pid, ev.target);
+        } else {
+          pmap.SetOwner(ev.pid, ev.target);
+        }
         ++rehosted;
+      }
+      if (repl) {
+        for (PartitionId pid : orphaned) {
+          SlaveIdx target = pmap.BuddyOf(pid);
+          if (!alive[target]) {
+            target = survivors.front();
+            for (SlaveIdx s : survivors) {
+              if (pmap.CountOf(s) < pmap.CountOf(target)) target = s;
+            }
+          }
+          fail_over(pid, target);
+        }
+        // Groups that replicated *to* the dead slave lose their replica;
+        // their (live) owners re-checkpoint in full to a fresh buddy.
+        for (PartitionId pid = 0; pid < npart; ++pid) {
+          if (pmap.BuddyOf(pid) == dead && alive[pmap.OwnerOf(pid)]) {
+            rering_buddy(pid, pmap.OwnerOf(pid));
+          }
+        }
+        // Failover commands first, then the retained batches in ascending
+        // epoch order (per-channel FIFO: each target rebuilds every adopted
+        // group from its replica before any replayed tuple arrives).
+        for (auto& [target, list] : adopts) {
+          FailoverCmdMsg fc;
+          fc.dead = dead + 1;
+          for (const Adopt& a : list) {
+            fc.entries.push_back(FailoverCmdMsg::Entry{a.pid, a.replay_from});
+          }
+          Writer w;
+          Encode(w, fc);
+          transport.Send(target + 1, Make(MsgType::kFailoverCmd, std::move(w)));
+        }
+        for (auto& [target, list] : adopts) {
+          std::map<std::uint64_t, std::vector<Rec>> per_epoch;
+          for (const Adopt& a : list) {
+            for (const auto& [e, recs] : retained[a.pid]) {
+              if (e < a.replay_from) continue;
+              auto& dst = per_epoch[e];
+              dst.insert(dst.end(), recs.begin(), recs.end());
+            }
+          }
+          for (auto& [e, recs] : per_epoch) {
+            ++sum.replayed_batches;
+            sum.replayed_tuples += recs.size();
+            ReplayBatchMsg rb;
+            rb.epoch = e;
+            rb.recs = std::move(recs);
+            Writer w(TupleBatchMsg::WireSize(rb.recs.size(), tb) + 8);
+            Encode(w, rb, tb);
+            transport.Send(target + 1,
+                           Make(MsgType::kReplayBatch, std::move(w)));
+          }
+        }
       }
     }
     sum.groups_rehosted += rehosted;
+    sum.recovery_us += recovery_clock.Now() - recovery_t0;
     SJOIN_INFO("master: slave " << dead + 1 << " declared dead; rehosted "
                                 << rehosted << " partition-groups onto "
-                                << survivors.size() << " survivors");
+                                << survivors.size() << " survivors"
+                                << (repl ? " (buddy failover + replay)" : ""));
   };
 
   // Marks one mover's ack on the matching pending move; when both movers
@@ -179,6 +297,17 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       TupleBatchMsg batch;
       batch.recs = buffer.DrainFor(pids);
       sum.tuples_sent += batch.recs.size();
+      if (repl && !batch.recs.empty()) {
+        // Retain this epoch's tuples per group until the covering
+        // checkpoint is acknowledged -- they are the failover replay.
+        std::map<PartitionId, std::vector<Rec>> by_pid;
+        for (const Rec& rec : batch.recs) {
+          by_pid[PartitionOf(rec.key, npart)].push_back(rec);
+        }
+        for (auto& [pid, recs] : by_pid) {
+          retained[pid].emplace_back(sum.epochs, std::move(recs));
+        }
+      }
       Writer w(TupleBatchMsg::WireSize(batch.recs.size(), tb));
       Encode(w, batch, tb);
       transport.Send(s, Make(MsgType::kTupleBatch, std::move(w)));
@@ -213,6 +342,26 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
           handle_ack(s - 1, ack);
           continue;
         }
+        if (res.msg.type == MsgType::kCheckpointAck) {
+          Reader cr(res.msg.payload);
+          const CheckpointAckMsg ack = DecodeCheckpointAck(cr);
+          // Only the group's *current* buddy advances the watermark: a
+          // stale ack from a replaced buddy must not release retention the
+          // new (still empty) replica does not cover. Duplicated acks fall
+          // out on the covered-epoch comparison.
+          if (repl && ack.partition_id < npart &&
+              pmap.BuddyOf(ack.partition_id) == s - 1 &&
+              ack.covered_epoch > acked[ack.partition_id]) {
+            acked[ack.partition_id] = ack.covered_epoch;
+            auto& q = retained[ack.partition_id];
+            while (!q.empty() && q.front().first <= ack.covered_epoch) {
+              q.pop_front();
+            }
+            ++sum.ckpt_acks;
+            sum.ckpt_bytes += ack.bytes;
+          }
+          continue;
+        }
         if (res.msg.type == MsgType::kLoadReport) {
           Reader lr(res.msg.payload);
           const LoadReportMsg report = DecodeLoadReport(lr);
@@ -222,6 +371,32 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
           occupancy[s - 1] = report.avg_buffer_occupancy;
           break;
         }
+      }
+    }
+
+    // Checkpoint sweep: every ckpt_every epochs, tell each live owner to
+    // ship its groups' state to their buddies, covering every batch sent so
+    // far. In-flight groups are skipped (their owner is ambiguous until the
+    // move completes, after which the new owner checkpoints in full); an
+    // owner that no longer holds a listed group skips it silently.
+    if (repl && sum.epochs % ckpt_every == 0) {
+      ++sum.ckpt_sweeps;
+      for (Rank s = 1; s <= n; ++s) {
+        if (!alive[s - 1]) continue;
+        CkptCmdMsg cmd;
+        cmd.covered_epoch = sum.epochs;
+        for (PartitionId pid : pmap.PartitionsOf(s - 1)) {
+          if (in_flight[pid]) continue;
+          const SlaveIdx b = pmap.BuddyOf(pid);
+          if (!alive[b] || b == s - 1) continue;
+          cmd.entries.push_back(
+              CkptCmdMsg::Entry{pid, b + 1, need_full[pid]});
+          need_full[pid] = false;
+        }
+        if (cmd.entries.empty()) continue;
+        Writer w;
+        Encode(w, cmd);
+        transport.Send(s, Make(MsgType::kCkptCmd, std::move(w)));
       }
     }
 
@@ -240,7 +415,13 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       for (const MovePlan& plan : PairSuppliersWithConsumers(roles)) {
         const SlaveIdx sup = live_idx[plan.supplier];
         const SlaveIdx con = live_idx[plan.consumer];
-        std::vector<PartitionId> pids = pmap.PartitionsOf(sup);
+        std::vector<PartitionId> pids;
+        for (PartitionId pid : pmap.PartitionsOf(sup)) {
+          // Never migrate a group onto its own buddy: owner and replica
+          // must stay on distinct nodes for the failover to mean anything.
+          if (repl && pmap.BuddyOf(pid) == con) continue;
+          pids.push_back(pid);
+        }
         if (pids.empty()) continue;
         PartitionId pid =
             pids[rng.NextBounded(static_cast<std::uint32_t>(pids.size()))];
@@ -254,6 +435,10 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
         Encode(wi, MoveCmdMsg{pid, sup + 1, seq});
         transport.Send(con + 1, Make(MsgType::kInstallCmd, std::move(wi)));
         pmap.SetOwner(pid, con);
+        // The new owner's journal cannot continue the old owner's segment
+        // chain: its first checkpoint must be a full snapshot. The buddy
+        // (and its acked segments) stay valid across the move.
+        if (repl) need_full[pid] = true;
         ++sum.migrations;
         SJOIN_INFO("master: moving partition " << pid << " from slave "
                                                << sup + 1 << " to " << con + 1
@@ -312,9 +497,14 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
   }
   // Tell the collector how many slaves are still alive to report; dead
   // slaves will never deliver their kShutdown, and the collector must not
-  // wait for them.
+  // wait for them. The run-summary counters ride along for the collector's
+  // observability line.
   Writer wc;
   wc.PutU32(live_count());
+  wc.PutU32(sum.dead_slaves);
+  wc.PutU64(sum.groups_failed_over);
+  wc.PutU64(sum.ckpt_bytes);
+  wc.PutU64(sum.replayed_batches);
   transport.Send(collector, Make(MsgType::kShutdown, std::move(wc)));
   return sum;
 }
@@ -339,9 +529,39 @@ struct ExpectWork {
 struct InstallWork {
   StateTransferMsg state;
 };
+/// kCkptCmd: ship the listed groups' state to their buddies.
+struct CkptWork {
+  CkptCmdMsg cmd;
+};
+/// kCheckpoint: apply one replica segment (this slave is the buddy).
+struct CkptApplyWork {
+  CheckpointMsg msg;
+  std::uint64_t wire_bytes;
+};
+/// kFailoverCmd: rebuild the listed groups from replica segments.
+struct FailoverWork {
+  FailoverCmdMsg cmd;
+};
+/// kReplayBatch: reprocess one retained epoch's tuples.
+struct ReplayWork {
+  ReplayBatchMsg batch;
+};
 struct StopWork {};
 using SlaveWork =
-    std::variant<BatchWork, ExtractWork, ExpectWork, InstallWork, StopWork>;
+    std::variant<BatchWork, ExtractWork, ExpectWork, InstallWork, CkptWork,
+                 CkptApplyWork, FailoverWork, ReplayWork, StopWork>;
+
+/// One applied replica segment of a partition-group. A buddy's chain is a
+/// full snapshot followed by contiguous incremental deltas (older fulls are
+/// kept until superseded twice -- the newest full may be unacknowledged at
+/// failover time and get discarded, falling back to its predecessor).
+struct ReplicaSegment {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  bool full = false;
+  Time expire_before = 0;
+  std::vector<Rec> recs;
+};
 
 }  // namespace
 
@@ -423,6 +643,27 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
           push(InstallWork{DecodeStateTransfer(r, tb)});
           break;
         }
+        case MsgType::kCkptCmd: {
+          Reader r(msg->payload);
+          push(CkptWork{DecodeCkptCmd(r)});
+          break;
+        }
+        case MsgType::kCheckpoint: {
+          Reader r(msg->payload);
+          const std::uint64_t bytes = msg->payload.size();
+          push(CkptApplyWork{DecodeCheckpoint(r, tb), bytes});
+          break;
+        }
+        case MsgType::kFailoverCmd: {
+          Reader r(msg->payload);
+          push(FailoverWork{DecodeFailoverCmd(r)});
+          break;
+        }
+        case MsgType::kReplayBatch: {
+          Reader r(msg->payload);
+          push(ReplayWork{DecodeReplayBatch(r, tb)});
+          break;
+        }
         case MsgType::kShutdown:
           push(StopWork{});
           return;
@@ -449,11 +690,26 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
       opts.slave_extra_sinks[self - 1] != nullptr) {
     fan.push_back(opts.slave_extra_sinks[self - 1]);
   }
+  EpochTagSink* tag = self - 1 < opts.slave_epoch_sinks.size()
+                          ? opts.slave_epoch_sinks[self - 1]
+                          : nullptr;
+  if (tag != nullptr) fan.push_back(tag);
   TeeSink tee(fan);
   JoinModule join(wall_cfg, &tee);
+  if (cfg.replication.enabled) join.EnableCheckpointJournal();
   SlaveSummary sum;
   std::uint64_t reported_outputs = 0;
   double reported_delay_sum = 0.0;
+
+  // Replication state. `epochs_done` counts fully processed kTupleBatch
+  // work items; the master sends one batch per epoch to every live slave,
+  // so it equals the global epoch ordinal of the last covered batch --
+  // checkpoints are stamped with it. `last_ckpt` is the per-group covered
+  // epoch of the last shipped segment (incremental deltas continue it);
+  // `replica` holds this slave's buddy-side segment chains.
+  std::uint64_t epochs_done = 0;
+  std::map<PartitionId, std::uint64_t> last_ckpt;
+  std::map<PartitionId, std::vector<ReplicaSegment>> replica;
 
   auto flush_stats = [&] {
     const RunningStat& d = sink.DelayUs();
@@ -509,6 +765,8 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
         std::this_thread::sleep_for(std::chrono::microseconds(
             spin * static_cast<Duration>(batch->recs.size())));
       }
+      ++epochs_done;
+      if (tag != nullptr) tag->SetEpoch(epochs_done);
       join.EnqueueBatch(batch->recs);
       const std::uint64_t before = join.TuplesProcessed();
       join.ProcessFor(clock.Now() + clock_offset.load(), kDrainBudget);
@@ -565,6 +823,128 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
         if (stash.size() >= kMaxStash) stash.erase(stash.begin());
         stash.emplace(st.move_seq, std::move(st));
       }
+    } else if (auto* ck = std::get_if<CkptWork>(&work)) {
+      // Owner side of a checkpoint sweep. Every batch received before the
+      // command has been fully processed (the work queue is FIFO and each
+      // batch drains completely), so the shipped state covers exactly
+      // `epochs_done` epochs -- the segment is stamped with that, not with
+      // the master's covered_epoch, so a late command never overstates
+      // coverage. A group this slave no longer (or never) holds is skipped
+      // without an ack: the master's retention for it stays put.
+      for (const CkptCmdMsg::Entry& e : ck->cmd.entries) {
+        PartitionGroup* g = join.Store().Find(e.partition_id);
+        if (g == nullptr) continue;
+        auto lc = last_ckpt.find(e.partition_id);
+        // First contact with this group (or post-migration): a delta has no
+        // base to extend -- upgrade to a full snapshot.
+        const bool full = e.full || lc == last_ckpt.end();
+        if (!full && lc->second >= epochs_done) continue;  // nothing new
+        CheckpointMsg m;
+        m.partition_id = e.partition_id;
+        m.full = full;
+        m.from_epoch = full ? 0 : lc->second;
+        m.to_epoch = epochs_done;
+        if (full) {
+          (void)join.TakeJournal(e.partition_id);  // superseded by snapshot
+          m.recs = CollectGroupRecords(*g);
+        } else {
+          m.recs = join.TakeJournal(e.partition_id);
+        }
+        Time max_seen = 0;
+        g->ForEachMiniGroup([&](const MiniGroup& mg) {
+          max_seen = std::max(max_seen, mg.MaxSeenTs());
+        });
+        m.expire_before = max_seen - wall_cfg.join.window;
+        last_ckpt[e.partition_id] = epochs_done;
+        Writer w;
+        Encode(w, m, tb);
+        Message msg = Make(MsgType::kCheckpoint, std::move(w));
+        ++sum.ckpt_segments_sent;
+        sum.ckpt_bytes_sent += msg.payload.size();
+        transport.Send(e.buddy, std::move(msg));
+      }
+    } else if (auto* ca = std::get_if<CkptApplyWork>(&work)) {
+      // Buddy side: apply the segment atomically (it either is in the chain
+      // or it is not -- a crash between segments never tears one), dedup on
+      // the covered epoch (duplicated segments re-ack harmlessly; the
+      // master's watermark comparison absorbs the duplicate ack).
+      auto& chain = replica[ca->msg.partition_id];
+      if (chain.empty() || ca->msg.to_epoch > chain.back().to) {
+        ReplicaSegment seg;
+        seg.from = ca->msg.from_epoch;
+        seg.to = ca->msg.to_epoch;
+        seg.full = ca->msg.full;
+        seg.expire_before = ca->msg.expire_before;
+        seg.recs = std::move(ca->msg.recs);
+        chain.push_back(std::move(seg));
+        // Prune: drop everything before the second-newest full snapshot
+        // (the newest may be unacknowledged at failover and be discarded).
+        std::size_t fulls = 0;
+        for (std::size_t i = chain.size(); i-- > 0;) {
+          if (!chain[i].full) continue;
+          if (++fulls == 2) {
+            if (i > 0) {
+              chain.erase(chain.begin(),
+                          chain.begin() + static_cast<std::ptrdiff_t>(i));
+            }
+            break;
+          }
+        }
+        ++sum.ckpt_segments_applied;
+      }
+      Writer w;
+      Encode(w, CheckpointAckMsg{ca->msg.partition_id, ca->msg.to_epoch,
+                                 ca->wire_bytes});
+      transport.Send(0, Make(MsgType::kCheckpointAck, std::move(w)));
+    } else if (auto* fo = std::get_if<FailoverWork>(&work)) {
+      // Adopt a dead slave's groups: rebuild each from the replica chain
+      // strictly below replay_from (unacknowledged segments are discarded
+      // -- the replay regenerates their epochs), pruning records the expiry
+      // watermark proves can never match a replayed or future probe.
+      for (const FailoverCmdMsg::Entry& e : fo->cmd.entries) {
+        std::vector<Rec> recs;
+        auto it = replica.find(e.partition_id);
+        if (it != replica.end()) {
+          std::vector<ReplicaSegment>& chain = it->second;
+          while (!chain.empty() && chain.back().to >= e.replay_from) {
+            chain.pop_back();
+          }
+          std::size_t base = chain.size();
+          for (std::size_t i = chain.size(); i-- > 0;) {
+            if (chain[i].full) {
+              base = i;
+              break;
+            }
+          }
+          if (base < chain.size()) {
+            const Time expire = chain.back().expire_before;
+            std::uint64_t prev_to = 0;
+            for (std::size_t i = base; i < chain.size(); ++i) {
+              if (i > base && chain[i].from != prev_to) break;  // torn chain
+              prev_to = chain[i].to;
+              for (const Rec& rec : chain[i].recs) {
+                if (rec.ts >= expire) recs.push_back(rec);
+              }
+            }
+          }
+          replica.erase(it);
+        }
+        if (!recs.empty()) {
+          join.InstallGroup(
+              e.partition_id,
+              BuildGroupFromRecords(std::move(recs), wall_cfg.join, tb));
+        }
+        ++sum.groups_adopted;
+      }
+    } else if (auto* rp = std::get_if<ReplayWork>(&work)) {
+      // Redelivered retained epoch: joined exactly like a tuple batch, but
+      // tagged with its original epoch (the voiding rule keys on it) and
+      // answering no load report.
+      if (tag != nullptr) tag->SetEpoch(rp->batch.epoch);
+      join.EnqueueBatch(rp->batch.recs);
+      join.ProcessFor(master_now, kDrainBudget);
+      sum.replayed_tuples += rp->batch.recs.size();
+      flush_stats();
     } else {
       running = false;
     }
@@ -594,6 +974,12 @@ CollectorSummary RunCollectorNode(Transport& transport,
         if (msg->payload.size() >= 4) {
           Reader r(msg->payload);
           expected = std::min(expected, r.GetU32());
+          if (msg->payload.size() >= 32) {
+            sum.dead_slaves = r.GetU32();
+            sum.groups_failed_over = r.GetU64();
+            sum.ckpt_bytes = r.GetU64();
+            sum.replayed_batches = r.GetU64();
+          }
         }
       } else {
         ++slave_shutdowns;
@@ -610,6 +996,13 @@ CollectorSummary RunCollectorNode(Transport& transport,
   }
   sum.avg_delay_us =
       sum.outputs > 0 ? delay_sum / static_cast<double>(sum.outputs) : 0.0;
+  // Per-run observability line: result totals plus the master's recovery
+  // counters (chaos tests assert the relayed values).
+  SJOIN_INFO("collector: run summary: outputs="
+             << sum.outputs << " reports=" << sum.reports << " evictions="
+             << sum.dead_slaves << " failovers=" << sum.groups_failed_over
+             << " ckpt_bytes=" << sum.ckpt_bytes
+             << " replayed_batches=" << sum.replayed_batches);
   return sum;
 }
 

@@ -27,11 +27,30 @@
 //   * migrations it was party to are cancelled (withheld partitions are
 //     released);
 //   * its partition-groups are force-evacuated to the surviving slaves
-//     (balancer PlanEvacuation); their window state died with the node, so
-//     joins spanning it are lost -- new tuples re-grow state at the new
-//     owners.
+//     (balancer PlanEvacuation); without replication their window state
+//     died with the node, so joins spanning it are lost -- new tuples
+//     re-grow state at the new owners.
 // Master and collector death are out of scope (single coordinator, as in
 // the paper).
+//
+// Replication and failover (cfg.replication.enabled): every partition-group
+// gets a *buddy* slave holding a checkpointed replica (PartitionMap, ring
+// successor by default; never the owner). Every `ckpt_interval_epochs`
+// epochs the master sends each owner a kCkptCmd; the owner ships each listed
+// group's state to its buddy as one kCheckpoint segment -- a full snapshot
+// after any owner/buddy change, an incremental journal delta otherwise --
+// and the buddy applies it atomically and acks to the master. The master
+// retains every distributed tuple batch per (group, epoch) until the
+// covering checkpoint is acked. On a dead-slave verdict the groups fail over
+// to their buddies (PlanEvacuation prefers them): each buddy rebuilds the
+// group from its acked segments and the master redelivers the retained
+// batches from the first unacked epoch onward as kReplayBatch frames, tagged
+// with their original epochs. Together with the per-(group, epoch) output
+// voiding rule (join/epoch_tag_sink.h) the cluster's output set is exactly
+// the reference join output despite the crash. A group is never migrated to
+// its own buddy (the replica would collide with the live state), and a
+// buddy change resets the group's ack watermark -- the new buddy starts
+// from a full snapshot.
 //
 // Each slave runs the paper's two software components as two threads: the
 // comm module (blocking Recv, immediate load replies, inbox append) and the
@@ -50,6 +69,8 @@
 #include "tuple/tuple.h"
 
 namespace sjoin {
+
+class EpochTagSink;
 
 struct WallOptions {
   /// Wall-clock duration of the run (master stops distributing after this).
@@ -78,6 +99,23 @@ struct WallOptions {
   /// every join output is also delivered here. The chaos harness uses
   /// CollectSinks to materialize the cluster's exact output set.
   std::vector<JoinSink*> slave_extra_sinks;
+
+  /// Optional per-slave epoch-tag sinks (index = rank - 1; nullptr entries
+  /// ok). When set, the slave also fans outputs into the sink and keeps its
+  /// epoch tag current: the batch ordinal before each kTupleBatch, the
+  /// *original* epoch before each kReplayBatch. The chaos harness needs the
+  /// tags to apply the failover output-voiding rule.
+  std::vector<EpochTagSink*> slave_epoch_sinks;
+};
+
+/// One group's failover, recorded for the output-voiding rule: outputs
+/// tagged (pid, epoch >= replay_from) count only from `target` -- the
+/// replay regenerates exactly those, and any copy another rank produced
+/// before dying (or before being falsely evicted) is void.
+struct FailoverRecord {
+  std::uint32_t pid = 0;
+  Rank target = 0;  ///< slave rank (1-based) that adopted the group
+  std::uint64_t replay_from = 0;  ///< first epoch redelivered to it
 };
 
 struct MasterSummary {
@@ -86,6 +124,22 @@ struct MasterSummary {
   std::uint64_t migrations = 0;
   std::uint32_t dead_slaves = 0;      ///< slaves evicted by the timeout verdict
   std::uint64_t groups_rehosted = 0;  ///< partitions force-evacuated off them
+
+  // Replication / recovery (all zero with replication disabled).
+  std::uint64_t ckpt_sweeps = 0;  ///< checkpoint commands issued (epochs)
+  std::uint64_t ckpt_acks = 0;    ///< segments acknowledged by buddies
+  std::uint64_t ckpt_bytes = 0;   ///< wire bytes of acknowledged segments
+  std::uint64_t groups_failed_over = 0;   ///< groups adopted by a buddy
+  std::uint64_t degraded_failovers = 0;   ///< buddy dead too: replica lost
+  std::uint64_t replayed_batches = 0;     ///< retained epochs redelivered
+  std::uint64_t replayed_tuples = 0;
+  std::vector<FailoverRecord> failovers;  ///< for the output-voiding rule
+
+  /// Master-observed recovery time: dead-slave verdict through the last
+  /// retained batch redelivered, summed over evictions. Wall-clock derived
+  /// (bench/ext_recovery_overhead reports it; excluded from deterministic
+  /// chaos summaries).
+  Duration recovery_us = 0;
 };
 
 struct SlaveSummary {
@@ -93,6 +147,13 @@ struct SlaveSummary {
   std::uint64_t outputs = 0;
   std::uint64_t groups_moved_out = 0;
   std::uint64_t groups_moved_in = 0;
+
+  // Replication / recovery (all zero with replication disabled).
+  std::uint64_t ckpt_segments_sent = 0;     ///< as owner, to buddies
+  std::uint64_t ckpt_bytes_sent = 0;
+  std::uint64_t ckpt_segments_applied = 0;  ///< as buddy, from owners
+  std::uint64_t groups_adopted = 0;         ///< failed over to this slave
+  std::uint64_t replayed_tuples = 0;        ///< redelivered and reprocessed
 };
 
 struct CollectorSummary {
@@ -100,6 +161,13 @@ struct CollectorSummary {
   double avg_delay_us = 0.0;
   double max_delay_us = 0.0;
   std::uint32_t reports = 0;
+
+  // Run summary relayed by the master's final kShutdown (printed by the
+  // collector as the per-run observability line).
+  std::uint32_t dead_slaves = 0;
+  std::uint64_t groups_failed_over = 0;
+  std::uint64_t ckpt_bytes = 0;
+  std::uint64_t replayed_batches = 0;
 };
 
 /// Runs the master node until `opts.run_for` elapses (or `opts.input_trace`

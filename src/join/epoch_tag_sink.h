@@ -1,0 +1,61 @@
+// EpochTagSink: materializes join outputs tagged with the partition-group
+// they came from and the distribution epoch being processed when they were
+// produced. The tags feed the collector-side replay deduplication: after a
+// failover the master redelivers retained batches with their original epoch
+// numbers, and for each failed-over group every output tagged with a
+// replayed epoch is kept only from the failover target -- any copy another
+// rank produced before dying is voided (see tests/harness/chaos_harness.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "join/join_module.h"
+#include "join/sink.h"
+
+namespace sjoin {
+
+struct TaggedOutput {
+  JoinOutput out;
+  PartitionId pid = 0;
+  std::uint64_t epoch = 0;
+};
+
+class EpochTagSink final : public JoinSink {
+ public:
+  explicit EpochTagSink(std::uint32_t num_partitions)
+      : num_partitions_(num_partitions) {}
+
+  /// The slave runner calls this before processing each batch: the ordinal
+  /// of the epoch whose tuples are being joined (for a replayed batch, the
+  /// epoch the tuples were *originally* distributed in).
+  void SetEpoch(std::uint64_t epoch) { epoch_ = epoch; }
+  std::uint64_t Epoch() const { return epoch_; }
+
+  void OnMatches(const Rec& probe, std::span<const Time> partner_ts,
+                 Time produced_at) override {
+    // The probe's key determines the group -- same hash the master routes by.
+    const PartitionId pid = PartitionOf(probe.key, num_partitions_);
+    for (Time pts : partner_ts) {
+      Rec partner{pts, probe.key, Opposite(probe.stream)};
+      TaggedOutput t;
+      t.out.left = probe.stream == 0 ? probe : partner;
+      t.out.right = probe.stream == 0 ? partner : probe;
+      t.out.produced_at = produced_at;
+      t.pid = pid;
+      t.epoch = epoch_;
+      outputs_.push_back(t);
+    }
+  }
+
+  const std::vector<TaggedOutput>& Outputs() const { return outputs_; }
+  std::vector<TaggedOutput>& MutableOutputs() { return outputs_; }
+
+ private:
+  std::uint32_t num_partitions_;
+  std::uint64_t epoch_ = 0;
+  std::vector<TaggedOutput> outputs_;
+};
+
+}  // namespace sjoin

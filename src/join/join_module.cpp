@@ -25,14 +25,14 @@ Duration JoinModule::ProcessFor(Time from, Duration budget) {
     Rec rec = buffer_.front();
     buffer_.pop_front();
     used += cost_.TupleFixedCost(1);
-    PartitionGroup& group =
-        store_.Ensure(PartitionOf(rec.key, num_partitions_));
+    const PartitionId pid = PartitionOf(rec.key, num_partitions_);
+    PartitionGroup& group = store_.Ensure(pid);
     MiniGroup& mg = group.GroupFor(rec.key);
     mg.Part(rec.stream).Insert(rec);
     group.AddCount(1);
     ++processed_;
     if (mg.Part(rec.stream).HeadFull()) {
-      used += FlushMiniGroup(group, mg, from + used);
+      used += FlushMiniGroup(pid, group, mg, from + used);
     }
   }
   if (buffer_.empty()) {
@@ -41,8 +41,8 @@ Duration JoinModule::ProcessFor(Time from, Duration budget) {
   return used;
 }
 
-Duration JoinModule::FlushMiniGroup(PartitionGroup& group, MiniGroup& mg,
-                                    Time work_start) {
+Duration JoinModule::FlushMiniGroup(PartitionId pid, PartitionGroup& group,
+                                    MiniGroup& mg, Time work_start) {
   Duration c = 0;
   std::uint64_t tune_key = 0;
   bool have_key = false;
@@ -66,6 +66,10 @@ Duration JoinModule::FlushMiniGroup(PartitionGroup& group, MiniGroup& mg,
         outputs_ += partners.size();
         sink_->OnMatches(r, partners, produced_at);
       }
+    }
+    if (journal_enabled_) {
+      auto& j = journal_[pid];
+      j.insert(j.end(), fresh.begin(), fresh.end());
     }
     mg.Part(s).Seal();
   }
@@ -120,7 +124,7 @@ Duration JoinModule::ExpireMiniGroup(PartitionGroup& group, MiniGroup& mg,
 
 Duration JoinModule::FlushAllPartials(Time from) {
   Duration c = 0;
-  store_.ForEachGroup([&](PartitionId, PartitionGroup& group) {
+  store_.ForEachGroup([&](PartitionId pid, PartitionGroup& group) {
     // Flushing may split/merge mini-groups (invalidating any directory
     // iteration), so locate one fresh mini-group at a time.
     while (true) {
@@ -132,7 +136,7 @@ Duration JoinModule::FlushAllPartials(Time from) {
         }
       });
       if (target == nullptr) break;
-      c += FlushMiniGroup(group, *target, from + c);
+      c += FlushMiniGroup(pid, group, *target, from + c);
     }
   });
   return c;
@@ -155,7 +159,7 @@ std::unique_ptr<PartitionGroup> JoinModule::ExtractGroup(
       }
     });
     if (target == nullptr) break;
-    cost += FlushMiniGroup(*g, *target, from + cost);
+    cost += FlushMiniGroup(pid, *g, *target, from + cost);
   }
 
   // Buffered tuples of this partition travel with the state.
@@ -169,6 +173,11 @@ std::unique_ptr<PartitionGroup> JoinModule::ExtractGroup(
   }
   buffer_.swap(rest);
 
+  // The group leaves this slave; its journal is meaningless here. The master
+  // forces the new owner's first checkpoint to be a full snapshot, which
+  // covers everything a discarded journal would have.
+  journal_.erase(pid);
+
   auto group = store_.Take(pid);
   cost += cost_.MoveCost(group->TotalCount());
   return group;
@@ -177,6 +186,14 @@ std::unique_ptr<PartitionGroup> JoinModule::ExtractGroup(
 void JoinModule::InstallGroup(PartitionId pid,
                               std::unique_ptr<PartitionGroup> group) {
   store_.Install(pid, std::move(group));
+}
+
+std::vector<Rec> JoinModule::TakeJournal(PartitionId pid) {
+  auto it = journal_.find(pid);
+  if (it == journal_.end()) return {};
+  std::vector<Rec> out = std::move(it->second);
+  journal_.erase(it);
+  return out;
 }
 
 std::uint64_t JoinModule::Splits() const {

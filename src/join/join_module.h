@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.h"
@@ -71,6 +72,19 @@ class JoinModule {
   /// Consumer side: installs a migrated group.
   void InstallGroup(PartitionId pid, std::unique_ptr<PartitionGroup> group);
 
+  // -- Checkpoint journal -----------------------------------------------------
+
+  /// Starts journaling, per partition-group, every record that enters sealed
+  /// window state (the incremental-checkpoint payload of the replication
+  /// protocol). Off by default -- replication pays for its own bookkeeping.
+  void EnableCheckpointJournal() { journal_enabled_ = true; }
+
+  /// Returns and clears the records sealed into `pid` since the last take
+  /// (or since journaling began). The journal may include records that have
+  /// already expired again -- the replica holds a harmless superset, pruned
+  /// by the expiry watermark travelling with each checkpoint.
+  std::vector<Rec> TakeJournal(PartitionId pid);
+
   // -- Introspection ----------------------------------------------------------
 
   WindowStore& Store() { return store_; }
@@ -87,8 +101,8 @@ class JoinModule {
   /// Runs the batch join pass on one mini-group (probe fresh of each stream
   /// against the opposite sealed records, seal, expire, re-tune). Returns the
   /// charged cost; `work_start` stamps the produced outputs.
-  Duration FlushMiniGroup(PartitionGroup& group, MiniGroup& mg,
-                          Time work_start);
+  Duration FlushMiniGroup(PartitionId pid, PartitionGroup& group,
+                          MiniGroup& mg, Time work_start);
 
   /// Expires old blocks of `mg`, running the paper's expiring-block vs.
   /// opposite-fresh completeness join. Returns the charged cost.
@@ -113,6 +127,9 @@ class JoinModule {
   std::uint64_t outputs_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t tuning_moves_ = 0;
+
+  bool journal_enabled_ = false;
+  std::unordered_map<PartitionId, std::vector<Rec>> journal_;
 
   std::vector<Time> probe_scratch_;
 };

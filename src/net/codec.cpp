@@ -166,6 +166,136 @@ ClockSyncMsg DecodeClockSync(Reader& r) {
   return m;
 }
 
+void EncodeStateDelta(Writer& w, const std::vector<Rec>& recs,
+                      std::size_t tuple_bytes) {
+  w.PutU64(recs.size());
+  for (const Rec& rec : recs) EncodeRec(w, rec, tuple_bytes);
+}
+
+std::vector<Rec> DecodeStateDelta(Reader& r, std::size_t tuple_bytes) {
+  std::uint64_t n = r.GetU64();
+  if (n > r.Remaining() / tuple_bytes) {
+    throw DecodeError("state delta record count exceeds payload");
+  }
+  std::vector<Rec> recs;
+  recs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    recs.push_back(DecodeRec(r, tuple_bytes));
+  }
+  return recs;
+}
+
+void Encode(Writer& w, const CkptCmdMsg& m) {
+  w.PutU64(m.covered_epoch);
+  w.PutU64(m.entries.size());
+  for (const CkptCmdMsg::Entry& e : m.entries) {
+    w.PutU32(e.partition_id);
+    w.PutU32(e.buddy);
+    w.PutU8(e.full ? 1 : 0);
+  }
+}
+
+CkptCmdMsg DecodeCkptCmd(Reader& r) {
+  CkptCmdMsg m;
+  m.covered_epoch = r.GetU64();
+  std::uint64_t n = r.GetU64();
+  if (n > r.Remaining() / 9) {  // 9 bytes per encoded entry
+    throw DecodeError("ckpt cmd entry count exceeds payload");
+  }
+  m.entries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    CkptCmdMsg::Entry e;
+    e.partition_id = r.GetU32();
+    e.buddy = r.GetU32();
+    e.full = r.GetU8() != 0;
+    m.entries.push_back(e);
+  }
+  return m;
+}
+
+void Encode(Writer& w, const CheckpointMsg& m, std::size_t tuple_bytes) {
+  w.PutU32(m.partition_id);
+  w.PutU64(m.from_epoch);
+  w.PutU64(m.to_epoch);
+  w.PutU8(m.full ? 1 : 0);
+  w.PutI64(m.expire_before);
+  EncodeStateDelta(w, m.recs, tuple_bytes);
+}
+
+CheckpointMsg DecodeCheckpoint(Reader& r, std::size_t tuple_bytes) {
+  CheckpointMsg m;
+  m.partition_id = r.GetU32();
+  m.from_epoch = r.GetU64();
+  m.to_epoch = r.GetU64();
+  m.full = r.GetU8() != 0;
+  m.expire_before = r.GetI64();
+  if (m.full ? m.from_epoch != 0 : m.from_epoch >= m.to_epoch) {
+    throw DecodeError("checkpoint epoch range is inconsistent");
+  }
+  m.recs = DecodeStateDelta(r, tuple_bytes);
+  return m;
+}
+
+void Encode(Writer& w, const CheckpointAckMsg& m) {
+  w.PutU32(m.partition_id);
+  w.PutU64(m.covered_epoch);
+  w.PutU64(m.bytes);
+}
+
+CheckpointAckMsg DecodeCheckpointAck(Reader& r) {
+  CheckpointAckMsg m;
+  m.partition_id = r.GetU32();
+  m.covered_epoch = r.GetU64();
+  m.bytes = r.GetU64();
+  return m;
+}
+
+void Encode(Writer& w, const FailoverCmdMsg& m) {
+  w.PutU32(m.dead);
+  w.PutU64(m.entries.size());
+  for (const FailoverCmdMsg::Entry& e : m.entries) {
+    w.PutU32(e.partition_id);
+    w.PutU64(e.replay_from);
+  }
+}
+
+FailoverCmdMsg DecodeFailoverCmd(Reader& r) {
+  FailoverCmdMsg m;
+  m.dead = r.GetU32();
+  std::uint64_t n = r.GetU64();
+  if (n > r.Remaining() / 12) {  // 12 bytes per encoded entry
+    throw DecodeError("failover cmd entry count exceeds payload");
+  }
+  m.entries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    FailoverCmdMsg::Entry e;
+    e.partition_id = r.GetU32();
+    e.replay_from = r.GetU64();
+    m.entries.push_back(e);
+  }
+  return m;
+}
+
+void Encode(Writer& w, const ReplayBatchMsg& m, std::size_t tuple_bytes) {
+  w.PutU64(m.epoch);
+  w.PutU64(m.recs.size());
+  for (const Rec& rec : m.recs) EncodeRec(w, rec, tuple_bytes);
+}
+
+ReplayBatchMsg DecodeReplayBatch(Reader& r, std::size_t tuple_bytes) {
+  ReplayBatchMsg m;
+  m.epoch = r.GetU64();
+  std::uint64_t n = r.GetU64();
+  if (n > r.Remaining() / tuple_bytes) {
+    throw DecodeError("replay batch count exceeds payload");
+  }
+  m.recs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    m.recs.push_back(DecodeRec(r, tuple_bytes));
+  }
+  return m;
+}
+
 void Encode(Writer& w, const ResultStatsMsg& m) {
   w.PutU64(m.outputs);
   w.PutDouble(m.delay_sum_us);

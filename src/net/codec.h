@@ -94,6 +94,87 @@ struct ClockSyncMsg {
 void Encode(Writer& w, const ClockSyncMsg& m);
 ClockSyncMsg DecodeClockSync(Reader& r);
 
+/// Length-prefixed record list: the wire form of a replica state delta
+/// (window/state_codec collects/installs the records; this frames them).
+void EncodeStateDelta(Writer& w, const std::vector<Rec>& recs,
+                      std::size_t tuple_bytes);
+std::vector<Rec> DecodeStateDelta(Reader& r, std::size_t tuple_bytes);
+
+/// master -> owner: run a checkpoint sweep covering every batch up to and
+/// including `covered_epoch`. One entry per partition-group the addressee
+/// owns: the buddy rank to ship the delta to, and whether a full snapshot is
+/// required (first checkpoint for this (group, owner) pairing, or the buddy
+/// changed -- an incremental delta would be meaningless to the new replica).
+struct CkptCmdMsg {
+  struct Entry {
+    std::uint32_t partition_id = 0;
+    Rank buddy = 0;     ///< replica holder (slave rank, 1-based)
+    bool full = false;  ///< true: ship the whole group, not the journal
+  };
+  std::uint64_t covered_epoch = 0;
+  std::vector<Entry> entries;
+};
+void Encode(Writer& w, const CkptCmdMsg& m);
+CkptCmdMsg DecodeCkptCmd(Reader& r);
+
+/// owner -> buddy: one partition-group's replica segment. A full snapshot
+/// (`full`) carries the group's entire sealed window state; an incremental
+/// delta carries the records sealed since the previous checkpoint
+/// (`from_epoch` .. `to_epoch`, contiguous per group). `expire_before` is
+/// the group's expiry watermark: replica records older than it can never
+/// match a future probe and may be pruned. Applied atomically by the buddy
+/// -- a crash mid-sweep loses whole segments, never parts of one.
+struct CheckpointMsg {
+  std::uint32_t partition_id = 0;
+  std::uint64_t from_epoch = 0;  ///< previous covered epoch (0 for full)
+  std::uint64_t to_epoch = 0;    ///< epoch this segment covers through
+  bool full = false;
+  Time expire_before = 0;
+  std::vector<Rec> recs;
+};
+void Encode(Writer& w, const CheckpointMsg& m, std::size_t tuple_bytes);
+CheckpointMsg DecodeCheckpoint(Reader& r, std::size_t tuple_bytes);
+
+/// buddy -> master: the segment for (partition, covered epoch) is applied.
+/// The master drops its retained tuple batches for the group up to the
+/// covered epoch and accounts `bytes` as replication overhead.
+struct CheckpointAckMsg {
+  std::uint32_t partition_id = 0;
+  std::uint64_t covered_epoch = 0;
+  std::uint64_t bytes = 0;  ///< wire size of the applied segment
+};
+void Encode(Writer& w, const CheckpointAckMsg& m);
+CheckpointAckMsg DecodeCheckpointAck(Reader& r);
+
+/// master -> buddy: adopt the listed partition-groups of a dead slave.
+/// `replay_from` is the first epoch not covered by an acknowledged
+/// checkpoint: the buddy rebuilds each group from replica segments strictly
+/// below it (discarding unacknowledged segments -- they are regenerated by
+/// the replay) and the master redelivers the retained batches from
+/// `replay_from` onward as kReplayBatch frames.
+struct FailoverCmdMsg {
+  struct Entry {
+    std::uint32_t partition_id = 0;
+    std::uint64_t replay_from = 0;
+  };
+  Rank dead = 0;  ///< the evicted slave rank (for logging/metrics)
+  std::vector<Entry> entries;
+};
+void Encode(Writer& w, const FailoverCmdMsg& m);
+FailoverCmdMsg DecodeFailoverCmd(Reader& r);
+
+/// master -> buddy: retained tuples of one distribution epoch, redelivered
+/// after a failover. The buddy processes them exactly like a tuple batch but
+/// tags the produced outputs with the original epoch (so the collector-side
+/// per-(group, epoch) watermarks deduplicate the replay overlap) and answers
+/// no load report.
+struct ReplayBatchMsg {
+  std::uint64_t epoch = 0;  ///< the epoch the tuples were first distributed
+  std::vector<Rec> recs;
+};
+void Encode(Writer& w, const ReplayBatchMsg& m, std::size_t tuple_bytes);
+ReplayBatchMsg DecodeReplayBatch(Reader& r, std::size_t tuple_bytes);
+
 /// slave -> collector: result aggregates of one reporting interval.
 struct ResultStatsMsg {
   std::uint64_t outputs = 0;

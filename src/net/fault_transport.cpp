@@ -12,7 +12,8 @@ namespace {
 /// and duplicating kResultStats would double-count collector aggregates.
 bool DupEligible(MsgType type) {
   return type == MsgType::kAck || type == MsgType::kLoadReport ||
-         type == MsgType::kStateTransfer;
+         type == MsgType::kStateTransfer || type == MsgType::kCheckpoint ||
+         type == MsgType::kCheckpointAck;
 }
 
 /// The slice granularity of the pump loop: long enough to stay off the CPU,
@@ -139,6 +140,16 @@ RecvResult FaultEndpoint::Pump(bool any, Rank from, Duration timeout_us) {
 
 void FaultEndpoint::Send(Rank to, Message msg) {
   if (dead_.load()) {
+    swallowed_sends_.fetch_add(1);
+    return;
+  }
+  if (Self() == cfg_.crash_rank && cfg_.crash_after_checkpoint_sends > 0 &&
+      msg.type == MsgType::kCheckpoint &&
+      ckpt_sends_.fetch_add(1) + 1 >= cfg_.crash_after_checkpoint_sends) {
+    // Mid-sweep death: the triggering segment goes down with the node. Only
+    // the dead_ flag is touched here -- Send races with the receive thread,
+    // which drops its queues on its own once it observes the flag.
+    dead_.store(true);
     swallowed_sends_.fetch_add(1);
     return;
   }

@@ -12,8 +12,9 @@
 //                     within one sender's stream -- exactly what a slow but
 //                     order-preserving connection does.
 //   * duplicate    -- an extra copy of a control message (kAck, kLoadReport,
-//                     kStateTransfer: the types the protocol must handle
-//                     idempotently) is delivered right after the original.
+//                     kStateTransfer, kCheckpoint, kCheckpointAck: the types
+//                     the protocol must handle idempotently) is delivered
+//                     right after the original.
 //   * drop+retx    -- the first transmission vanishes; a bounded
 //                     retransmission arrives `retransmit_delay_us` later.
 //                     Messages are never lost permanently (that would be a
@@ -55,7 +56,8 @@ struct FaultConfig {
   Duration delay_min_us = 1 * kUsPerMs;
   Duration delay_max_us = 10 * kUsPerMs;
 
-  /// P(deliver an extra copy) of kAck / kLoadReport / kStateTransfer.
+  /// P(deliver an extra copy) of kAck / kLoadReport / kStateTransfer /
+  /// kCheckpoint / kCheckpointAck.
   double duplicate_prob = 0.0;
 
   /// P(first transmission dropped); the retransmission arrives after
@@ -73,6 +75,12 @@ struct FaultConfig {
   /// node exits). true: the node hangs -- receives block forever and sends
   /// vanish, the worst case for its peers.
   bool crash_hang = false;
+
+  /// `crash_rank` dies upon attempting its N-th kCheckpoint *send* instead
+  /// of on batch receipt (0 disables): the mid-checkpoint-sweep crash. The
+  /// triggering segment is swallowed with the node, so a buddy holds either
+  /// the previous consistent segment or the new one -- never a torn one.
+  std::uint64_t crash_after_checkpoint_sends = 0;
 };
 
 /// Deterministic per-endpoint fault counters (what was injected, not what
@@ -137,6 +145,7 @@ class FaultEndpoint final : public Transport {
   std::map<Rank, Channel> channels_;
   std::deque<Message> ready_;  // released, undelivered messages
   std::uint64_t batches_seen_ = 0;
+  std::atomic<std::uint64_t> ckpt_sends_{0};
   FaultStats stats_;
   std::atomic<bool> dead_{false};
   std::atomic<std::uint64_t> swallowed_sends_{0};

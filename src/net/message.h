@@ -30,6 +30,13 @@ enum class MsgType : std::uint8_t {
   kClockSync = 7,      ///< master -> slave: synchronize epoch clocks
   kResultStats = 8,    ///< slave -> collector: output/delay aggregates
   kShutdown = 9,       ///< master -> all: end of run
+
+  // Replication sub-protocol (core/runner.h "Replication and failover").
+  kCkptCmd = 10,        ///< master -> owner: checkpoint these groups now
+  kCheckpoint = 11,     ///< owner -> buddy: one group's state delta
+  kCheckpointAck = 12,  ///< buddy -> master: delta applied durably
+  kFailoverCmd = 13,    ///< master -> buddy: adopt a dead slave's groups
+  kReplayBatch = 14,    ///< master -> buddy: retained tuples of one epoch
 };
 
 struct Message {

@@ -1,5 +1,7 @@
 #include "net/socket_transport.h"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -51,6 +53,56 @@ bool ReadAll(int fd, std::uint8_t* data, std::size_t len) {
     got += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+[[noreturn]] void ThrowErrno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Builds one connected AF_INET TCP pair over loopback: listen on an
+/// ephemeral 127.0.0.1 port, connect to it, accept. Both ends get
+/// TCP_NODELAY so the protocol's small control frames (acks, load reports,
+/// checkpoint acks) are not Nagle-delayed behind large tuple batches.
+void InetPair(int sv[2]) {
+  int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) ThrowErrno("inet socket failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral: the kernel picks a free port
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(lfd);
+    ThrowErrno("inet bind failed");
+  }
+  socklen_t alen = sizeof(addr);
+  if (::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen) != 0 ||
+      ::listen(lfd, 1) != 0) {
+    ::close(lfd);
+    ThrowErrno("inet listen failed");
+  }
+  int cfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (cfd < 0) {
+    ::close(lfd);
+    ThrowErrno("inet socket failed");
+  }
+  // Loopback connect to a listening socket completes without a concurrent
+  // accept: the kernel queues the connection (backlog 1).
+  if (::connect(cfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(lfd);
+    ::close(cfd);
+    ThrowErrno("inet connect failed");
+  }
+  int afd = ::accept(lfd, nullptr, nullptr);
+  ::close(lfd);
+  if (afd < 0) {
+    ::close(cfd);
+    ThrowErrno("inet accept failed");
+  }
+  const int one = 1;
+  (void)::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  (void)::setsockopt(afd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sv[0] = cfd;
+  sv[1] = afd;
 }
 
 }  // namespace
@@ -219,14 +271,16 @@ RecvResult SocketEndpoint::RecvFromTimed(Rank from, Duration timeout_us) {
   }
 }
 
-SocketMesh::SocketMesh(Rank num_ranks) : num_ranks_(num_ranks) {
+SocketMesh::SocketMesh(Rank num_ranks, SocketDomain domain)
+    : num_ranks_(num_ranks) {
   fd_.assign(num_ranks, std::vector<int>(num_ranks, -1));
   for (Rank i = 0; i < num_ranks; ++i) {
     for (Rank j = i + 1; j < num_ranks; ++j) {
       int sv[2];
-      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
-        throw std::runtime_error(std::string("socketpair failed: ") +
-                                 std::strerror(errno));
+      if (domain == SocketDomain::kInet) {
+        InetPair(sv);
+      } else if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+        ThrowErrno("socketpair failed");
       }
       fd_[i][j] = sv[0];
       fd_[j][i] = sv[1];

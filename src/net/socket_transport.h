@@ -1,10 +1,17 @@
 // Socket transport: the real shared-nothing deployment.
 //
-// A launcher process creates one AF_UNIX socketpair per node pair *before*
-// forking the node processes (the paper's persistent, reliable connections;
-// AF_UNIX gives TCP-like stream semantics between local processes, which is
-// the "multi-process on one machine" deployment this reproduction targets --
-// substituting AF_INET sockets here is a one-line change).
+// A launcher process creates one connected stream-socket pair per node pair
+// *before* forking the node processes (the paper's persistent, reliable
+// connections). Two domains are supported, selected per mesh:
+//   * kUnix (default) -- AF_UNIX socketpairs: TCP-like stream semantics
+//     between local processes, the "multi-process on one machine" deployment
+//     this reproduction targets.
+//   * kInet -- real AF_INET TCP connections over the loopback interface
+//     (listen on 127.0.0.1:0, connect, accept; TCP_NODELAY on both ends so
+//     the protocol's small control frames are not Nagle-delayed). The same
+//     framing and crash semantics apply; pointing the connect step at remote
+//     hosts would spread the same binaries across machines. Enabled in the
+//     launcher via SystemConfig::net.use_inet.
 //
 // Framing: [from u32][type u8][len u32][payload], little endian.
 //
@@ -23,6 +30,12 @@
 #include "net/transport.h"
 
 namespace sjoin {
+
+/// Socket domain of a SocketMesh (see file comment).
+enum class SocketDomain {
+  kUnix,  ///< AF_UNIX socketpairs (local processes)
+  kInet,  ///< AF_INET TCP over loopback (real network stack)
+};
 
 class SocketEndpoint final : public Transport {
  public:
@@ -79,7 +92,8 @@ class SocketEndpoint final : public Transport {
 /// closes every fd that does not belong to that rank.
 class SocketMesh {
  public:
-  explicit SocketMesh(Rank num_ranks);
+  explicit SocketMesh(Rank num_ranks,
+                      SocketDomain domain = SocketDomain::kUnix);
   ~SocketMesh();
 
   SocketMesh(const SocketMesh&) = delete;

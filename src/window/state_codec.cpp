@@ -1,5 +1,6 @@
 #include "window/state_codec.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace sjoin {
@@ -63,6 +64,34 @@ std::unique_ptr<PartitionGroup> DecodeGroupState(Reader& r,
   for (const auto& recs : recs_per_bucket) {
     for (const Rec& rec : recs) group->InstallSealed(rec);
   }
+  return group;
+}
+
+std::vector<Rec> CollectGroupRecords(const PartitionGroup& group) {
+  std::vector<Rec> out;
+  out.reserve(group.TotalCount());
+  group.ForEachMiniGroup([&](const MiniGroup& mg) {
+    for (StreamId s = 0; s < kStreamCount; ++s) {
+      const MiniPartition& part = mg.Part(s);
+      assert(part.FreshCount() == 0 && "flush the group before collecting");
+      part.ForEachRecord([&](const Rec& rec) {
+        Rec tagged = rec;
+        tagged.stream = s;  // the stream slot is authoritative here
+        out.push_back(tagged);
+      });
+    }
+  });
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Rec& a, const Rec& b) { return a.ts < b.ts; });
+  return out;
+}
+
+std::unique_ptr<PartitionGroup> BuildGroupFromRecords(
+    std::vector<Rec> recs, const JoinConfig& cfg, std::size_t tuple_bytes) {
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const Rec& a, const Rec& b) { return a.ts < b.ts; });
+  auto group = std::make_unique<PartitionGroup>(cfg, tuple_bytes);
+  for (const Rec& rec : recs) group->InstallSealed(rec);
   return group;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "common/config.h"
 #include "common/serialize.h"
@@ -21,5 +22,21 @@ void EncodeGroupState(Writer& w, const PartitionGroup& group);
 std::unique_ptr<PartitionGroup> DecodeGroupState(Reader& r,
                                                  const JoinConfig& cfg,
                                                  std::size_t tuple_bytes);
+
+/// Collects every sealed record of a (flushed) group in timestamp order --
+/// the full-snapshot payload of the replication protocol. Unlike
+/// EncodeGroupState this drops the directory shape: a replica rebuilt with
+/// any shape joins identically (probes bound by exact timestamp windows),
+/// and the buddy re-tunes from scratch after a failover anyway.
+std::vector<Rec> CollectGroupRecords(const PartitionGroup& group);
+
+/// Rebuilds a group purely from records (failover recovery path): the
+/// records -- any concatenation of replica segments, in any order -- are
+/// stable-sorted by timestamp and installed as sealed state into a fresh
+/// directory. Per-mini-partition temporal order follows from the global
+/// sort, so InstallSealed's invariant holds for every routing.
+std::unique_ptr<PartitionGroup> BuildGroupFromRecords(std::vector<Rec> recs,
+                                                      const JoinConfig& cfg,
+                                                      std::size_t tuple_bytes);
 
 }  // namespace sjoin

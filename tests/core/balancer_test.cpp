@@ -88,5 +88,73 @@ TEST(DeclusterTest, BetaControlsSensitivity) {
   EXPECT_EQ(DecideDecluster(roles, 0.6, 3, 5), DeclusterAction::kNone);
 }
 
+TEST(EvacuationTest, CoversEveryPartitionOfTheDeadSlave) {
+  PartitionMap map(12, 3);
+  const auto owned = map.PartitionsOf(1);
+  auto moves = PlanEvacuation(map, 1, {0, 2});
+  ASSERT_EQ(moves.size(), owned.size());
+  for (const EvacuationMove& m : moves) {
+    EXPECT_EQ(map.OwnerOf(m.pid), 1u);
+    EXPECT_NE(m.target, 1u);
+  }
+}
+
+TEST(EvacuationTest, BalancesAcrossSurvivors) {
+  PartitionMap map(12, 3);  // 4 partitions per slave
+  auto moves = PlanEvacuation(map, 1, {0, 2});
+  std::size_t to0 = 0;
+  std::size_t to2 = 0;
+  for (const EvacuationMove& m : moves) {
+    (m.target == 0 ? to0 : to2)++;
+  }
+  EXPECT_EQ(to0, 2u);  // 4 + 2 == 6 each after evacuation
+  EXPECT_EQ(to2, 2u);
+}
+
+// With replication active, every group whose buddy survived must land on
+// that buddy -- it holds the acked replica the failover rebuilds from; a
+// least-loaded placement would strand the state.
+TEST(EvacuationTest, PrefersSurvivingBuddies) {
+  PartitionMap map(12, 3);
+  auto moves = PlanEvacuation(map, 1, {0, 2}, /*prefer_buddies=*/true);
+  ASSERT_FALSE(moves.empty());
+  for (const EvacuationMove& m : moves) {
+    const SlaveIdx buddy = map.BuddyOf(m.pid);
+    if (buddy != 1) {
+      EXPECT_EQ(m.target, buddy) << "pid=" << m.pid;
+    } else {
+      EXPECT_NE(m.target, 1u) << "pid=" << m.pid;
+    }
+  }
+}
+
+// A dead buddy falls back to the least-loaded survivor (degraded failover:
+// the replica is lost, but the group must still be re-homed somewhere).
+TEST(EvacuationTest, DeadBuddyFallsBackToLeastLoaded) {
+  PartitionMap map(6, 2);
+  // Two slaves: every group owned by 0 has buddy 1 and vice versa. Kill 1:
+  // its groups' buddies (slave 0) survive; groups owned by... none have a
+  // dead buddy here, so force one: buddy of pid 1 -> the dead slave itself.
+  map.SetBuddy(1, 1);
+  auto moves = PlanEvacuation(map, 1, {0}, /*prefer_buddies=*/true);
+  bool saw_pid1 = false;
+  for (const EvacuationMove& m : moves) {
+    EXPECT_EQ(m.target, 0u);
+    saw_pid1 |= m.pid == 1;
+  }
+  EXPECT_TRUE(saw_pid1);
+}
+
+TEST(EvacuationTest, DeterministicPlan) {
+  PartitionMap map(24, 4);
+  auto a = PlanEvacuation(map, 2, {0, 1, 3}, /*prefer_buddies=*/true);
+  auto b = PlanEvacuation(map, 2, {0, 1, 3}, /*prefer_buddies=*/true);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pid, b[i].pid);
+    EXPECT_EQ(a[i].target, b[i].target);
+  }
+}
+
 }  // namespace
 }  // namespace sjoin

@@ -43,5 +43,37 @@ TEST(PartitionMapTest, SingleSlaveOwnsAll) {
   EXPECT_EQ(map.CountOf(0), 60u);
 }
 
+// Buddy replication: every partition's default replica holder is the ring
+// successor of its owner -- never the owner itself (a replica colocated
+// with the live state would die with it).
+TEST(PartitionMapTest, DefaultBuddyIsRingSuccessor) {
+  PartitionMap map(12, 3);
+  for (PartitionId p = 0; p < 12; ++p) {
+    EXPECT_EQ(map.BuddyOf(p), (map.OwnerOf(p) + 1) % 3) << "pid=" << p;
+    EXPECT_NE(map.BuddyOf(p), map.OwnerOf(p)) << "pid=" << p;
+  }
+}
+
+TEST(PartitionMapTest, SetBuddyOverridesDefault) {
+  PartitionMap map(6, 3);
+  const SlaveIdx owner = map.OwnerOf(4);
+  const SlaveIdx other = (owner + 2) % 3;
+  map.SetBuddy(4, other);
+  EXPECT_EQ(map.BuddyOf(4), other);
+  // Re-owning the partition does not silently re-ring the buddy: the
+  // master's checkpoint logic decides when a buddy change is needed.
+  map.SetOwner(4, (owner + 1) % 3);
+  EXPECT_EQ(map.BuddyOf(4), other);
+}
+
+TEST(PartitionMapTest, SingleSlaveBuddyFallsBackToOwner) {
+  // With one active slave there is no distinct successor; the map reports
+  // the owner and replication simply has no live buddy to use.
+  PartitionMap map(4, 1);
+  for (PartitionId p = 0; p < 4; ++p) {
+    EXPECT_EQ(map.BuddyOf(p), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace sjoin

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "join/epoch_tag_sink.h"
 #include "join/sink.h"
 #include "net/inproc_transport.h"
 
@@ -41,7 +42,8 @@ std::string ChaosClusterResult::Summary() const {
   os << "tuples_sent=" << master.tuples_sent << " epochs=" << master.epochs
      << " migrations=" << master.migrations
      << " dead_slaves=" << master.dead_slaves
-     << " groups_rehosted=" << master.groups_rehosted << "\n";
+     << " groups_rehosted=" << master.groups_rehosted
+     << " failed_over=" << master.groups_failed_over << "\n";
   os << "outputs=" << outputs.size() << " hash=" << HashPairs(outputs)
      << " missing=" << missing.size() << " extra=" << extra.size() << "\n";
   for (std::size_t r = 0; r < fault_stats.size(); ++r) {
@@ -65,11 +67,16 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
         std::make_unique<FaultEndpoint>(hub.Endpoint(r), opts.faults);
   }
 
-  std::vector<CollectSink> sinks(n);
+  std::vector<EpochTagSink> sinks;
+  sinks.reserve(n);
+  for (Rank s = 0; s < n; ++s) {
+    sinks.emplace_back(opts.cfg.join.num_partitions);
+  }
   WallOptions wall = opts.wall;
   wall.input_trace = &opts.trace;
   wall.slave_extra_sinks.clear();
-  for (Rank s = 0; s < n; ++s) wall.slave_extra_sinks.push_back(&sinks[s]);
+  wall.slave_epoch_sinks.clear();
+  for (Rank s = 0; s < n; ++s) wall.slave_epoch_sinks.push_back(&sinks[s]);
 
   ChaosClusterResult result;
   result.slaves.resize(n);
@@ -97,9 +104,23 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
     result.fault_stats.push_back(endpoints[r]->Stats());
   }
 
-  for (const CollectSink& sink : sinks) {
-    for (const JoinOutput& out : sink.Outputs()) {
-      result.outputs.push_back(PairOf(out));
+  // Failover output-voiding rule: outputs tagged (pid, epoch >= replay_from)
+  // count only from the failover target -- the replay regenerates exactly
+  // those (see core/runner.h FailoverRecord).
+  for (Rank s = 0; s < n; ++s) {
+    for (const TaggedOutput& t : sinks[s].Outputs()) {
+      bool voided = false;
+      for (const FailoverRecord& f : result.master.failovers) {
+        if (t.pid == f.pid && t.epoch >= f.replay_from && s + 1 != f.target) {
+          voided = true;
+          break;
+        }
+      }
+      if (voided) {
+        ++result.voided;
+        continue;
+      }
+      result.outputs.push_back(PairOf(t.out));
     }
   }
   std::sort(result.outputs.begin(), result.outputs.end());

@@ -10,9 +10,22 @@
 //   * with delay / reorder / duplicate faults (and bounded
 //     drop-with-retransmit) the cluster output must EQUAL the reference:
 //     nothing lost, nothing duplicated;
-//   * with a crashed slave the output must be a SUBSET of the reference
-//     (`extra` empty): window state that died with the node may lose
-//     matches, but hardening must never fabricate or double-deliver one.
+//   * with a crashed slave and replication OFF the output must be a SUBSET
+//     of the reference (`extra` empty): window state that died with the
+//     node may lose matches, but hardening must never fabricate or
+//     double-deliver one;
+//   * with a crashed slave and replication ON (cfg.replication.enabled) the
+//     output must EQUAL the reference: buddies rebuild the lost groups from
+//     acked checkpoints and the master replays retained batches.
+//
+// Every slave's outputs are materialized through an EpochTagSink, and the
+// harness applies the failover output-voiding rule before the differential
+// check: for each FailoverRecord{pid, target, replay_from} reported by the
+// master, outputs tagged (pid, epoch >= replay_from) count only from
+// `target` -- the replay regenerates exactly those, and any copy another
+// rank produced (the dead slave pre-crash, a falsely-evicted slave
+// post-verdict, or a pre-migration owner) is void. This is the collector's
+// dedup discipline, stated over the test's materialized outputs.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +58,11 @@ struct ChaosClusterResult {
   std::vector<JoinPair> missing;    ///< reference \ outputs
   std::vector<JoinPair> extra;      ///< outputs \ reference (incl. dups)
   bool exact = false;               ///< missing and extra both empty
+
+  /// Outputs dropped by the failover voiding rule (0 without a failover).
+  /// Not part of Summary(): how much a dying slave drains before the crash
+  /// lands is thread-timing dependent; the post-voiding output set is not.
+  std::uint64_t voided = 0;
 
   /// Deterministic digest of the run: every counter that depends only on
   /// the trace, the config, and the fault seed (no wall-clock-derived

@@ -7,6 +7,8 @@
 
 #include <numeric>
 
+#include "testutil/fuzz_env.h"
+
 namespace sjoin {
 namespace {
 
@@ -226,6 +228,181 @@ TEST(ChaosTest, DifferentSeedDifferentSchedule) {
   EXPECT_TRUE(b.exact);
   EXPECT_NE(TotalDelayed(a) * 1000 + TotalDuplicated(a),
             TotalDelayed(b) * 1000 + TotalDuplicated(b));
+}
+
+// ---------------------------------------------------------------------------
+// Replication: a slave crash must produce EXACTLY the reference output.
+// ---------------------------------------------------------------------------
+
+/// BaseOptions with buddy replication on and crash-verdict timeouts tuned
+/// for fast tests: checkpoints every 2 epochs, so at most two epochs of
+/// retained batches replay per failed-over group.
+ChaosClusterOptions ReplicatedOptions(std::uint64_t fault_seed) {
+  ChaosClusterOptions opts = BaseOptions(fault_seed);
+  opts.cfg.replication.enabled = true;
+  opts.cfg.replication.ckpt_interval_epochs = 2;
+  opts.wall.recv_timeout_us = 30 * kUsPerMs;
+  opts.wall.recv_max_retries = 2;
+  return opts;
+}
+
+/// The replicated crash contract: exact output, a recorded failover, live
+/// checkpoint traffic, and the collector's run-summary counters mirroring
+/// the master's (the per-run observability line is fed by kShutdown).
+void CheckReplicatedCrashRun(const ChaosClusterResult& r) {
+  EXPECT_EQ(r.master.dead_slaves, 1u);
+  EXPECT_GT(r.master.groups_failed_over, 0u);
+  EXPECT_FALSE(r.master.failovers.empty());
+  EXPECT_TRUE(r.exact) << "missing=" << r.missing.size()
+                       << " extra=" << r.extra.size()
+                       << " voided=" << r.voided
+                       << " replayed=" << r.master.replayed_batches;
+  std::uint64_t adopted = 0;
+  for (const SlaveSummary& s : r.slaves) adopted += s.groups_adopted;
+  EXPECT_EQ(adopted + r.master.degraded_failovers,
+            r.master.groups_failed_over);
+  // Run-summary counters (collector observability line) mirror the master.
+  EXPECT_EQ(r.collector.dead_slaves, r.master.dead_slaves);
+  EXPECT_EQ(r.collector.groups_failed_over, r.master.groups_failed_over);
+  EXPECT_EQ(r.collector.ckpt_bytes, r.master.ckpt_bytes);
+  EXPECT_EQ(r.collector.replayed_batches, r.master.replayed_batches);
+}
+
+// The canonical recovery scenario: slave 1 dies at the first reorganization
+// epoch. Its groups fail over to their buddies, the master replays retained
+// batches, and the voided output set equals the reference exactly --
+// nothing lost, nothing doubled.
+TEST(ChaosTest, ReplicatedSlaveCrashRecoversExactOutput) {
+  ChaosClusterOptions opts = ReplicatedOptions(20);
+  opts.faults.crash_rank = 1;
+  opts.faults.crash_after_batches = 6;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  EXPECT_GT(r.master.ckpt_acks, 0u);
+  EXPECT_GT(r.master.ckpt_bytes, 0u);
+  EXPECT_GT(r.master.replayed_batches, 0u);
+  CheckReplicatedCrashRun(r);
+}
+
+// Crash before the first checkpoint sweep completes: no segment is acked,
+// every buddy rebuilds from nothing, and the master must replay every
+// retained epoch from the beginning.
+TEST(ChaosTest, ReplicatedCrashBeforeFirstCheckpointStillExact) {
+  ChaosClusterOptions opts = ReplicatedOptions(21);
+  opts.cfg.replication.ckpt_interval_epochs = 16;  // later than the crash
+  opts.faults.crash_rank = 2;
+  opts.faults.crash_after_batches = 3;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  CheckReplicatedCrashRun(r);
+  EXPECT_GT(r.master.replayed_batches, 0u);
+}
+
+// The hang variant: the dead slave's threads keep draining queued work and
+// produce outputs after the verdict -- the voiding rule must cancel them.
+TEST(ChaosTest, ReplicatedSlaveHangRecoversExactOutput) {
+  ChaosClusterOptions opts = ReplicatedOptions(22);
+  opts.faults.crash_rank = 1;
+  opts.faults.crash_after_batches = 6;
+  opts.faults.crash_hang = true;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  CheckReplicatedCrashRun(r);
+}
+
+// Crash at a reorganization epoch with forced migrations in flight: the
+// failover must compose with move cancellation (supplier-dead moves fall
+// back to the buddy; consumer-dead moves release the withheld partition).
+TEST(ChaosTest, ReplicatedCrashDuringMigrationStillExact) {
+  ChaosClusterOptions opts = ReplicatedOptions(23);
+  opts.cfg.epoch.t_rep = 15 * kUsPerMs;
+  opts.cfg.balance.th_sup = 1e-6;  // any backlog => supplier
+  opts.cfg.balance.th_con = 1e-9;
+  opts.wall.slave_spin_us_per_tuple = {400, 0, 0};
+  opts.faults.crash_rank = 1;
+  opts.faults.crash_after_batches = 3;  // lands at the reorg boundary
+  ChaosClusterResult r = RunChaosCluster(opts);
+  CheckReplicatedCrashRun(r);
+}
+
+// Mid-checkpoint crash (FaultConfig::crash_after_checkpoint_sends): the
+// owner dies partway through a checkpoint sweep. Buddies that missed this
+// sweep's segment hold the previous consistent one -- never a torn segment
+// -- and recovery replays the difference. Output must stay exact.
+TEST(ChaosTest, ReplicatedCrashMidCheckpointSweepStillExact) {
+  ChaosClusterOptions opts = ReplicatedOptions(24);
+  opts.faults.crash_rank = 1;
+  opts.faults.crash_after_checkpoint_sends = 3;  // mid-sweep: > 2 groups owned
+  ChaosClusterResult r = RunChaosCluster(opts);
+  CheckReplicatedCrashRun(r);
+}
+
+// Crash recovery under concurrent delay / duplicate / drop faults,
+// including duplicated kCheckpoint and kCheckpointAck frames -- the
+// idempotent apply and the master's ack watermark must absorb them all.
+TEST(ChaosTest, ReplicatedCrashUnderCombinedFaultsStillExact) {
+  ChaosClusterOptions opts = ReplicatedOptions(25);
+  opts.faults.delay_prob = 0.3;
+  opts.faults.delay_min_us = 1 * kUsPerMs;
+  opts.faults.delay_max_us = 6 * kUsPerMs;
+  opts.faults.duplicate_prob = 0.5;
+  opts.faults.drop_prob = 0.15;
+  opts.faults.crash_rank = 2;
+  opts.faults.crash_after_batches = 8;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  EXPECT_GT(TotalDuplicated(r), 0u);
+  CheckReplicatedCrashRun(r);
+}
+
+// Replication without any crash must be invisible: exact output, live
+// checkpoint traffic, zero failovers, zero replay.
+TEST(ChaosTest, ReplicationWithoutCrashIsInvisible) {
+  ChaosClusterOptions opts = ReplicatedOptions(26);
+  ChaosClusterResult r = RunChaosCluster(opts);
+  EXPECT_TRUE(r.exact) << "missing=" << r.missing.size()
+                       << " extra=" << r.extra.size();
+  EXPECT_EQ(r.master.dead_slaves, 0u);
+  EXPECT_EQ(r.master.groups_failed_over, 0u);
+  EXPECT_EQ(r.master.replayed_batches, 0u);
+  EXPECT_EQ(r.voided, 0u);
+  EXPECT_GT(r.master.ckpt_acks, 0u);
+}
+
+// The chaos-seed matrix (SJOIN_FUZZ_ITERS scales it): distinct fault seeds
+// vary the crash rank, the crash epoch, and the delay/duplicate schedule;
+// every run must recover the exact reference output.
+TEST(ChaosTest, ReplicatedCrashExactAcrossFaultSeeds) {
+  for (std::uint64_t seed : FuzzSeeds(5)) {
+    ChaosClusterOptions opts = ReplicatedOptions(100 + seed);
+    opts.faults.delay_prob = 0.25;
+    opts.faults.delay_min_us = 1 * kUsPerMs;
+    opts.faults.delay_max_us = 5 * kUsPerMs;
+    opts.faults.duplicate_prob = 0.4;
+    opts.faults.crash_rank = 1 + static_cast<Rank>(seed % 3);
+    opts.faults.crash_after_batches = 3 + (seed % 6);
+    opts.faults.crash_hang = (seed % 2) == 1;
+    ChaosClusterResult r = RunChaosCluster(opts);
+    EXPECT_EQ(r.master.dead_slaves, 1u) << "seed=" << seed;
+    EXPECT_TRUE(r.exact) << "seed=" << seed << " missing=" << r.missing.size()
+                         << " extra=" << r.extra.size()
+                         << " voided=" << r.voided;
+  }
+}
+
+// Same fault seed, replication on, a crash in the schedule: two runs must
+// produce byte-identical summaries (migrations suppressed as in
+// SameSeedSameSummary; checkpoint-ack and replay counts are wall-timing
+// dependent and deliberately excluded from Summary()).
+TEST(ChaosTest, ReplicatedSameSeedSameSummary) {
+  ChaosClusterOptions opts = ReplicatedOptions(27);
+  opts.cfg.balance.th_sup = 2.0;  // occupancy <= 1: no suppliers, no moves
+  opts.faults.delay_prob = 0.2;
+  opts.faults.delay_min_us = 1 * kUsPerMs;
+  opts.faults.delay_max_us = 4 * kUsPerMs;
+  opts.faults.crash_rank = 1;
+  opts.faults.crash_after_batches = 6;
+  ChaosClusterResult a = RunChaosCluster(opts);
+  ChaosClusterResult b = RunChaosCluster(opts);
+  EXPECT_TRUE(a.exact);
+  EXPECT_TRUE(b.exact);
+  EXPECT_EQ(a.Summary(), b.Summary());
 }
 
 }  // namespace

@@ -143,6 +143,42 @@ TEST(FaultTransportTest, HangBlocksUntilInnerShutdown) {
   EXPECT_TRUE(faulty.Dead());
 }
 
+// Mid-checkpoint crash: the endpoint dies upon *attempting* its N-th
+// kCheckpoint send. Earlier segments of the sweep went out whole; the
+// triggering one and everything after are swallowed -- a buddy therefore
+// holds either the previous consistent segment or the new one, never a
+// torn one.
+TEST(FaultTransportTest, CrashOnNthCheckpointSendIsAtomicPerSegment) {
+  InProcHub hub(2);
+  auto peer = hub.Endpoint(0);
+  FaultConfig cfg;
+  cfg.crash_rank = 1;
+  cfg.crash_after_checkpoint_sends = 3;
+  FaultEndpoint faulty(hub.Endpoint(1), cfg);
+
+  faulty.Send(0, Tagged(MsgType::kCheckpoint, 1));
+  faulty.Send(0, Tagged(MsgType::kTupleBatch, 9));  // non-ckpt: not counted
+  faulty.Send(0, Tagged(MsgType::kCheckpoint, 2));
+  EXPECT_FALSE(faulty.Dead());
+  faulty.Send(0, Tagged(MsgType::kCheckpoint, 3));  // the killing send
+  EXPECT_TRUE(faulty.Dead());
+  faulty.Send(0, Tagged(MsgType::kCheckpoint, 4));
+  faulty.Send(0, Tagged(MsgType::kAck, 5));
+  EXPECT_EQ(faulty.SwallowedSends(), 3u);  // killing send + two post-death
+
+  // The peer got every pre-crash message whole and nothing after.
+  std::vector<std::uint8_t> tags;
+  while (true) {
+    RecvResult res = peer->RecvTimed(50 * kUsPerMs);
+    if (!res.Ok()) break;
+    tags.push_back(res.msg.payload[0]);
+  }
+  EXPECT_EQ(tags, (std::vector<std::uint8_t>{1, 9, 2}));
+
+  // Death is visible locally exactly like the batch-receipt crash.
+  EXPECT_EQ(faulty.RecvTimed(5 * kUsPerMs).status, RecvStatus::kClosed);
+}
+
 // The fault schedule is a pure function of (seed, receiver, sender, message
 // index): replaying the same sends yields identical decisions.
 TEST(FaultTransportTest, SameSeedSameSchedule) {

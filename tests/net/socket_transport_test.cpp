@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <thread>
@@ -166,6 +167,67 @@ TEST(SocketMeshTest, FullMeshConnectsEveryPair) {
   // after their fds were closed -- enforce by checking Recv returns nullopt.
   auto got = e0->Recv();
   EXPECT_FALSE(got.has_value());
+}
+
+// The AF_INET mode: real TCP connections over loopback, exercised in the
+// launcher pattern (mesh built pre-fork, endpoints claimed post-fork). The
+// child echoes a kCheckpoint's payload back as a kCheckpointAck.
+TEST(SocketMeshTest, InetLoopbackRoundTrip) {
+  SocketMesh mesh(2, SocketDomain::kInet);
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto ep = mesh.TakeEndpoint(1);
+    auto got = ep->Recv();
+    if (!got.has_value() || got->type != MsgType::kCheckpoint) _exit(1);
+    Message reply;
+    reply.type = MsgType::kCheckpointAck;
+    reply.payload = got->payload;
+    ep->Send(0, reply);
+    _exit(0);
+  }
+  auto ep = mesh.TakeEndpoint(0);
+  ep->Send(1, Msg(MsgType::kCheckpoint, {9, 8, 7}));
+  RecvResult res = ep->RecvTimed(5 * kUsPerSec);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  ASSERT_EQ(res.status, RecvStatus::kOk);
+  EXPECT_EQ(res.msg.type, MsgType::kCheckpointAck);
+  EXPECT_EQ(res.msg.from, 1u);
+  EXPECT_EQ(res.msg.payload, (std::vector<std::uint8_t>{9, 8, 7}));
+}
+
+// A frame larger than the TCP socket buffers must cross intact over the
+// loopback connection (stream reassembly, no framing assumptions).
+TEST(SocketMeshTest, InetLoopbackLargeFrame) {
+  SocketMesh mesh(2, SocketDomain::kInet);
+  std::vector<std::uint8_t> big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto ep = mesh.TakeEndpoint(1);
+    auto got = ep->Recv();
+    const bool ok = got.has_value() && got->type == MsgType::kStateTransfer &&
+                    got->payload.size() == (1u << 20);
+    if (!ok) _exit(1);
+    for (std::size_t i = 0; i < got->payload.size(); ++i) {
+      if (got->payload[i] != static_cast<std::uint8_t>(i * 131)) _exit(2);
+    }
+    ep->Send(0, Msg(MsgType::kAck, {1}));
+    _exit(0);
+  }
+  auto ep = mesh.TakeEndpoint(0);
+  ep->Send(1, Msg(MsgType::kStateTransfer, big));
+  RecvResult res = ep->RecvTimed(10 * kUsPerSec);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  ASSERT_EQ(res.status, RecvStatus::kOk);
+  EXPECT_EQ(res.msg.type, MsgType::kAck);
 }
 
 }  // namespace
