@@ -13,15 +13,14 @@ namespace {
 LogLevel FromEnv() {
   const char* v = std::getenv("SJOIN_LOG");
   if (v == nullptr) return LogLevel::kOff;
-  if (std::strcmp(v, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(v, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(v, "warn") == 0) return LogLevel::kWarn;
-  if (std::strcmp(v, "error") == 0) return LogLevel::kError;
-  return LogLevel::kOff;
+  return ParseLogLevel(v);
 }
 
 std::atomic<LogLevel> g_level{FromEnv()};
 std::mutex g_mutex;
+
+thread_local std::int64_t t_vt_us = -1;
+thread_local std::int32_t t_rank = -1;
 
 const char* Name(LogLevel level) {
   switch (level) {
@@ -39,10 +38,42 @@ void SetLogLevel(LogLevel level) { g_level.store(level); }
 
 LogLevel GetLogLevel() { return g_level.load(); }
 
+LogLevel ParseLogLevel(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+void SetLogRank(std::int32_t rank) { t_rank = rank; }
+
+void SetLogVt(std::int64_t vt_us) { t_vt_us = vt_us; }
+
+void ClearLogContext() {
+  t_vt_us = -1;
+  t_rank = -1;
+}
+
 namespace detail {
 void Emit(LogLevel level, const std::string& msg) {
+  char ctx[64];
+  ctx[0] = '\0';
+  int pos = 0;
+  if (t_vt_us >= 0) {
+    pos += std::snprintf(ctx + pos, sizeof(ctx) - static_cast<size_t>(pos),
+                         " vt=%.3fs", static_cast<double>(t_vt_us) / 1e6);
+  }
+  if (t_rank >= 0 && pos < static_cast<int>(sizeof(ctx))) {
+    pos += std::snprintf(ctx + pos, sizeof(ctx) - static_cast<size_t>(pos),
+                         " r%d", t_rank);
+  }
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[sjoin %s] %s\n", Name(level), msg.c_str());
+  std::fprintf(stderr, "[sjoin %s%s] %s\n", Name(level), ctx, msg.c_str());
 }
 }  // namespace detail
 

@@ -1,9 +1,16 @@
 // Minimal leveled logging to stderr. Off by default so benches stay clean;
-// enable with SJOIN_LOG=debug|info|warn in the environment or SetLogLevel().
+// enable with SJOIN_LOG=debug|info|warn|error (case-insensitive) in the
+// environment or SetLogLevel().
+//
+// Node threads can stamp a per-thread context into every line they emit --
+// virtual time and rank -- so interleaved cluster logs stay attributable:
+//   [sjoin INFO vt=12.400s r3] slave: ...
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace sjoin {
 
@@ -14,6 +21,17 @@ void SetLogLevel(LogLevel level);
 
 /// Current threshold (initialized from the SJOIN_LOG environment variable).
 LogLevel GetLogLevel();
+
+/// Parses a level name ("debug", "info", "warn", "error"), case-insensitive.
+/// Unknown names map to kOff (logging stays disabled rather than guessing).
+LogLevel ParseLogLevel(std::string_view name);
+
+/// Per-thread log context. A rank >= 0 adds " r<rank>" and a virtual time
+/// >= 0 adds " vt=<seconds>s" (3 decimals) to this thread's log prefix;
+/// negative values (the default) omit the field.
+void SetLogRank(std::int32_t rank);
+void SetLogVt(std::int64_t vt_us);
+void ClearLogContext();
 
 namespace detail {
 void Emit(LogLevel level, const std::string& msg);

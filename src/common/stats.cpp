@@ -74,7 +74,10 @@ double Histogram::Quantile(double q) const {
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     cum += counts_[i];
-    if (cum >= target) {
+    // `cum > 0` guards q = 0 with empty leading buckets: the answer must
+    // come from the first *populated* bucket, not from an empty bucket whose
+    // upper bound sits below the whole distribution.
+    if (cum >= target && cum > 0) {
       double hi = UpperBound(i);
       double lo = i == 0 ? 0.0 : bounds_[i - 1];
       if (std::isinf(hi)) return lo;

@@ -1,5 +1,7 @@
 #include "core/balancer.h"
 
+#include "obs/metrics.h"
+
 namespace sjoin {
 
 std::vector<Role> ClassifySlaves(const std::vector<double>& occupancy,
@@ -14,6 +16,26 @@ std::vector<Role> ClassifySlaves(const std::vector<double>& occupancy,
     } else {
       roles.push_back(Role::kNeutral);
     }
+  }
+  return roles;
+}
+
+std::vector<Role> ClassifySlaves(const std::vector<double>& occupancy,
+                                 const BalanceConfig& cfg,
+                                 obs::MetricsRegistry* reg) {
+  std::vector<Role> roles = ClassifySlaves(occupancy, cfg);
+  if (reg != nullptr) {
+    std::uint64_t sup = 0;
+    std::uint64_t con = 0;
+    for (Role r : roles) {
+      if (r == Role::kSupplier) ++sup;
+      if (r == Role::kConsumer) ++con;
+    }
+    reg->GetCounter("balancer_rounds", {}, obs::Stability::kVolatile).Inc();
+    reg->GetCounter("balancer_suppliers", {}, obs::Stability::kVolatile)
+        .Add(sup);
+    reg->GetCounter("balancer_consumers", {}, obs::Stability::kVolatile)
+        .Add(con);
   }
   return roles;
 }

@@ -16,6 +16,10 @@
 #include "common/config.h"
 #include "core/partition_map.h"
 
+namespace sjoin::obs {
+class MetricsRegistry;
+}  // namespace sjoin::obs
+
 namespace sjoin {
 
 enum class Role : std::uint8_t { kSupplier, kConsumer, kNeutral };
@@ -23,6 +27,15 @@ enum class Role : std::uint8_t { kSupplier, kConsumer, kNeutral };
 /// Classifies each occupancy value (one per active slave).
 std::vector<Role> ClassifySlaves(const std::vector<double>& occupancy,
                                  const BalanceConfig& cfg);
+
+/// Registry-instrumented variant: additionally bumps the
+/// `balancer_rounds` / `balancer_suppliers` / `balancer_consumers` counters
+/// (registered kVolatile -- occupancies are timing-dependent in wall mode,
+/// so the classification tallies must stay out of per-epoch snapshots).
+/// `reg == nullptr` degrades to the plain overload.
+std::vector<Role> ClassifySlaves(const std::vector<double>& occupancy,
+                                 const BalanceConfig& cfg,
+                                 obs::MetricsRegistry* reg);
 
 /// A planned migration: `supplier` yields one partition-group to `consumer`.
 struct MovePlan {

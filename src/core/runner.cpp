@@ -59,6 +59,7 @@ struct PendingMove {
 MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
                             const WallOptions& opts) {
   assert(transport.Self() == 0);
+  SetLogRank(0);
   const Rank n = cfg.num_slaves;
   const Rank collector = n + 1;
   const std::size_t tb = cfg.workload.tuple_bytes;
@@ -71,6 +72,33 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
   Pcg32 rng(Mix64(cfg.workload.seed ^ 0xABCDEFULL), 41);
 
   MasterSummary sum;
+
+  // Observability: counters mirror the MasterSummary fields one-for-one (a
+  // cross-validation test holds them equal), the recorder snapshots the
+  // registry at every epoch boundary, and the trace gets one B/E "epoch"
+  // span per epoch plus instants for every protocol verdict. All trace
+  // timestamps are logical (epoch ordinal * t_dist) -- see WallOptions.
+  obs::NodeObs local_obs;
+  obs::NodeObs& ob = opts.master_obs != nullptr ? *opts.master_obs : local_obs;
+  ob.trace.SetRank(0);
+  obs::MetricsRegistry& reg = ob.registry;
+  obs::Counter& c_tuples = reg.GetCounter("master_tuples_sent");
+  obs::Counter& c_epochs = reg.GetCounter("master_epochs");
+  obs::Counter& c_migrations = reg.GetCounter("master_migrations");
+  obs::Counter& c_dead = reg.GetCounter("master_dead_slaves");
+  obs::Counter& c_rehosted = reg.GetCounter("master_groups_rehosted");
+  obs::Counter& c_sweeps = reg.GetCounter("master_ckpt_sweeps");
+  obs::Counter& c_acks = reg.GetCounter("master_ckpt_acks");
+  obs::Counter& c_ack_bytes = reg.GetCounter("master_ckpt_bytes");
+  obs::Counter& c_failed_over = reg.GetCounter("master_groups_failed_over");
+  obs::Counter& c_degraded = reg.GetCounter("master_degraded_failovers");
+  obs::Counter& c_replay_batches = reg.GetCounter("master_replayed_batches");
+  obs::Counter& c_replay_tuples = reg.GetCounter("master_replayed_tuples");
+  // Logical timestamp of the trace events being emitted: the current epoch's
+  // start. Events emitted after the epoch loop (drain-phase evictions) reuse
+  // the last epoch's stamp.
+  Time vt_now = 0;
+
   std::vector<double> occupancy(n, 0.0);
   std::vector<bool> in_flight(cfg.join.num_partitions, false);
   std::vector<bool> alive(n, true);
@@ -122,6 +150,9 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     const Time recovery_t0 = recovery_clock.Now();
     alive[dead] = false;
     ++sum.dead_slaves;
+    c_dead.Inc();
+    ob.trace.Instant("dead_slave", "fault", vt_now,
+                     {{"slave", static_cast<std::int64_t>(dead) + 1}});
     // Cancel migrations the dead slave was party to. With replication, a
     // move whose supplier died before the consumer confirmed the install
     // leaves the group's live state in limbo (the transfer may never have
@@ -153,11 +184,23 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     std::map<SlaveIdx, std::vector<Adopt>> adopts;
     auto fail_over = [&](PartitionId pid, SlaveIdx target) {
       const std::uint64_t replay_from = acked[pid] + 1;
-      if (target != pmap.BuddyOf(pid)) ++sum.degraded_failovers;
+      if (target != pmap.BuddyOf(pid)) {
+        ++sum.degraded_failovers;
+        c_degraded.Inc();
+      }
       pmap.SetOwner(pid, target);
       adopts[target].push_back(Adopt{pid, replay_from});
       sum.failovers.push_back(FailoverRecord{pid, target + 1, replay_from});
       ++sum.groups_failed_over;
+      c_failed_over.Inc();
+      // `slave` is the adopting target (replay events key on it); `dead`
+      // names the failed rank whose verdict the checker pairs this with.
+      ob.trace.Instant(
+          "failover", "repl", vt_now,
+          {{"slave", static_cast<std::int64_t>(target) + 1},
+           {"dead", static_cast<std::int64_t>(dead) + 1},
+           {"pid", static_cast<std::int64_t>(pid)},
+           {"replay_from", static_cast<std::int64_t>(replay_from)}});
       rering_buddy(pid, target);
     };
 
@@ -215,6 +258,13 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
           for (auto& [e, recs] : per_epoch) {
             ++sum.replayed_batches;
             sum.replayed_tuples += recs.size();
+            c_replay_batches.Inc();
+            c_replay_tuples.Add(recs.size());
+            ob.trace.Instant(
+                "replay", "repl", vt_now,
+                {{"slave", static_cast<std::int64_t>(target) + 1},
+                 {"epoch", static_cast<std::int64_t>(e)},
+                 {"tuples", static_cast<std::int64_t>(recs.size())}});
             ReplayBatchMsg rb;
             rb.epoch = e;
             rb.recs = std::move(recs);
@@ -227,6 +277,7 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       }
     }
     sum.groups_rehosted += rehosted;
+    c_rehosted.Add(rehosted);
     sum.recovery_us += recovery_clock.Now() - recovery_t0;
     SJOIN_INFO("master: slave " << dead + 1 << " declared dead; rehosted "
                                 << rehosted << " partition-groups onto "
@@ -267,6 +318,12 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     if (live_count() == 0) break;
     SleepUntil(clock, epoch_start);
     ++sum.epochs;
+    c_epochs.Inc();
+    vt_now = epoch_start;
+    SetLogVt(epoch_start);
+    ob.trace.Begin("epoch", "epoch", epoch_start,
+                   {{"epoch", static_cast<std::int64_t>(sum.epochs)}});
+    const std::uint64_t tuples_before = sum.tuples_sent;
 
     // Buffer all arrivals of this epoch into the per-partition mini-buffers.
     // A trace is drained by virtual epoch time (tuple timestamps against the
@@ -297,6 +354,7 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       TupleBatchMsg batch;
       batch.recs = buffer.DrainFor(pids);
       sum.tuples_sent += batch.recs.size();
+      c_tuples.Add(batch.recs.size());
       if (repl && !batch.recs.empty()) {
         // Retain this epoch's tuples per group until the covering
         // checkpoint is acknowledged -- they are the failover replay.
@@ -313,6 +371,10 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       transport.Send(s, Make(MsgType::kTupleBatch, std::move(w)));
       ++batches_sent[s - 1];
     }
+    ob.trace.Complete(
+        "distribute", "epoch", epoch_start, 0,
+        {{"epoch", static_cast<std::int64_t>(sum.epochs)},
+         {"tuples", static_cast<std::int64_t>(sum.tuples_sent - tuples_before)}});
 
     // Collect this epoch's load reports. Every receive is bounded: after
     // recv_max_retries consecutive timeouts the slave is declared dead and
@@ -342,6 +404,15 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
           handle_ack(s - 1, ack);
           continue;
         }
+        if (res.msg.type == MsgType::kMetrics) {
+          // Fire-and-forget slave snapshot; merged into the cluster view
+          // keyed by the slave's own epoch stamp (see obs/cluster_view.h).
+          Reader mr(res.msg.payload);
+          MetricsMsg mm = DecodeMetrics(mr);
+          ob.cluster.Record(s, static_cast<std::int64_t>(mm.epoch),
+                            std::move(mm.samples));
+          continue;
+        }
         if (res.msg.type == MsgType::kCheckpointAck) {
           Reader cr(res.msg.payload);
           const CheckpointAckMsg ack = DecodeCheckpointAck(cr);
@@ -359,6 +430,14 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
             }
             ++sum.ckpt_acks;
             sum.ckpt_bytes += ack.bytes;
+            c_acks.Inc();
+            c_ack_bytes.Add(ack.bytes);
+            ob.trace.Instant(
+                "ckpt_ack", "repl", vt_now,
+                {{"slave", static_cast<std::int64_t>(s)},
+                 {"pid", static_cast<std::int64_t>(ack.partition_id)},
+                 {"covered_epoch",
+                  static_cast<std::int64_t>(ack.covered_epoch)}});
           }
           continue;
         }
@@ -381,6 +460,9 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     // owner that no longer holds a listed group skips it silently.
     if (repl && sum.epochs % ckpt_every == 0) {
       ++sum.ckpt_sweeps;
+      c_sweeps.Inc();
+      ob.trace.Instant("ckpt_sweep", "repl", vt_now,
+                       {{"epoch", static_cast<std::int64_t>(sum.epochs)}});
       for (Rank s = 1; s <= n; ++s) {
         if (!alive[s - 1]) continue;
         CkptCmdMsg cmd;
@@ -411,7 +493,7 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
         live_idx.push_back(i);
         occ_live.push_back(occupancy[i]);
       }
-      std::vector<Role> roles = ClassifySlaves(occ_live, cfg.balance);
+      std::vector<Role> roles = ClassifySlaves(occ_live, cfg.balance, &reg);
       for (const MovePlan& plan : PairSuppliersWithConsumers(roles)) {
         const SlaveIdx sup = live_idx[plan.supplier];
         const SlaveIdx con = live_idx[plan.consumer];
@@ -440,11 +522,21 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
         // (and its acked segments) stay valid across the move.
         if (repl) need_full[pid] = true;
         ++sum.migrations;
+        c_migrations.Inc();
+        ob.trace.Instant("migrate", "reorg", vt_now,
+                         {{"pid", static_cast<std::int64_t>(pid)},
+                          {"from", static_cast<std::int64_t>(sup) + 1},
+                          {"to", static_cast<std::int64_t>(con) + 1},
+                          {"seq", static_cast<std::int64_t>(seq)}});
         SJOIN_INFO("master: moving partition " << pid << " from slave "
                                                << sup + 1 << " to " << con + 1
                                                << " (move " << seq << ")");
       }
     }
+
+    ob.trace.End("epoch", "epoch", epoch_start + cfg.epoch.t_dist);
+    ob.recorder.Snapshot(static_cast<std::int64_t>(sum.epochs), epoch_start,
+                         reg);
   }
 
   // Drain in-flight migrations before shutting down: abandoning a move
@@ -473,6 +565,11 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       if (res.msg.type == MsgType::kAck) {
         Reader ar(res.msg.payload);
         handle_ack(s - 1, DecodeAck(ar));
+      } else if (res.msg.type == MsgType::kMetrics) {
+        Reader mr(res.msg.payload);
+        MetricsMsg mm = DecodeMetrics(mr);
+        ob.cluster.Record(s, static_cast<std::int64_t>(mm.epoch),
+                          std::move(mm.samples));
       }
       // Late load reports / duplicates are discarded.
     }
@@ -486,6 +583,7 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     batch.recs = buffer.DrainFor(pmap.PartitionsOf(s - 1));
     if (batch.recs.empty()) continue;
     sum.tuples_sent += batch.recs.size();
+    c_tuples.Add(batch.recs.size());
     Writer w(TupleBatchMsg::WireSize(batch.recs.size(), tb));
     Encode(w, batch, tb);
     transport.Send(s, Make(MsgType::kTupleBatch, std::move(w)));
@@ -569,11 +667,36 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
                           const WallOptions& opts) {
   const Rank self = transport.Self();
   assert(self >= 1 && self <= cfg.num_slaves);
+  SetLogRank(static_cast<std::int32_t>(self));
   const Rank collector = cfg.num_slaves + 1;
   const std::size_t tb = cfg.workload.tuple_bytes;
   const Duration spin = self - 1 < opts.slave_spin_us_per_tuple.size()
                             ? opts.slave_spin_us_per_tuple[self - 1]
                             : 0;
+
+  // Observability: counters mirror the SlaveSummary fields (bumped only on
+  // the join thread, alongside each `sum` field). After fully draining each
+  // epoch's batch the join thread snapshots the recorder and ships a
+  // kMetrics frame stamped with `epochs_done` -- fire-and-forget, the master
+  // keys its cluster view by the stamp. Trace timestamps are logical:
+  // epochs_done * t_dist.
+  obs::NodeObs local_obs;
+  obs::NodeObs& ob =
+      self - 1 < opts.slave_obs.size() && opts.slave_obs[self - 1] != nullptr
+          ? *opts.slave_obs[self - 1]
+          : local_obs;
+  ob.trace.SetRank(self);
+  obs::MetricsRegistry& reg = ob.registry;
+  obs::Counter& c_processed = reg.GetCounter("slave_tuples_processed");
+  obs::Counter& c_outputs = reg.GetCounter("slave_outputs");
+  obs::Counter& c_comparisons = reg.GetCounter("slave_comparisons");
+  obs::Counter& c_moved_out = reg.GetCounter("slave_groups_moved_out");
+  obs::Counter& c_moved_in = reg.GetCounter("slave_groups_moved_in");
+  obs::Counter& c_ck_sent = reg.GetCounter("slave_ckpt_segments_sent");
+  obs::Counter& c_ck_bytes = reg.GetCounter("slave_ckpt_bytes_sent");
+  obs::Counter& c_ck_applied = reg.GetCounter("slave_ckpt_segments_applied");
+  obs::Counter& c_adopted = reg.GetCounter("slave_groups_adopted");
+  obs::Counter& c_replayed = reg.GetCounter("slave_replayed_tuples");
 
   WallClock clock;
   std::atomic<Time> clock_offset{0};  // master_time - local_time
@@ -593,6 +716,7 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
 
   // --- comm module -----------------------------------------------------
   std::thread comm([&] {
+    SetLogRank(static_cast<std::int32_t>(self));
     std::uint64_t batches_seen = 0;
     while (true) {
       auto msg = transport.Recv();
@@ -696,8 +820,21 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
   if (tag != nullptr) fan.push_back(tag);
   TeeSink tee(fan);
   JoinModule join(wall_cfg, &tee);
+  join.AttachMetrics(&reg);
   if (cfg.replication.enabled) join.EnableCheckpointJournal();
   SlaveSummary sum;
+
+  // Join-side registry mirrors: deltas since the last ProcessFor site (the
+  // counters must equal sink.Outputs() / join.Comparisons() whenever the
+  // registry is exported, so every processing path syncs after draining).
+  std::uint64_t obs_outputs = 0;
+  std::uint64_t obs_comparisons = 0;
+  auto sync_join_counters = [&] {
+    c_outputs.Add(sink.Outputs() - obs_outputs);
+    obs_outputs = sink.Outputs();
+    c_comparisons.Add(join.Comparisons() - obs_comparisons);
+    obs_comparisons = join.Comparisons();
+  };
   std::uint64_t reported_outputs = 0;
   double reported_delay_sum = 0.0;
 
@@ -745,6 +882,13 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
     Encode(wa, AckMsg{st.partition_id, st.move_seq});
     transport.Send(0, Make(MsgType::kAck, std::move(wa)));
     ++sum.groups_moved_in;
+    c_moved_in.Inc();
+    sync_join_counters();
+    ob.trace.Instant(
+        "group_install", "reorg",
+        static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
+        {{"pid", static_cast<std::int64_t>(st.partition_id)},
+         {"seq", static_cast<std::int64_t>(st.move_seq)}});
     flush_stats();
   };
 
@@ -766,15 +910,36 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
             spin * static_cast<Duration>(batch->recs.size())));
       }
       ++epochs_done;
+      SetLogVt(static_cast<Time>(epochs_done) * cfg.epoch.t_dist);
       if (tag != nullptr) tag->SetEpoch(epochs_done);
       join.EnqueueBatch(batch->recs);
       const std::uint64_t before = join.TuplesProcessed();
+      const std::uint64_t out_before = sink.Outputs();
       join.ProcessFor(clock.Now() + clock_offset.load(), kDrainBudget);
       const std::uint64_t done = join.TuplesProcessed() - before;
       sum.tuples_processed += done;
+      c_processed.Add(done);
+      sync_join_counters();
       inbox_tuples.fetch_sub(std::min<std::size_t>(
           static_cast<std::size_t>(done), inbox_tuples.load()));
       flush_stats();
+      // Epoch boundary on this slave's logical timeline: snapshot the
+      // recorder and ship the stable families to the master as kMetrics.
+      const Time vts =
+          static_cast<Time>(epochs_done) * cfg.epoch.t_dist;
+      ob.trace.Complete(
+          "join_batch", "join", vts, 0,
+          {{"epoch", static_cast<std::int64_t>(epochs_done)},
+           {"tuples", static_cast<std::int64_t>(done)},
+           {"outputs",
+            static_cast<std::int64_t>(sink.Outputs() - out_before)}});
+      ob.recorder.Snapshot(static_cast<std::int64_t>(epochs_done), vts, reg);
+      MetricsMsg mm;
+      mm.epoch = epochs_done;
+      mm.samples = obs::CollectSamples(reg, /*include_volatile=*/false);
+      Writer mw;
+      Encode(mw, mm);
+      transport.Send(0, Make(MsgType::kMetrics, std::move(mw)));
     } else if (auto* ex = std::get_if<ExtractWork>(&work)) {
       if (join.Store().Find(ex->pid) == nullptr) {
         // Nothing owned yet (e.g. moved before any tuple arrived): ship an
@@ -799,6 +964,11 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
       Encode(wa, AckMsg{ex->pid, ex->seq});
       transport.Send(0, Make(MsgType::kAck, std::move(wa)));
       ++sum.groups_moved_out;
+      c_moved_out.Inc();
+      ob.trace.Instant("group_extract", "reorg",
+                       static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
+                       {{"pid", static_cast<std::int64_t>(ex->pid)},
+                        {"seq", static_cast<std::int64_t>(ex->seq)}});
     } else if (auto* exp = std::get_if<ExpectWork>(&work)) {
       if (completed.count(exp->seq) != 0) {
         // Already installed (transfer and command both seen); stale copy.
@@ -861,6 +1031,13 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
         Message msg = Make(MsgType::kCheckpoint, std::move(w));
         ++sum.ckpt_segments_sent;
         sum.ckpt_bytes_sent += msg.payload.size();
+        c_ck_sent.Inc();
+        c_ck_bytes.Add(msg.payload.size());
+        ob.trace.Instant("ckpt_segment", "repl",
+                         static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
+                         {{"pid", static_cast<std::int64_t>(e.partition_id)},
+                          {"to_epoch", static_cast<std::int64_t>(epochs_done)},
+                          {"full", full ? 1 : 0}});
         transport.Send(e.buddy, std::move(msg));
       }
     } else if (auto* ca = std::get_if<CkptApplyWork>(&work)) {
@@ -891,6 +1068,12 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
           }
         }
         ++sum.ckpt_segments_applied;
+        c_ck_applied.Inc();
+        ob.trace.Instant(
+            "ckpt_apply", "repl",
+            static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
+            {{"pid", static_cast<std::int64_t>(ca->msg.partition_id)},
+             {"to_epoch", static_cast<std::int64_t>(ca->msg.to_epoch)}});
       }
       Writer w;
       Encode(w, CheckpointAckMsg{ca->msg.partition_id, ca->msg.to_epoch,
@@ -935,6 +1118,12 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
               BuildGroupFromRecords(std::move(recs), wall_cfg.join, tb));
         }
         ++sum.groups_adopted;
+        c_adopted.Inc();
+        ob.trace.Instant(
+            "group_adopt", "repl",
+            static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
+            {{"pid", static_cast<std::int64_t>(e.partition_id)},
+             {"replay_from", static_cast<std::int64_t>(e.replay_from)}});
       }
     } else if (auto* rp = std::get_if<ReplayWork>(&work)) {
       // Redelivered retained epoch: joined exactly like a tuple batch, but
@@ -944,6 +1133,13 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
       join.EnqueueBatch(rp->batch.recs);
       join.ProcessFor(master_now, kDrainBudget);
       sum.replayed_tuples += rp->batch.recs.size();
+      c_replayed.Add(rp->batch.recs.size());
+      sync_join_counters();
+      ob.trace.Instant(
+          "replay_processed", "join",
+          static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
+          {{"epoch", static_cast<std::int64_t>(rp->batch.epoch)},
+           {"tuples", static_cast<std::int64_t>(rp->batch.recs.size())}});
       flush_stats();
     } else {
       running = false;
@@ -951,6 +1147,7 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
   }
 
   flush_stats();
+  sync_join_counters();  // registry mirrors equal the summary at exit
   transport.Send(collector, Message{MsgType::kShutdown, 0, {}});
   sum.outputs = sink.Outputs();
   comm.join();
@@ -959,6 +1156,7 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
 
 CollectorSummary RunCollectorNode(Transport& transport,
                                   const SystemConfig& cfg) {
+  SetLogRank(static_cast<std::int32_t>(cfg.num_slaves) + 1);
   CollectorSummary sum;
   double delay_sum = 0.0;
   std::uint32_t slave_shutdowns = 0;

@@ -66,6 +66,7 @@
 #include "common/time.h"
 #include "join/sink.h"
 #include "net/transport.h"
+#include "obs/obs.h"
 #include "tuple/tuple.h"
 
 namespace sjoin {
@@ -106,6 +107,16 @@ struct WallOptions {
   /// *original* epoch before each kReplayBatch. The chaos harness needs the
   /// tags to apply the failover output-voiding rule.
   std::vector<EpochTagSink*> slave_epoch_sinks;
+
+  /// Observability bundles (obs/obs.h). The master records its protocol
+  /// counters, per-epoch snapshots, trace spans, and the cluster-wide
+  /// kMetrics view into `master_obs`; slave rank r uses `slave_obs[r - 1]`
+  /// (nullptr entries ok). A node without a bundle runs against a private
+  /// one -- instrumentation always executes, only the handles differ.
+  /// Trace timestamps in wall mode are *logical*: epoch ordinal times
+  /// cfg.epoch.t_dist, so same-seed runs produce byte-identical traces.
+  obs::NodeObs* master_obs = nullptr;
+  std::vector<obs::NodeObs*> slave_obs;
 };
 
 /// One group's failover, recorded for the output-voiding rule: outputs

@@ -30,7 +30,11 @@ SimDriver::SimDriver(const SystemConfig& cfg, SimOptions opts)
       td_(cfg.epoch.t_dist),
       rep_ratio_(static_cast<double>(cfg.epoch.t_rep) /
                  static_cast<double>(cfg.epoch.t_dist)),
-      tuner_(cfg.epoch_tuner, cfg.epoch.t_dist) {
+      tuner_(cfg.epoch_tuner, cfg.epoch.t_dist),
+      ob_(opts.obs != nullptr ? *opts.obs : local_obs_),
+      c_generated_(ob_.registry.GetCounter("sim_tuples_generated")),
+      c_migrations_(ob_.registry.GetCounter("sim_migrations")),
+      c_state_moved_(ob_.registry.GetCounter("sim_state_moved_tuples")) {
   assert(cfg.num_slaves >= 1);
   assert(cfg.ActiveSlavesAtStart() <= cfg.num_slaves);
   assert(cfg.epoch.num_subgroups >= 1);
@@ -45,6 +49,7 @@ SimDriver::SimDriver(const SystemConfig& cfg, SimOptions opts)
       sink = s.tee.get();
     }
     s.join = std::make_unique<JoinModule>(cfg_, sink);
+    s.join->AttachMetrics(&ob_.registry);
     s.active = i < cfg.ActiveSlavesAtStart();
   }
 }
@@ -70,7 +75,10 @@ void SimDriver::GenerateArrivalsUntil(Time t) {
   while (source_.PeekTs() < t) {
     Rec rec = source_.Next();
     master_buffer_.Add(rec, PartitionOf(rec.key, cfg_.join.num_partitions));
-    if (measuring_) ++tuples_generated_;
+    if (measuring_) {
+      ++tuples_generated_;
+      c_generated_.Inc();
+    }
   }
 }
 
@@ -115,6 +123,10 @@ void SimDriver::ServeSlave(SlaveIdx si, Time t, Duration& serial_accum) {
   interval_comm_ += wait + xfer;
   const Time recv_start = std::max({s.free_at, t, s.blocked_until});
   s.free_at = recv_start + wait + xfer;
+  ob_.trace.Complete("serve", "comm", recv_start, wait + xfer,
+                     {{"slave", static_cast<std::int64_t>(si) + 1},
+                      {"tuples", static_cast<std::int64_t>(batch.size())},
+                      {"bytes", static_cast<std::int64_t>(bytes)}});
 
   s.join->EnqueueBatch(batch);
 }
@@ -126,6 +138,10 @@ void SimDriver::AdvanceProcessing(SlaveIdx si, Time t, Time t_next) {
     const Duration cost = s.join->ProcessFor(busy_start, t_next - busy_start);
     s.free_at = busy_start + cost;
     s.stats.cpu_busy += cost;
+    if (cost > 0) {
+      ob_.trace.Complete("join", "join", busy_start, cost,
+                         {{"slave", static_cast<std::int64_t>(si) + 1}});
+    }
     if (s.join->BufferedTuples() == 0 && s.free_at < t_next) {
       s.stats.idle += t_next - s.free_at;
     }
@@ -190,7 +206,15 @@ void SimDriver::MigrateGroup(PartitionId pid, SlaveIdx from, SlaveIdx to,
   if (measuring_) {
     ++migrations_;
     state_moved_tuples_ += moved;
+    c_migrations_.Inc();
+    c_state_moved_.Add(moved);
   }
+  ob_.trace.Instant("migrate", "reorg", t,
+                    {{"pid", static_cast<std::int64_t>(pid)},
+                     {"from", static_cast<std::int64_t>(from) + 1},
+                     {"to", static_cast<std::int64_t>(to) + 1},
+                     {"tuples", static_cast<std::int64_t>(moved)},
+                     {"bytes", static_cast<std::int64_t>(bytes)}});
   SJOIN_DEBUG("migrate pid=" << pid << " " << from << "->" << to << " tuples="
                              << moved << " bytes=" << bytes);
 }
@@ -203,6 +227,30 @@ void SimDriver::ActivateOne() {
       return;
     }
   }
+}
+
+void SimDriver::SnapshotEpoch(std::int64_t epoch, Time t) {
+  ob_.recorder.Snapshot(epoch, t, ob_.registry);
+  std::uint64_t outputs = 0;
+  std::uint64_t comparisons = 0;
+  std::uint64_t processed = 0;
+  for (const Slave& s : slaves_) {
+    outputs += s.join->Outputs() - s.snap_outputs;
+    comparisons += s.join->Comparisons() - s.snap_cmp;
+    processed += s.join->TuplesProcessed() - s.snap_proc;
+  }
+  ob_.recorder.SetInt(epoch, t, "sim_outputs",
+                      static_cast<std::int64_t>(outputs));
+  ob_.recorder.SetInt(epoch, t, "sim_comparisons",
+                      static_cast<std::int64_t>(comparisons));
+  ob_.recorder.SetInt(epoch, t, "sim_processed",
+                      static_cast<std::int64_t>(processed));
+  ob_.recorder.SetInt(epoch, t, "sim_active_slaves",
+                      static_cast<std::int64_t>(ActiveSlaveCount()));
+  ob_.recorder.SetInt(epoch, t, "sim_master_buffer_tuples",
+                      static_cast<std::int64_t>(master_buffer_.TotalTuples()));
+  ob_.recorder.SetInt(epoch, t, "sim_master_cpu_us",
+                      static_cast<std::int64_t>(master_cpu_));
 }
 
 void SimDriver::DeactivateOne(const std::vector<double>& occupancy, Time t) {
@@ -244,7 +292,10 @@ void SimDriver::DoReorg(Time t, Duration interval) {
     occupancy.push_back(avg);
   }
 
-  const std::vector<Role> roles = ClassifySlaves(occupancy, cfg_.balance);
+  const std::vector<Role> roles =
+      ClassifySlaves(occupancy, cfg_.balance, &ob_.registry);
+  ob_.trace.Instant("reorg", "reorg", t,
+                    {{"active", static_cast<std::int64_t>(active.size())}});
   for (const MovePlan& plan : PairSuppliersWithConsumers(roles)) {
     const SlaveIdx from = active[plan.supplier];
     const SlaveIdx to = active[plan.consumer];
@@ -261,9 +312,15 @@ void SimDriver::DoReorg(Time t, Duration interval) {
                             cfg_.num_slaves)) {
       case DeclusterAction::kGrow:
         ActivateOne();
+        ob_.trace.Instant(
+            "decluster_grow", "reorg", t,
+            {{"active", static_cast<std::int64_t>(ActiveSlaveCount())}});
         break;
       case DeclusterAction::kShrink:
         DeactivateOne(occupancy, t);
+        ob_.trace.Instant(
+            "decluster_shrink", "reorg", t,
+            {{"active", static_cast<std::int64_t>(ActiveSlaveCount())}});
         break;
       case DeclusterAction::kNone:
         break;
@@ -321,7 +378,9 @@ RunMetrics SimDriver::Run() {
   bool warmed = opts_.warmup == 0;
   if (warmed) ResetMetricsAtWarmup(0);
 
+  SetLogRank(0);
   while (t < t_end) {
+    SetLogVt(t);
     // Slot length follows the (possibly retuned) distribution epoch.
     const Duration slot_len = std::max<Duration>(1, td_ / ng);
     const Time t_next = t + slot_len;
@@ -358,6 +417,11 @@ RunMetrics SimDriver::Run() {
     }
     t = t_next;
     ++slot;
+    // Every ng slots one full distribution epoch has elapsed: record the
+    // per-epoch observability row at the epoch boundary.
+    if (slot % ng == 0) {
+      SnapshotEpoch(static_cast<std::int64_t>(slot / ng), t);
+    }
   }
 
   return Collect();

@@ -34,6 +34,7 @@
 #include "core/partition_map.h"
 #include "gen/stream_source.h"
 #include "join/join_module.h"
+#include "obs/obs.h"
 
 namespace sjoin {
 
@@ -49,6 +50,14 @@ struct SimOptions {
   /// warmup). Used by correctness tests to compare the cluster's output set
   /// against the reference sliding join. Must outlive the driver.
   JoinSink* output_tee = nullptr;
+
+  /// Optional observability bundle for the whole simulation (one virtual
+  /// timeline, so one registry/recorder/trace covers master and slaves; the
+  /// trace distinguishes slaves via args). Counters mirror the measured
+  /// RunMetrics fields, the recorder snapshots once per distribution epoch,
+  /// and trace spans carry true virtual-clock (ts, dur). nullptr: the driver
+  /// uses a private bundle.
+  obs::NodeObs* obs = nullptr;
 };
 
 class SimDriver {
@@ -91,6 +100,10 @@ class SimDriver {
   void ResetMetricsAtWarmup(Time t);
   RunMetrics Collect() const;
 
+  /// Epoch-boundary observability: registry snapshot into the recorder plus
+  /// explicit cells mirroring the RunMetrics aggregates as of `t`.
+  void SnapshotEpoch(std::int64_t epoch, Time t);
+
   SystemConfig cfg_;
   SimOptions opts_;
   MergedSource source_;
@@ -111,6 +124,12 @@ class SimDriver {
   std::uint64_t tuples_generated_ = 0;
   double active_weighted_us_ = 0.0;  ///< integral of active count over time
   bool measuring_ = false;
+
+  obs::NodeObs local_obs_;
+  obs::NodeObs& ob_;
+  obs::Counter& c_generated_;
+  obs::Counter& c_migrations_;
+  obs::Counter& c_state_moved_;
 };
 
 }  // namespace sjoin

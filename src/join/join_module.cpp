@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace sjoin {
 
 JoinModule::JoinModule(const SystemConfig& cfg, JoinSink* sink)
@@ -13,6 +15,13 @@ JoinModule::JoinModule(const SystemConfig& cfg, JoinSink* sink)
       sink_(sink),
       store_(cfg.join, cfg.workload.tuple_bytes) {
   assert(sink != nullptr);
+}
+
+void JoinModule::AttachMetrics(obs::MetricsRegistry* reg) {
+  if (reg == nullptr) return;
+  obs_tuning_ = &reg->GetCounter("join_tuning_moves");
+  store_.SetGroupCounters(&reg->GetCounter("group_splits"),
+                          &reg->GetCounter("group_merges"));
 }
 
 void JoinModule::EnqueueBatch(std::span<const Rec> recs) {
@@ -80,6 +89,7 @@ Duration JoinModule::FlushMiniGroup(PartitionId pid, PartitionGroup& group,
     // NOTE: a split/merge invalidates `mg`; nothing touches it afterwards.
     const std::size_t moved = group.MaybeTune(tune_key);
     tuning_moves_ += moved;
+    if (obs_tuning_ != nullptr && moved > 0) obs_tuning_->Add(moved);
     c += cost_.MoveCost(moved);
   }
   return c;

@@ -28,6 +28,10 @@
 #include "window/state_codec.h"
 #include "window/window_store.h"
 
+namespace sjoin::obs {
+class MetricsRegistry;
+}  // namespace sjoin::obs
+
 namespace sjoin {
 
 /// The master's stream-partitioning hash: partition id of a join key.
@@ -39,6 +43,13 @@ class JoinModule {
  public:
   /// `sink` must outlive the module.
   JoinModule(const SystemConfig& cfg, JoinSink* sink);
+
+  /// Attaches node-level observability counters (`group_splits`,
+  /// `group_merges`, `join_tuning_moves`) to this module and to every
+  /// partition-group it owns now or acquires later (creation, migration,
+  /// failover rebuild). Call once at node setup; `reg` must outlive the
+  /// module. nullptr detaches nothing and is a no-op.
+  void AttachMetrics(obs::MetricsRegistry* reg);
 
   // -- Ingest ---------------------------------------------------------------
 
@@ -127,6 +138,7 @@ class JoinModule {
   std::uint64_t outputs_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t tuning_moves_ = 0;
+  obs::Counter* obs_tuning_ = nullptr;
 
   bool journal_enabled_ = false;
   std::unordered_map<PartitionId, std::vector<Rec>> journal_;

@@ -296,6 +296,43 @@ ReplayBatchMsg DecodeReplayBatch(Reader& r, std::size_t tuple_bytes) {
   return m;
 }
 
+void Encode(Writer& w, const MetricsMsg& m) {
+  w.PutU64(m.epoch);
+  w.PutU64(m.samples.size());
+  for (const obs::MetricSample& s : m.samples) {
+    w.PutString(s.name);
+    w.PutString(s.labels);
+    w.PutU8(static_cast<std::uint8_t>(s.kind));
+    w.PutU64(s.counter);
+    w.PutDouble(s.gauge);
+  }
+}
+
+MetricsMsg DecodeMetrics(Reader& r) {
+  MetricsMsg m;
+  m.epoch = r.GetU64();
+  std::uint64_t n = r.GetU64();
+  // Each sample is at least 25 bytes (two empty strings + kind + values).
+  if (n > r.Remaining() / 25) {
+    throw DecodeError("metrics sample count exceeds payload");
+  }
+  m.samples.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    obs::MetricSample s;
+    s.name = r.GetString();
+    s.labels = r.GetString();
+    std::uint8_t kind = r.GetU8();
+    if (kind > static_cast<std::uint8_t>(obs::MetricKind::kGauge)) {
+      throw DecodeError("metrics sample kind is not wire-able");
+    }
+    s.kind = static_cast<obs::MetricKind>(kind);
+    s.counter = r.GetU64();
+    s.gauge = r.GetDouble();
+    m.samples.push_back(std::move(s));
+  }
+  return m;
+}
+
 void Encode(Writer& w, const ResultStatsMsg& m) {
   w.PutU64(m.outputs);
   w.PutDouble(m.delay_sum_us);

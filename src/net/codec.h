@@ -9,6 +9,7 @@
 #include "common/serialize.h"
 #include "common/time.h"
 #include "net/message.h"
+#include "obs/cluster_view.h"
 #include "tuple/tuple.h"
 
 namespace sjoin {
@@ -174,6 +175,19 @@ struct ReplayBatchMsg {
 };
 void Encode(Writer& w, const ReplayBatchMsg& m, std::size_t tuple_bytes);
 ReplayBatchMsg DecodeReplayBatch(Reader& r, std::size_t tuple_bytes);
+
+/// slave -> master: a compact registry snapshot (counters + gauges) for one
+/// distribution epoch. Sent fire-and-forget by the slave's *join thread*
+/// after it fully drains the epoch's batch, stamped with the slave's own
+/// epoch ordinal -- so the master's ClusterMetricsView is keyed by what the
+/// values mean, not by when they happened to arrive. The master consumes
+/// these opportunistically alongside acks; it never waits for one.
+struct MetricsMsg {
+  std::uint64_t epoch = 0;  ///< slave-local count of fully drained epochs
+  std::vector<obs::MetricSample> samples;
+};
+void Encode(Writer& w, const MetricsMsg& m);
+MetricsMsg DecodeMetrics(Reader& r);
 
 /// slave -> collector: result aggregates of one reporting interval.
 struct ResultStatsMsg {

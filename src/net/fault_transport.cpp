@@ -48,6 +48,23 @@ void FaultEndpoint::Ingest(Message msg) {
     }
   }
 
+  if (msg.type == MsgType::kMetrics) {
+    // Telemetry is out-of-band: it must not perturb the fault schedule.
+    // Consuming PCG draws for kMetrics would make an instrumented run
+    // inject different faults than a bare one, and the sender's join thread
+    // races against its comm thread on the same channel, so the draws would
+    // also differ between same-seed runs. Deliver in FIFO position (behind
+    // any held messages on the channel) without touching the RNG or the
+    // fault counters.
+    Channel& ch = ChannelOf(msg.from);
+    if (ch.holding.empty()) {
+      ready_.push_back(std::move(msg));
+    } else {
+      ch.holding.push_back(Held{std::move(msg), clock_.Now()});
+    }
+    return;
+  }
+
   Channel& ch = ChannelOf(msg.from);
   Duration hold = 0;
   if (cfg_.drop_prob > 0 && ch.rng.NextDouble() < cfg_.drop_prob) {
@@ -117,7 +134,17 @@ RecvResult FaultEndpoint::Pump(bool any, Rank from, Duration timeout_us) {
       if (!any && it->from != from) continue;
       RecvResult res{RecvStatus::kOk, std::move(*it)};
       ready_.erase(it);
-      ++stats_.delivered;
+      // kMetrics stays out of the legacy fault counters (see Ingest); it is
+      // still visible to the registry-backed NetInstrument below. Checkpoint
+      // acks are counted separately: whether a late ack beats the shutdown
+      // barrier is a wall race, so folding them into `delivered` would make
+      // same-seed summaries diverge.
+      if (res.msg.type == MsgType::kCheckpointAck) {
+        ++stats_.delivered_acks;
+      } else if (res.msg.type != MsgType::kMetrics) {
+        ++stats_.delivered;
+      }
+      instr_.OnRecv(res.msg.from, res.msg);
       return res;
     }
 
@@ -153,6 +180,7 @@ void FaultEndpoint::Send(Rank to, Message msg) {
     swallowed_sends_.fetch_add(1);
     return;
   }
+  instr_.OnSend(to, msg);
   inner_->Send(to, std::move(msg));
 }
 

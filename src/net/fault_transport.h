@@ -41,6 +41,7 @@
 
 #include "common/clock.h"
 #include "common/rng.h"
+#include "net/net_instrument.h"
 #include "net/transport.h"
 
 namespace sjoin {
@@ -84,12 +85,17 @@ struct FaultConfig {
 };
 
 /// Deterministic per-endpoint fault counters (what was injected, not what
-/// the cluster made of it).
+/// the cluster made of it). kMetrics telemetry frames bypass fault
+/// injection entirely and are excluded here, so the counters match between
+/// instrumented and bare runs. Checkpoint acks land in `delivered_acks`
+/// instead of `delivered`: whether a late ack beats the shutdown barrier is
+/// a wall race, so only the ack-free count is same-seed deterministic.
 struct FaultStats {
-  std::uint64_t delivered = 0;      ///< messages handed to the node
-  std::uint64_t delayed = 0;        ///< messages held by the delay fault
-  std::uint64_t duplicated = 0;     ///< extra copies injected
-  std::uint64_t retransmitted = 0;  ///< first transmissions dropped
+  std::uint64_t delivered = 0;       ///< messages handed to the node (no acks)
+  std::uint64_t delivered_acks = 0;  ///< kCheckpointAck deliveries (wall-racy)
+  std::uint64_t delayed = 0;         ///< messages held by the delay fault
+  std::uint64_t duplicated = 0;      ///< extra copies injected
+  std::uint64_t retransmitted = 0;   ///< first transmissions dropped
 };
 
 class FaultEndpoint final : public Transport {
@@ -102,6 +108,13 @@ class FaultEndpoint final : public Transport {
   std::optional<Message> RecvFrom(Rank from) override;
   RecvResult RecvTimed(Duration timeout_us) override;
   RecvResult RecvFromTimed(Rank from, Duration timeout_us) override;
+
+  /// Counts at this (outermost) layer: receives as the node saw them
+  /// post-fault (duplicates included, swallowed messages not), sends that
+  /// were actually forwarded. The inner transport stays uninstrumented.
+  void AttachMetrics(obs::MetricsRegistry* registry) override {
+    instr_.Attach(registry);
+  }
 
   /// Receive-side fault counters; read after the node's threads stopped.
   const FaultStats& Stats() const { return stats_; }
@@ -149,6 +162,7 @@ class FaultEndpoint final : public Transport {
   FaultStats stats_;
   std::atomic<bool> dead_{false};
   std::atomic<std::uint64_t> swallowed_sends_{0};
+  NetInstrument instr_;
 };
 
 }  // namespace sjoin

@@ -76,6 +76,7 @@ RecvResult InProcHub::PopTimed(Rank self, Duration timeout_us) {
 
 void InProcEndpoint::Send(Rank to, Message msg) {
   msg.from = self_;
+  instr_.OnSend(to, msg);
   hub_->Push(to, std::move(msg));
 }
 
@@ -83,9 +84,12 @@ std::optional<Message> InProcEndpoint::Recv() {
   if (!stash_.empty()) {
     Message msg = std::move(stash_.front());
     stash_.pop_front();
+    instr_.OnRecv(msg.from, msg);
     return msg;
   }
-  return hub_->Pop(self_);
+  std::optional<Message> msg = hub_->Pop(self_);
+  if (msg.has_value()) instr_.OnRecv(msg->from, *msg);
+  return msg;
 }
 
 std::optional<Message> InProcEndpoint::RecvFrom(Rank from) {
@@ -93,13 +97,17 @@ std::optional<Message> InProcEndpoint::RecvFrom(Rank from) {
     if (it->from == from) {
       Message msg = std::move(*it);
       stash_.erase(it);
+      instr_.OnRecv(msg.from, msg);
       return msg;
     }
   }
   while (true) {
     std::optional<Message> msg = hub_->Pop(self_);
     if (!msg.has_value()) return std::nullopt;
-    if (msg->from == from) return msg;
+    if (msg->from == from) {
+      instr_.OnRecv(msg->from, *msg);
+      return msg;
+    }
     stash_.push_back(std::move(*msg));
   }
 }
@@ -110,9 +118,12 @@ RecvResult InProcEndpoint::RecvTimed(Duration timeout_us) {
     res.status = RecvStatus::kOk;
     res.msg = std::move(stash_.front());
     stash_.pop_front();
+    instr_.OnRecv(res.msg.from, res.msg);
     return res;
   }
-  return hub_->PopTimed(self_, timeout_us);
+  RecvResult res = hub_->PopTimed(self_, timeout_us);
+  if (res.Ok()) instr_.OnRecv(res.msg.from, res.msg);
+  return res;
 }
 
 RecvResult InProcEndpoint::RecvFromTimed(Rank from, Duration timeout_us) {
@@ -122,6 +133,7 @@ RecvResult InProcEndpoint::RecvFromTimed(Rank from, Duration timeout_us) {
       res.status = RecvStatus::kOk;
       res.msg = std::move(*it);
       stash_.erase(it);
+      instr_.OnRecv(res.msg.from, res.msg);
       return res;
     }
   }
@@ -138,7 +150,10 @@ RecvResult InProcEndpoint::RecvFromTimed(Rank from, Duration timeout_us) {
     }
     RecvResult res = hub_->PopTimed(self_, left);
     if (!res.Ok()) return res;
-    if (res.msg.from == from) return res;
+    if (res.msg.from == from) {
+      instr_.OnRecv(res.msg.from, res.msg);
+      return res;
+    }
     stash_.push_back(std::move(res.msg));
   }
 }

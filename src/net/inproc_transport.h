@@ -11,6 +11,7 @@
 #include <mutex>
 #include <vector>
 
+#include "net/net_instrument.h"
 #include "net/transport.h"
 
 namespace sjoin {
@@ -27,11 +28,15 @@ class InProcEndpoint final : public Transport {
   std::optional<Message> RecvFrom(Rank from) override;
   RecvResult RecvTimed(Duration timeout_us) override;
   RecvResult RecvFromTimed(Rank from, Duration timeout_us) override;
+  void AttachMetrics(obs::MetricsRegistry* registry) override {
+    instr_.Attach(registry);
+  }
 
  private:
   InProcHub* hub_;
   Rank self_;
   std::deque<Message> stash_;  // messages deferred by RecvFrom
+  NetInstrument instr_;
 };
 
 /// Owns the mailboxes of a fixed-size rank space. Create it first, then one

@@ -1,0 +1,26 @@
+#include "net/message.h"
+
+namespace sjoin {
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kTupleBatch: return "tuple_batch";
+    case MsgType::kLoadReport: return "load_report";
+    case MsgType::kMoveCmd: return "move_cmd";
+    case MsgType::kInstallCmd: return "install_cmd";
+    case MsgType::kStateTransfer: return "state_transfer";
+    case MsgType::kAck: return "ack";
+    case MsgType::kClockSync: return "clock_sync";
+    case MsgType::kResultStats: return "result_stats";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kCkptCmd: return "ckpt_cmd";
+    case MsgType::kCheckpoint: return "checkpoint";
+    case MsgType::kCheckpointAck: return "checkpoint_ack";
+    case MsgType::kFailoverCmd: return "failover_cmd";
+    case MsgType::kReplayBatch: return "replay_batch";
+    case MsgType::kMetrics: return "metrics";
+  }
+  return "unknown";
+}
+
+}  // namespace sjoin

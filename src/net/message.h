@@ -37,7 +37,15 @@ enum class MsgType : std::uint8_t {
   kCheckpointAck = 12,  ///< buddy -> master: delta applied durably
   kFailoverCmd = 13,    ///< master -> buddy: adopt a dead slave's groups
   kReplayBatch = 14,    ///< master -> buddy: retained tuples of one epoch
+
+  // Observability (src/obs/): fire-and-forget, never awaited by anyone.
+  kMetrics = 15,  ///< slave -> master: registry snapshot for one epoch
 };
+
+/// Stable lowercase name of a message type, e.g. "tuple_batch". Used as the
+/// "kind" label on the per-rank transport counters and in log lines;
+/// "unknown" for out-of-range values.
+const char* MsgTypeName(MsgType type);
 
 struct Message {
   MsgType type = MsgType::kShutdown;

@@ -1,0 +1,33 @@
+#include "net/net_instrument.h"
+
+#include <string>
+
+namespace sjoin {
+
+void NetInstrument::Attach(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  cache_.clear();
+}
+
+void NetInstrument::Count(bool send, Rank peer, const Message& msg) {
+  std::uint8_t kind = static_cast<std::uint8_t>(msg.type);
+  Counters* c;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Counters& slot = cache_[{send, peer, kind}];
+    if (!slot.msgs) {
+      obs::Labels labels{{"peer", std::to_string(peer)},
+                         {"kind", MsgTypeName(msg.type)}};
+      slot.msgs = &registry_->GetCounter(send ? "net_sent_msgs" : "net_recv_msgs",
+                                         labels, obs::Stability::kVolatile);
+      slot.bytes = &registry_->GetCounter(
+          send ? "net_sent_bytes" : "net_recv_bytes", labels,
+          obs::Stability::kVolatile);
+    }
+    c = &slot;
+  }
+  c->msgs->Inc();
+  c->bytes->Add(msg.WireBytes());
+}
+
+}  // namespace sjoin

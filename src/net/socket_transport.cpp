@@ -151,6 +151,7 @@ void SocketEndpoint::Send(Rank to, Message msg) {
     return;
   }
   bytes_sent_ += msg.WireBytes();
+  instr_.OnSend(to, msg);
 }
 
 std::optional<Message> SocketEndpoint::ReadFrame(int fd) {
@@ -173,10 +174,12 @@ std::optional<Message> SocketEndpoint::Recv() {
   if (!stash_.empty()) {
     Message msg = std::move(stash_.front());
     stash_.erase(stash_.begin());
+    instr_.OnRecv(msg.from, msg);
     return msg;
   }
   RecvResult res = RecvFromWire(-1);
   if (!res.Ok()) return std::nullopt;
+  instr_.OnRecv(res.msg.from, res.msg);
   return std::move(res.msg);
 }
 
@@ -234,9 +237,12 @@ RecvResult SocketEndpoint::RecvTimed(Duration timeout_us) {
   if (!stash_.empty()) {
     RecvResult res{RecvStatus::kOk, std::move(stash_.front())};
     stash_.erase(stash_.begin());
+    instr_.OnRecv(res.msg.from, res.msg);
     return res;
   }
-  return RecvFromWire(timeout_us);
+  RecvResult res = RecvFromWire(timeout_us);
+  if (res.Ok()) instr_.OnRecv(res.msg.from, res.msg);
+  return res;
 }
 
 RecvResult SocketEndpoint::RecvFromTimed(Rank from, Duration timeout_us) {
@@ -244,6 +250,7 @@ RecvResult SocketEndpoint::RecvFromTimed(Rank from, Duration timeout_us) {
     if (it->from == from) {
       RecvResult res{RecvStatus::kOk, std::move(*it)};
       stash_.erase(it);
+      instr_.OnRecv(res.msg.from, res.msg);
       return res;
     }
   }
@@ -266,7 +273,10 @@ RecvResult SocketEndpoint::RecvFromTimed(Rank from, Duration timeout_us) {
       continue;
     }
     if (!res.Ok()) return res;
-    if (res.msg.from == from) return res;
+    if (res.msg.from == from) {
+      instr_.OnRecv(res.msg.from, res.msg);
+      return res;
+    }
     stash_.push_back(std::move(res.msg));
   }
 }

@@ -27,6 +27,7 @@
 #include <mutex>
 #include <vector>
 
+#include "net/net_instrument.h"
 #include "net/transport.h"
 
 namespace sjoin {
@@ -56,6 +57,9 @@ class SocketEndpoint final : public Transport {
   std::optional<Message> RecvFrom(Rank from) override;
   RecvResult RecvTimed(Duration timeout_us) override;
   RecvResult RecvFromTimed(Rank from, Duration timeout_us) override;
+  void AttachMetrics(obs::MetricsRegistry* registry) override {
+    instr_.Attach(registry);
+  }
 
   /// Bytes sent/received so far (communication accounting in wall mode).
   std::size_t BytesSent() const { return bytes_sent_; }
@@ -85,6 +89,7 @@ class SocketEndpoint final : public Transport {
   std::size_t bytes_sent_ = 0;  // guarded by send_mu_
   std::vector<Message> stash_;
   std::size_t bytes_received_ = 0;
+  NetInstrument instr_;
 };
 
 /// Builds the full connection mesh for `num_ranks` nodes in the launcher.

@@ -23,6 +23,10 @@
 #include "common/time.h"
 #include "net/message.h"
 
+namespace sjoin::obs {
+class MetricsRegistry;
+}  // namespace sjoin::obs
+
 namespace sjoin {
 
 /// Outcome of a timed receive.
@@ -70,6 +74,14 @@ class Transport {
   /// timeout). Returns kClosed when the transport is shut down or the peer's
   /// connection is gone for good.
   virtual RecvResult RecvFromTimed(Rank from, Duration timeout_us) = 0;
+
+  /// Starts counting per-peer, per-kind traffic into `registry` (see
+  /// net/net_instrument.h). Call before the node's threads start; when a
+  /// decorator wraps this transport, attach at the outermost layer only.
+  /// Default: no-op (the transport stays uninstrumented).
+  virtual void AttachMetrics(obs::MetricsRegistry* registry) {
+    (void)registry;
+  }
 };
 
 }  // namespace sjoin

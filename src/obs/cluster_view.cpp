@@ -1,0 +1,127 @@
+#include "obs/cluster_view.h"
+
+#include <cstdio>
+#include <set>
+
+namespace sjoin::obs {
+
+std::vector<MetricSample> CollectSamples(const MetricsRegistry& reg,
+                                         bool include_volatile) {
+  std::vector<MetricSample> out;
+  for (const SnapshotEntry& e : reg.Collect(include_volatile)) {
+    if (e.kind == MetricKind::kHistogram) continue;
+    MetricSample s;
+    s.name = e.name;
+    s.labels = e.labels;
+    s.kind = e.kind;
+    s.counter = e.counter;
+    s.gauge = e.gauge;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void ClusterMetricsView::Record(Rank rank, std::int64_t epoch,
+                                std::vector<MetricSample> samples) {
+  table_[{rank, epoch}] = std::move(samples);
+}
+
+const std::vector<MetricSample>* ClusterMetricsView::Get(
+    Rank rank, std::int64_t epoch) const {
+  auto it = table_.find({rank, epoch});
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t ClusterMetricsView::CounterAt(Rank rank, std::int64_t epoch,
+                                            std::string_view name,
+                                            std::string_view labels) const {
+  const std::vector<MetricSample>* samples = Get(rank, epoch);
+  if (!samples) return 0;
+  for (const MetricSample& s : *samples) {
+    if (s.kind == MetricKind::kCounter && s.name == name && s.labels == labels) {
+      return s.counter;
+    }
+  }
+  return 0;
+}
+
+double ClusterMetricsView::GaugeAt(Rank rank, std::int64_t epoch,
+                                   std::string_view name,
+                                   std::string_view labels) const {
+  const std::vector<MetricSample>* samples = Get(rank, epoch);
+  if (!samples) return 0.0;
+  for (const MetricSample& s : *samples) {
+    if (s.kind == MetricKind::kGauge && s.name == name && s.labels == labels) {
+      return s.gauge;
+    }
+  }
+  return 0.0;
+}
+
+std::int64_t ClusterMetricsView::LatestEpoch(Rank rank) const {
+  std::int64_t latest = -1;
+  for (const auto& [key, _] : table_) {
+    if (key.first == rank && key.second > latest) latest = key.second;
+  }
+  return latest;
+}
+
+std::vector<Rank> ClusterMetricsView::Ranks() const {
+  std::set<Rank> ranks;
+  for (const auto& [key, _] : table_) ranks.insert(key.first);
+  return {ranks.begin(), ranks.end()};
+}
+
+std::vector<std::int64_t> ClusterMetricsView::Epochs(Rank rank) const {
+  std::vector<std::int64_t> out;
+  for (const auto& [key, _] : table_) {
+    if (key.first == rank) out.push_back(key.second);
+  }
+  return out;
+}
+
+std::string ClusterMetricsView::ExportCsv() const {
+  std::set<std::string> columns;
+  for (const auto& [_, samples] : table_) {
+    for (const MetricSample& s : samples) {
+      columns.insert(s.labels.empty() ? s.name : s.name + "{" + s.labels + "}");
+    }
+  }
+  std::string out = "epoch,rank";
+  for (const std::string& c : columns) {
+    out += ',';
+    out += c;
+  }
+  out += '\n';
+  // Rows sorted by (epoch, rank) -- natural plotting order.
+  std::map<std::pair<std::int64_t, Rank>, const std::vector<MetricSample>*>
+      by_epoch;
+  for (const auto& [key, samples] : table_) {
+    by_epoch[{key.second, key.first}] = &samples;
+  }
+  for (const auto& [key, samples] : by_epoch) {
+    out += std::to_string(key.first);
+    out += ',';
+    out += std::to_string(key.second);
+    std::map<std::string, std::string> cells;
+    for (const MetricSample& s : *samples) {
+      std::string col = s.labels.empty() ? s.name : s.name + "{" + s.labels + "}";
+      if (s.kind == MetricKind::kCounter) {
+        cells[col] = std::to_string(s.counter);
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6f", s.gauge);
+        cells[col] = buf;
+      }
+    }
+    for (const std::string& c : columns) {
+      out += ',';
+      auto it = cells.find(c);
+      if (it != cells.end()) out += it->second;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sjoin::obs

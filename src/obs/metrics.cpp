@@ -1,0 +1,145 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace sjoin::obs {
+
+std::string CanonicalLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [k, v] : sorted) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+void Gauge::Set(double x) {
+  bits_.store(std::bit_cast<std::uint64_t>(x), std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+HistogramMetric::HistogramMetric(std::vector<double> upper_bounds)
+    : hist_(std::move(upper_bounds)) {}
+
+void HistogramMetric::Observe(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hist_.Add(x);
+}
+
+Histogram HistogramMetric::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hist_;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::Ensure(std::string_view name,
+                                                const Labels& labels,
+                                                MetricKind kind,
+                                                Stability stability,
+                                                std::vector<double> bounds) {
+  Key key{std::string(name), CanonicalLabels(labels)};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = kind;
+    e.stability = stability;
+    switch (kind) {
+      case MetricKind::kCounter:
+        e.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        e.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        e.hist = std::make_unique<HistogramMetric>(std::move(bounds));
+        break;
+    }
+    it = entries_.emplace(std::move(key), std::move(e)).first;
+  }
+  assert(it->second.kind == kind && "metric re-registered with another kind");
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     const Labels& labels,
+                                     Stability stability) {
+  return *Ensure(name, labels, MetricKind::kCounter, stability, {}).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, const Labels& labels,
+                                 Stability stability) {
+  return *Ensure(name, labels, MetricKind::kGauge, stability, {}).gauge;
+}
+
+HistogramMetric& MetricsRegistry::GetHistogram(std::string_view name,
+                                               std::vector<double> bounds,
+                                               const Labels& labels,
+                                               Stability stability) {
+  return *Ensure(name, labels, MetricKind::kHistogram, stability,
+                 std::move(bounds))
+              .hist;
+}
+
+std::vector<SnapshotEntry> MetricsRegistry::Collect(
+    bool include_volatile) const {
+  std::vector<SnapshotEntry> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    if (!include_volatile && e.stability == Stability::kVolatile) continue;
+    SnapshotEntry s;
+    s.name = key.first;
+    s.labels = key.second;
+    s.kind = e.kind;
+    s.stability = e.stability;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.counter = e.counter->Value();
+        break;
+      case MetricKind::kGauge:
+        s.gauge = e.gauge->Value();
+        break;
+      case MetricKind::kHistogram: {
+        Histogram h = e.hist->Snapshot();
+        for (std::size_t b = 0; b < h.BucketCount(); ++b) {
+          if (b + 1 < h.BucketCount()) s.hist_bounds.push_back(h.UpperBound(b));
+          s.hist_counts.push_back(h.CountAt(b));
+        }
+        s.hist_total = h.TotalCount();
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  // std::map iteration is already (name, labels)-sorted; keep it explicit.
+  return out;
+}
+
+std::uint64_t MetricsRegistry::CounterValue(std::string_view name,
+                                            const Labels& labels) const {
+  Key key{std::string(name), CanonicalLabels(labels)};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.kind != MetricKind::kCounter) return 0;
+  return it->second.counter->Value();
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name,
+                                   const Labels& labels) const {
+  Key key{std::string(name), CanonicalLabels(labels)};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.kind != MetricKind::kGauge) return 0.0;
+  return it->second.gauge->Value();
+}
+
+}  // namespace sjoin::obs

@@ -1,0 +1,146 @@
+// MetricsRegistry: named, labeled counters / gauges / histograms -- the
+// always-on observability substrate of one node (master, slave, collector,
+// or the whole virtual-time simulation).
+//
+// Design constraints (see DESIGN.md "Observability"):
+//   * shared-nothing: every node owns one registry; nothing is global. The
+//     cluster-wide view is assembled at the master from kMetrics frames
+//     (obs/cluster_view.h), never through shared memory.
+//   * hot-path cheap: handles are stable pointers; a bump is one relaxed
+//     atomic add. Registration (name lookup) is mutex-guarded and meant for
+//     setup or rare first-touch paths only -- cache the handle.
+//   * deterministic export: snapshots are sorted by (name, labels) so two
+//     runs that bump the same values produce byte-identical exports.
+//   * stability tagging: a family whose *epoch placement* depends on thread
+//     or wall-clock timing (e.g. receive-side transport counters -- whether
+//     a frame lands in epoch k or k+1 is a race) is registered kVolatile.
+//     The per-epoch recorder snapshots only kStable families, which keeps
+//     seeded chaos runs byte-identical; volatile families still appear in
+//     full (end-of-run) snapshots.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace sjoin::obs {
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+enum class Stability : std::uint8_t {
+  kStable = 0,    ///< value/placement deterministic under a seeded run
+  kVolatile = 1,  ///< timing-dependent; excluded from per-epoch snapshots
+};
+
+/// Label set of one metric instance, e.g. {{"peer","3"},{"kind","ack"}}.
+/// Canonicalized (sorted by key) into "k=v,k2=v2" for map keys and exports.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical "k=v,k2=v2" form (keys sorted, stable across runs).
+std::string CanonicalLabels(const Labels& labels);
+
+/// Monotonic counter. One relaxed atomic add per bump.
+class Counter {
+ public:
+  void Add(std::uint64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void Inc() { Add(1); }
+  std::uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins gauge (doubles, stored as bits for lock-free access).
+class Gauge {
+ public:
+  void Set(double x);
+  double Value() const;
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Histogram metric: a fixed-boundary common/stats Histogram behind a small
+/// mutex (observation is off the per-tuple hot path: delays are recorded
+/// once per probe batch).
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(std::vector<double> upper_bounds);
+
+  void Observe(double x);
+  /// Copy of the current contents (for snapshots).
+  Histogram Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+/// One exported metric value at a point in time.
+struct SnapshotEntry {
+  std::string name;
+  std::string labels;  ///< canonical "k=v,..." form ("" when unlabeled)
+  MetricKind kind = MetricKind::kCounter;
+  Stability stability = Stability::kStable;
+  std::uint64_t counter = 0;  ///< kCounter
+  double gauge = 0.0;         ///< kGauge
+  // kHistogram: parallel bounds/counts arrays (bounds excludes +inf bucket).
+  std::vector<double> hist_bounds;
+  std::vector<std::uint64_t> hist_counts;
+  std::uint64_t hist_total = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates; the returned reference is stable for the registry's
+  /// lifetime. Kind/stability are fixed at first registration.
+  Counter& GetCounter(std::string_view name, const Labels& labels = {},
+                      Stability stability = Stability::kStable);
+  Gauge& GetGauge(std::string_view name, const Labels& labels = {},
+                  Stability stability = Stability::kStable);
+  HistogramMetric& GetHistogram(std::string_view name,
+                                std::vector<double> upper_bounds,
+                                const Labels& labels = {},
+                                Stability stability = Stability::kStable);
+
+  /// Sorted-by-(name, labels) snapshot. `include_volatile` adds the
+  /// timing-dependent families (end-of-run exports want them; the per-epoch
+  /// recorder must not).
+  std::vector<SnapshotEntry> Collect(bool include_volatile = true) const;
+
+  /// Current value helpers for tests (0 / not-found safe).
+  std::uint64_t CounterValue(std::string_view name,
+                             const Labels& labels = {}) const;
+  double GaugeValue(std::string_view name, const Labels& labels = {}) const;
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    Stability stability;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> hist;
+  };
+
+  using Key = std::pair<std::string, std::string>;  // (name, canonical labels)
+
+  Entry& Ensure(std::string_view name, const Labels& labels, MetricKind kind,
+                Stability stability, std::vector<double> bounds);
+
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+};
+
+}  // namespace sjoin::obs

@@ -1,0 +1,121 @@
+#include "obs/recorder.h"
+
+#include <cstdio>
+#include <set>
+
+namespace sjoin::obs {
+
+namespace {
+
+std::string CellName(const SnapshotEntry& e) {
+  if (e.labels.empty()) return e.name;
+  return e.name + "{" + e.labels + "}";
+}
+
+std::string FormatDouble(double d) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", d);
+  return buf;
+}
+
+std::string FormatCell(const Cell& c) {
+  return c.is_int ? std::to_string(c.i) : FormatDouble(c.d);
+}
+
+void AppendJsonKey(std::string& out, const std::string& k) {
+  out += '"';
+  for (char c : k) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+EpochRow& EpochRecorder::RowFor(std::int64_t epoch, Time vt) {
+  // Epochs arrive in (almost always strictly) increasing order; search from
+  // the back for the occasional re-touch of the current row.
+  for (auto it = rows_.rbegin(); it != rows_.rend(); ++it) {
+    if (it->epoch == epoch) return *it;
+    if (it->epoch < epoch) break;
+  }
+  rows_.push_back(EpochRow{epoch, vt, {}});
+  if (rows_.size() > capacity_) rows_.pop_front();
+  return rows_.back();
+}
+
+void EpochRecorder::Snapshot(std::int64_t epoch, Time vt,
+                             const MetricsRegistry& reg) {
+  EpochRow& row = RowFor(epoch, vt);
+  for (const SnapshotEntry& e : reg.Collect(/*include_volatile=*/false)) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        row.cells[CellName(e)] =
+            Cell{true, static_cast<std::int64_t>(e.counter), 0.0};
+        break;
+      case MetricKind::kGauge:
+        row.cells[CellName(e)] = Cell{false, 0, e.gauge};
+        break;
+      case MetricKind::kHistogram:
+        row.cells[CellName(e) + ".count"] =
+            Cell{true, static_cast<std::int64_t>(e.hist_total), 0.0};
+        break;
+    }
+  }
+}
+
+void EpochRecorder::SetInt(std::int64_t epoch, Time vt, std::string_view cell,
+                           std::int64_t value) {
+  RowFor(epoch, vt).cells[std::string(cell)] = Cell{true, value, 0.0};
+}
+
+void EpochRecorder::SetDouble(std::int64_t epoch, Time vt,
+                              std::string_view cell, double value) {
+  RowFor(epoch, vt).cells[std::string(cell)] = Cell{false, 0, value};
+}
+
+std::string EpochRecorder::ExportCsv() const {
+  std::set<std::string> columns;
+  for (const EpochRow& row : rows_) {
+    for (const auto& [name, cell] : row.cells) columns.insert(name);
+  }
+  std::string out = "epoch,vt_us";
+  for (const std::string& c : columns) {
+    out += ',';
+    out += c;
+  }
+  out += '\n';
+  for (const EpochRow& row : rows_) {
+    out += std::to_string(row.epoch);
+    out += ',';
+    out += std::to_string(row.vt);
+    for (const std::string& c : columns) {
+      out += ',';
+      auto it = row.cells.find(c);
+      if (it != row.cells.end()) out += FormatCell(it->second);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string EpochRecorder::ExportJsonl() const {
+  std::string out;
+  for (const EpochRow& row : rows_) {
+    out += "{\"epoch\":";
+    out += std::to_string(row.epoch);
+    out += ",\"vt_us\":";
+    out += std::to_string(row.vt);
+    for (const auto& [name, cell] : row.cells) {
+      out += ',';
+      AppendJsonKey(out, name);
+      out += ':';
+      out += FormatCell(cell);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace sjoin::obs

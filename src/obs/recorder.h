@@ -1,0 +1,75 @@
+// EpochRecorder: per-epoch time series of metric values.
+//
+// Once per distribution epoch the owner snapshots its MetricsRegistry into a
+// row (cumulative values as of that epoch boundary, keyed by the epoch
+// ordinal and stamped with virtual time). Only kStable families are
+// snapshotted -- volatile families (receive-side transport counters, ...)
+// have timing-dependent epoch placement and would break the byte-identical
+// determinism the chaos tests assert. Callers can also write explicit cells
+// (e.g. the master's per-epoch occupancy spread) with Set().
+//
+// Rows live in a bounded ring (default 1 << 16 epochs): long soak runs keep
+// the most recent window instead of growing without bound.
+//
+// Exports:
+//   CSV   -- one row per epoch; header is the sorted union of cell names
+//            across all rows; missing cells are empty. gnuplot-ready, same
+//            spirit as the bench/ row format.
+//   JSONL -- one JSON object per row, keys sorted. Integer cells are emitted
+//            as integers, doubles with fixed 6-digit precision, so a
+//            deterministic run exports deterministic bytes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/time.h"
+#include "obs/metrics.h"
+
+namespace sjoin::obs {
+
+struct Cell {
+  bool is_int = true;
+  std::int64_t i = 0;
+  double d = 0.0;
+};
+
+struct EpochRow {
+  std::int64_t epoch = 0;
+  Time vt = 0;  ///< virtual time of the epoch boundary
+  std::map<std::string, Cell> cells;
+};
+
+class EpochRecorder {
+ public:
+  explicit EpochRecorder(std::size_t capacity = 1 << 16)
+      : capacity_(capacity ? capacity : 1) {}
+
+  /// Snapshots every kStable family of `reg` into the row for `epoch`.
+  /// Counters become integer cells named `name` (or `name{labels}`), gauges
+  /// double cells, histograms a single `name{labels}.count` integer cell.
+  void Snapshot(std::int64_t epoch, Time vt, const MetricsRegistry& reg);
+
+  void SetInt(std::int64_t epoch, Time vt, std::string_view cell,
+              std::int64_t value);
+  void SetDouble(std::int64_t epoch, Time vt, std::string_view cell,
+                 double value);
+
+  const std::deque<EpochRow>& Rows() const { return rows_; }
+  bool Empty() const { return rows_.empty(); }
+  const EpochRow& Back() const { return rows_.back(); }
+
+  std::string ExportCsv() const;
+  std::string ExportJsonl() const;
+
+ private:
+  EpochRow& RowFor(std::int64_t epoch, Time vt);
+
+  std::size_t capacity_;
+  std::deque<EpochRow> rows_;
+};
+
+}  // namespace sjoin::obs

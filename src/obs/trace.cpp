@@ -1,0 +1,172 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace sjoin::obs {
+
+void TraceSink::Emit(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.seq = next_seq_++;
+  events_.push_back(std::move(ev));
+}
+
+void TraceSink::Complete(std::string name, std::string cat, Time ts,
+                         Duration dur, TraceArgs args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ph = 'X';
+  ev.ts = ts;
+  ev.dur = dur;
+  ev.pid = rank_;
+  ev.args = std::move(args);
+  Emit(std::move(ev));
+}
+
+void TraceSink::Begin(std::string name, std::string cat, Time ts,
+                      TraceArgs args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ph = 'B';
+  ev.ts = ts;
+  ev.pid = rank_;
+  ev.args = std::move(args);
+  Emit(std::move(ev));
+}
+
+void TraceSink::End(std::string name, std::string cat, Time ts) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ph = 'E';
+  ev.ts = ts;
+  ev.pid = rank_;
+  Emit(std::move(ev));
+}
+
+void TraceSink::Instant(std::string name, std::string cat, Time ts,
+                        TraceArgs args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ph = 'i';
+  ev.ts = ts;
+  ev.pid = rank_;
+  ev.args = std::move(args);
+  Emit(std::move(ev));
+}
+
+std::vector<TraceEvent> TraceSink::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t TraceSink::EventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> MergeTraces(std::span<const TraceSink* const> sinks) {
+  std::vector<TraceEvent> all;
+  for (const TraceSink* s : sinks) {
+    if (!s) continue;
+    auto evs = s->Events();
+    all.insert(all.end(), std::make_move_iterator(evs.begin()),
+               std::make_move_iterator(evs.end()));
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     return a.seq < b.seq;
+                   });
+  return all;
+}
+
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string ExportChromeJson(std::span<const TraceEvent> events) {
+  std::string out = "[\n";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(out, ev.name);
+    out += ",\"cat\":";
+    AppendJsonString(out, ev.cat);
+    out += ",\"ph\":\"";
+    out += ev.ph;
+    out += "\",\"ts\":";
+    out += std::to_string(ev.ts);
+    if (ev.ph == 'X') {
+      out += ",\"dur\":";
+      out += std::to_string(ev.dur);
+    }
+    out += ",\"pid\":";
+    out += std::to_string(ev.pid);
+    out += ",\"tid\":";
+    out += std::to_string(ev.tid);
+    if (ev.ph == 'i') {
+      // Instant scope: per-process (shows as a vertical tick on the rank row).
+      out += ",\"s\":\"p\"";
+    }
+    if (!ev.args.empty()) {
+      out += ",\"args\":{";
+      bool afirst = true;
+      for (const auto& [k, v] : ev.args) {
+        if (!afirst) out += ',';
+        afirst = false;
+        AppendJsonString(out, k);
+        out += ':';
+        out += std::to_string(v);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace sjoin::obs

@@ -1,0 +1,94 @@
+// TraceSink: structured trace events on the virtual timeline, exported as
+// Chrome trace_event JSON (load the file in chrome://tracing or
+// https://ui.perfetto.dev).
+//
+// Every event is stamped with *virtual* time (microseconds -- conveniently
+// also the trace_event unit): the SimDriver stamps true virtual-clock spans
+// (a join span's dur is the charged CostModel cost), while the wall-clock
+// runners stamp the logical epoch timeline (epoch k's events carry
+// ts = k * t_dist) so that a seeded chaos run produces a byte-identical
+// trace regardless of thread scheduling. Wall-clock durations never enter a
+// trace.
+//
+// Event identity: pid = rank (0 master, 1..N slaves, N+1 collector),
+// tid = 0. Args are integer-valued only (floats would force a formatting
+// choice into the determinism contract).
+//
+// A sink is cheap when disabled: every emit checks one bool first. Enabled
+// emission appends under a mutex (traces are for test/debug runs, not the
+// steady-state hot path).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace sjoin::obs {
+
+/// Node rank (same convention as sjoin::Rank in net/message.h; redeclared so
+/// obs stays below net in the layering).
+using Rank = std::uint32_t;
+
+/// Integer-only args keep JSON formatting (and hence byte-level trace
+/// determinism) trivial.
+using TraceArgs = std::vector<std::pair<std::string, std::int64_t>>;
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'i';   ///< 'X' complete, 'B'/'E' span, 'i' instant
+  Time ts = 0;     ///< virtual microseconds
+  Duration dur = 0;  ///< 'X' only
+  Rank pid = 0;    ///< rank
+  std::uint32_t tid = 0;
+  std::uint64_t seq = 0;  ///< per-sink emission ordinal (stable tiebreak)
+  TraceArgs args;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(bool enabled = false) : enabled_(enabled) {}
+
+  bool Enabled() const { return enabled_; }
+  void SetEnabled(bool on) { enabled_ = on; }
+
+  /// Default rank stamped on events (settable once at node start).
+  void SetRank(Rank rank) { rank_ = rank; }
+  Rank GetRank() const { return rank_; }
+
+  void Complete(std::string name, std::string cat, Time ts, Duration dur,
+                TraceArgs args = {});
+  void Begin(std::string name, std::string cat, Time ts, TraceArgs args = {});
+  void End(std::string name, std::string cat, Time ts);
+  void Instant(std::string name, std::string cat, Time ts,
+               TraceArgs args = {});
+
+  std::vector<TraceEvent> Events() const;
+  std::size_t EventCount() const;
+
+ private:
+  void Emit(TraceEvent ev);
+
+  bool enabled_;
+  Rank rank_ = 0;
+  mutable std::mutex mu_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// Merges per-rank event streams into one deterministic trace: stable-sorted
+/// by (ts, pid, seq). Each rank's stream must itself be deterministically
+/// ordered (single emitting thread), which the runners guarantee.
+std::vector<TraceEvent> MergeTraces(
+    std::span<const TraceSink* const> sinks);
+
+/// Chrome trace_event "JSON array format". Deterministic byte-for-byte for
+/// a deterministic event list.
+std::string ExportChromeJson(std::span<const TraceEvent> events);
+
+}  // namespace sjoin::obs

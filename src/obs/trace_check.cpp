@@ -1,0 +1,458 @@
+#include "obs/trace_check.h"
+
+#include <cctype>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace sjoin::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* err)
+      : text_(text), err_(err) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing characters after value");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& why) {
+    if (err_->empty()) {
+      *err_ = "json parse error at byte " + std::to_string(pos_) + ": " + why;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (depth_ > 64) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        return ParseLiteral("true", out, JsonValue::Kind::kBool, true);
+      case 'f':
+        return ParseLiteral("false", out, JsonValue::Kind::kBool, false);
+      case 'n':
+        return ParseLiteral("null", out, JsonValue::Kind::kNull, false);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        return Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  bool ParseLiteral(std::string_view lit, JsonValue* out, JsonValue::Kind kind,
+                    bool b) {
+    if (text_.substr(pos_, lit.size()) != lit) return Fail("bad literal");
+    pos_ += lit.size();
+    out->kind = kind;
+    out->boolean = b;
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("malformed number");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("malformed number");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("malformed number");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("unterminated escape");
+        char e = text_[pos_];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return Fail("truncated \\u escape");
+            unsigned code = 0;
+            for (std::size_t i = 1; i <= 4; ++i) {
+              char h = text_[pos_ + i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            pos_ += 4;
+            // Traces we emit only escape control chars; encode as UTF-8 for
+            // completeness.
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xc0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              *out += static_cast<char>(0xe0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              *out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+        ++pos_;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      } else {
+        *out += c;
+        ++pos_;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    ++depth_;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      JsonValue v;
+      SkipWs();
+      if (!ParseValue(&v)) return false;
+      out->array.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    ++depth_;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected string key in object");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':' after object key");
+      }
+      ++pos_;
+      SkipWs();
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->object.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+bool GetInt(const JsonValue& ev, std::string_view key, std::int64_t* out) {
+  const JsonValue* v = ev.Find(key);
+  if (!v || v->kind != JsonValue::Kind::kNumber) return false;
+  *out = static_cast<std::int64_t>(v->number);
+  return true;
+}
+
+bool GetArgInt(const JsonValue& ev, std::string_view key, std::int64_t* out) {
+  const JsonValue* args = ev.Find("args");
+  if (!args || args->kind != JsonValue::Kind::kObject) return false;
+  return GetInt(*args, key, out);
+}
+
+}  // namespace
+
+TraceCheckResult ValidateChromeTrace(std::string_view json) {
+  TraceCheckResult res;
+  JsonValue root;
+  JsonParser parser(json, &res.error);
+  if (!parser.Parse(&root)) return res;
+  // Accept both the bare array format and {"traceEvents": [...]}.
+  const JsonValue* events = &root;
+  if (root.kind == JsonValue::Kind::kObject) {
+    events = root.Find("traceEvents");
+    if (!events) {
+      res.error = "object trace without traceEvents key";
+      return res;
+    }
+  }
+  if (events->kind != JsonValue::Kind::kArray) {
+    res.error = "trace is not a JSON array of events";
+    return res;
+  }
+
+  auto fail_at = [&res](std::int64_t idx, const std::string& why) {
+    res.error = "event " + std::to_string(idx) + ": " + why;
+    return res;
+  };
+
+  // (pid, tid) -> stack of open 'B' span names.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::vector<std::string>>
+      open_spans;
+  std::int64_t prev_ts = std::numeric_limits<std::int64_t>::min();
+  // Protocol-invariant state.
+  std::map<std::int64_t, bool> dead_seen;          // slave -> verdict emitted
+  std::map<std::int64_t, std::int64_t> replay_from;  // slave -> min epoch
+  std::int64_t max_sweep_epoch = -1;
+  bool sweep_seen = false;
+
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    std::int64_t idx = static_cast<std::int64_t>(i);
+    if (ev.kind != JsonValue::Kind::kObject) {
+      return fail_at(idx, "not an object");
+    }
+    const JsonValue* name = ev.Find("name");
+    const JsonValue* ph = ev.Find("ph");
+    if (!name || name->kind != JsonValue::Kind::kString) {
+      return fail_at(idx, "missing string 'name'");
+    }
+    if (!ph || ph->kind != JsonValue::Kind::kString || ph->str.size() != 1) {
+      return fail_at(idx, "missing one-char 'ph'");
+    }
+    std::int64_t ts = 0, pid = 0, tid = 0;
+    if (!GetInt(ev, "ts", &ts)) return fail_at(idx, "missing numeric 'ts'");
+    if (!GetInt(ev, "pid", &pid)) return fail_at(idx, "missing numeric 'pid'");
+    if (!GetInt(ev, "tid", &tid)) return fail_at(idx, "missing numeric 'tid'");
+    if (ts < prev_ts) return fail_at(idx, "timestamps not sorted");
+    prev_ts = ts;
+    ++res.events;
+
+    char p = ph->str[0];
+    auto key = std::make_pair(pid, tid);
+    switch (p) {
+      case 'X': {
+        std::int64_t dur = 0;
+        if (!GetInt(ev, "dur", &dur) || dur < 0) {
+          return fail_at(idx, "'X' event without non-negative 'dur'");
+        }
+        ++res.spans;
+        break;
+      }
+      case 'B':
+        open_spans[key].push_back(name->str);
+        break;
+      case 'E': {
+        auto& stack = open_spans[key];
+        if (stack.empty()) {
+          return fail_at(idx, "'E' without matching 'B' on (pid,tid)");
+        }
+        if (stack.back() != name->str) {
+          return fail_at(idx, "'E' name '" + name->str +
+                                  "' does not match open span '" +
+                                  stack.back() + "'");
+        }
+        stack.pop_back();
+        ++res.spans;
+        break;
+      }
+      case 'i':
+        ++res.instants;
+        break;
+      default:
+        return fail_at(idx, std::string("unsupported phase '") + p + "'");
+    }
+
+    // Protocol invariants (recognized names only).
+    if (name->str == "dead_slave") {
+      std::int64_t slave = 0;
+      if (!GetArgInt(ev, "slave", &slave)) {
+        return fail_at(idx, "dead_slave without args.slave");
+      }
+      dead_seen[slave] = true;
+    } else if (name->str == "failover") {
+      std::int64_t slave = 0;
+      if (!GetArgInt(ev, "slave", &slave)) {
+        return fail_at(idx, "failover without args.slave");
+      }
+      // The verdict is paired against args.dead (the failed rank) when the
+      // emitter distinguishes it from args.slave (the adopting target);
+      // otherwise args.slave names the dead rank itself.
+      std::int64_t dead = slave;
+      GetArgInt(ev, "dead", &dead);
+      if (!dead_seen[dead]) {
+        return fail_at(idx, "failover for dead slave " + std::to_string(dead) +
+                                " without preceding dead_slave verdict");
+      }
+      std::int64_t from = 0;
+      if (GetArgInt(ev, "replay_from", &from)) {
+        auto it = replay_from.find(slave);
+        if (it == replay_from.end() || from < it->second) {
+          replay_from[slave] = from;
+        }
+      }
+    } else if (name->str == "replay") {
+      std::int64_t slave = 0, epoch = 0;
+      if (!GetArgInt(ev, "slave", &slave) || !GetArgInt(ev, "epoch", &epoch)) {
+        return fail_at(idx, "replay without args.slave/args.epoch");
+      }
+      auto it = replay_from.find(slave);
+      if (it == replay_from.end()) {
+        return fail_at(idx, "replay for slave " + std::to_string(slave) +
+                                " without preceding failover");
+      }
+      if (epoch < it->second) {
+        return fail_at(idx, "replay epoch " + std::to_string(epoch) +
+                                " older than failover replay_from " +
+                                std::to_string(it->second));
+      }
+    } else if (name->str == "ckpt_sweep") {
+      std::int64_t epoch = 0;
+      if (GetArgInt(ev, "epoch", &epoch) && epoch > max_sweep_epoch) {
+        max_sweep_epoch = epoch;
+      }
+      sweep_seen = true;
+    } else if (name->str == "ckpt_ack") {
+      std::int64_t covered = 0;
+      if (!GetArgInt(ev, "covered_epoch", &covered)) {
+        return fail_at(idx, "ckpt_ack without args.covered_epoch");
+      }
+      if (!sweep_seen) {
+        return fail_at(idx, "ckpt_ack before any ckpt_sweep");
+      }
+      if (covered > max_sweep_epoch) {
+        return fail_at(idx, "ckpt_ack covered_epoch " + std::to_string(covered) +
+                                " exceeds newest sweep epoch " +
+                                std::to_string(max_sweep_epoch));
+      }
+    }
+  }
+
+  for (const auto& [key, stack] : open_spans) {
+    if (!stack.empty()) {
+      res.error = "unbalanced span '" + stack.back() + "' left open on pid " +
+                  std::to_string(key.first);
+      return res;
+    }
+  }
+
+  res.ok = true;
+  return res;
+}
+
+}  // namespace sjoin::obs

@@ -1,0 +1,45 @@
+// Validator for exported Chrome trace_event JSON.
+//
+// Used by the chaos tests and the `trace_check` CLI (CI runs it on the
+// artifact trace). Checks are in two layers:
+//
+//   structural -- the bytes parse as a JSON array of event objects, every
+//   event has the required fields (name/ph/ts/pid/tid, dur for 'X'),
+//   timestamps are globally non-decreasing (ExportChromeJson sorts), and
+//   'B'/'E' spans nest and balance per (pid, tid) with matching names.
+//
+//   protocol invariants -- properties the epoch protocol guarantees, checked
+//   on recognized event names (others are ignored, so the checker keeps
+//   working as instrumentation grows):
+//     * every "failover" instant is preceded by a "dead_slave" instant for
+//       the failed rank -- args.dead when the emitter distinguishes it from
+//       args.slave (the adopting target), else args.slave itself (a verdict
+//       precedes every failover);
+//     * every "replay" event's epoch is >= the replay_from of a preceding
+//       "failover" for the same slave (we never replay older input than the
+//       failover asked for);
+//     * every "ckpt_ack" instant follows some "ckpt_sweep" event and its
+//       covered_epoch does not exceed the newest sweep's epoch (acks cannot
+//       claim coverage the master has not yet requested).
+//
+// The parser is a deliberately tiny recursive-descent JSON reader -- enough
+// for traces we emit ourselves; not a general-purpose JSON library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sjoin::obs {
+
+struct TraceCheckResult {
+  bool ok = false;
+  std::string error;            ///< first failure, human readable ("" if ok)
+  std::int64_t events = 0;      ///< events parsed
+  std::int64_t spans = 0;       ///< completed spans ('X' plus matched B/E)
+  std::int64_t instants = 0;    ///< 'i' events
+};
+
+TraceCheckResult ValidateChromeTrace(std::string_view json);
+
+}  // namespace sjoin::obs

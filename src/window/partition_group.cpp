@@ -4,6 +4,8 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace sjoin {
 
 void MiniGroup::Init(std::size_t block_capacity) {
@@ -61,7 +63,10 @@ std::size_t PartitionGroup::SplitOnce(std::uint64_t hash) {
       });
     }
   });
-  if (ok) ++splits_;
+  if (ok) {
+    ++splits_;
+    if (obs_splits_ != nullptr) obs_splits_->Inc();
+  }
   return ok ? moved : 0;
 }
 
@@ -108,7 +113,10 @@ std::size_t PartitionGroup::MergeOnce(std::uint64_t hash, bool& merged) {
         }
         return out;
       });
-  if (merged) ++merges_;
+  if (merged) {
+    ++merges_;
+    if (obs_merges_ != nullptr) obs_merges_->Inc();
+  }
   return merged ? moved : 0;
 }
 

@@ -19,6 +19,10 @@
 #include "hash/extendible.h"
 #include "window/mini_partition.h"
 
+namespace sjoin::obs {
+class Counter;
+}  // namespace sjoin::obs
+
 namespace sjoin {
 
 /// Both streams' window state for one (mini-)partition-group.
@@ -78,6 +82,15 @@ class PartitionGroup {
   /// JoinModule which reports deltas here.
   void AddCount(std::ptrdiff_t delta);
 
+  /// Observability hooks (obs/metrics.h Counter handles, nullptr ok): every
+  /// split/merge also bumps the attached node-level counters. The group's
+  /// own splits_/merges_ totals travel with the group on migration; the
+  /// attached counters record events at the node where they happened.
+  void AttachCounters(obs::Counter* splits, obs::Counter* merges) {
+    obs_splits_ = splits;
+    obs_merges_ = merges;
+  }
+
   template <class F>
   void ForEachMiniGroup(F f) {
     dir_.ForEachBucket([&](ExtendibleDirectory<MiniGroup>::Node& n) {
@@ -117,6 +130,8 @@ class PartitionGroup {
   std::size_t total_count_ = 0;
   std::uint64_t splits_ = 0;
   std::uint64_t merges_ = 0;
+  obs::Counter* obs_splits_ = nullptr;
+  obs::Counter* obs_merges_ = nullptr;
 };
 
 }  // namespace sjoin

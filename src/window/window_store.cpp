@@ -6,7 +6,10 @@ namespace sjoin {
 
 PartitionGroup& WindowStore::Ensure(PartitionId pid) {
   auto& slot = groups_[pid];
-  if (!slot) slot = std::make_unique<PartitionGroup>(cfg_, tuple_bytes_);
+  if (!slot) {
+    slot = std::make_unique<PartitionGroup>(cfg_, tuple_bytes_);
+    slot->AttachCounters(obs_splits_, obs_merges_);
+  }
   return *slot;
 }
 
@@ -31,7 +34,14 @@ std::unique_ptr<PartitionGroup> WindowStore::Take(PartitionId pid) {
 void WindowStore::Install(PartitionId pid,
                           std::unique_ptr<PartitionGroup> group) {
   assert(groups_.find(pid) == groups_.end());
+  group->AttachCounters(obs_splits_, obs_merges_);
   groups_[pid] = std::move(group);
+}
+
+void WindowStore::SetGroupCounters(obs::Counter* splits, obs::Counter* merges) {
+  obs_splits_ = splits;
+  obs_merges_ = merges;
+  for (auto& [pid, group] : groups_) group->AttachCounters(splits, merges);
 }
 
 std::vector<PartitionId> WindowStore::OwnedPartitions() const {

@@ -33,6 +33,11 @@ class WindowStore {
   /// Installs a migrated group (migration: consumer side).
   void Install(PartitionId pid, std::unique_ptr<PartitionGroup> group);
 
+  /// Node-level split/merge counters (nullptr ok), applied to every group
+  /// currently owned and to every group later created by Ensure or handed to
+  /// Install -- see PartitionGroup::AttachCounters.
+  void SetGroupCounters(obs::Counter* splits, obs::Counter* merges);
+
   std::size_t GroupCount() const { return groups_.size(); }
   std::vector<PartitionId> OwnedPartitions() const;
 
@@ -56,6 +61,8 @@ class WindowStore {
   JoinConfig cfg_;
   std::size_t tuple_bytes_;
   std::map<PartitionId, std::unique_ptr<PartitionGroup>> groups_;
+  obs::Counter* obs_splits_ = nullptr;
+  obs::Counter* obs_merges_ = nullptr;
 };
 
 }  // namespace sjoin

@@ -1,0 +1,66 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sjoin {
+namespace {
+
+// The global level and thread-local context persist across tests in this
+// binary; restore defaults so test order never matters.
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetLogLevel(LogLevel::kOff);
+    ClearLogContext();
+  }
+};
+
+TEST_F(LogTest, ParseLogLevelIsCaseInsensitive) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("wArN"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("Error"), LogLevel::kError);
+}
+
+TEST_F(LogTest, ParseLogLevelUnknownStaysOff) {
+  EXPECT_EQ(ParseLogLevel(""), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("verbose"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("debug "), LogLevel::kOff);  // no trimming: exact names only
+}
+
+TEST_F(LogTest, MessagesBelowThresholdAreDiscarded) {
+  SetLogLevel(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  SJOIN_INFO("hidden");
+  SJOIN_WARN("visible");
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+}
+
+TEST_F(LogTest, PrefixCarriesVtAndRank) {
+  SetLogLevel(LogLevel::kInfo);
+  SetLogVt(12'400'000);  // 12.4 virtual seconds
+  SetLogRank(3);
+  ::testing::internal::CaptureStderr();
+  SJOIN_INFO("slave: hello");
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out, "[sjoin INFO vt=12.400s r3] slave: hello\n");
+}
+
+TEST_F(LogTest, NegativeContextFieldsAreOmitted) {
+  SetLogLevel(LogLevel::kInfo);
+  ClearLogContext();
+  ::testing::internal::CaptureStderr();
+  SJOIN_INFO("bare");
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out, "[sjoin INFO] bare\n");
+}
+
+}  // namespace
+}  // namespace sjoin

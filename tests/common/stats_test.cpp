@@ -121,6 +121,44 @@ TEST(HistogramTest, EmptyQuantileIsZero) {
   EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
 }
 
+TEST(HistogramTest, QuantileZeroSkipsEmptyLeadingBuckets) {
+  // All mass sits in bucket (20, 30]; q=0 must answer from the first
+  // *populated* bucket, not the empty leading ones.
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 4; ++i) h.Add(25.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 20.0);
+}
+
+TEST(HistogramTest, QuantileOneIsUpperEdgeOfLastPopulatedBucket) {
+  Histogram h({10.0, 20.0, 30.0});
+  h.Add(5.0);
+  h.Add(15.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 20.0);
+}
+
+TEST(HistogramTest, OverflowOnlyMassReturnsLastFiniteBound) {
+  Histogram h({10.0});
+  h.Add(100.0);  // lands in the unbounded overflow bucket
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+}
+
+TEST(HistogramTest, SingleBucketQuantilesInterpolateWithinBucket) {
+  Histogram h({8.0});
+  h.Add(1.0);
+  h.Add(1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 8.0);
+}
+
+TEST(HistogramTest, QuantileClampsOutOfRangeQ) {
+  Histogram h({10.0});
+  h.Add(5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(-0.5), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+}
+
 TEST(TimeWeightedAverageTest, WeightsByDuration) {
   TimeWeightedAverage twa;
   twa.Add(0, 10, 1.0);

@@ -37,7 +37,7 @@ std::uint64_t HashPairs(const std::vector<JoinPair>& pairs) {
 
 }  // namespace
 
-std::string ChaosClusterResult::Summary() const {
+std::string ChaosClusterResult::Summary(bool include_fault_lines) const {
   std::ostringstream os;
   os << "tuples_sent=" << master.tuples_sent << " epochs=" << master.epochs
      << " migrations=" << master.migrations
@@ -46,14 +46,19 @@ std::string ChaosClusterResult::Summary() const {
      << " failed_over=" << master.groups_failed_over << "\n";
   os << "outputs=" << outputs.size() << " hash=" << HashPairs(outputs)
      << " missing=" << missing.size() << " extra=" << extra.size() << "\n";
-  for (std::size_t r = 0; r < fault_stats.size(); ++r) {
-    const FaultStats& fs = fault_stats[r];
-    os << "rank" << r << ": delivered=" << fs.delivered
-       << " delayed=" << fs.delayed << " duplicated=" << fs.duplicated
-       << " retransmitted=" << fs.retransmitted << "\n";
+  if (include_fault_lines) {
+    for (std::size_t r = 0; r < fault_stats.size(); ++r) {
+      const FaultStats& fs = fault_stats[r];
+      os << "rank" << r << ": delivered=" << fs.delivered
+         << " delayed=" << fs.delayed << " duplicated=" << fs.duplicated
+         << " retransmitted=" << fs.retransmitted << "\n";
+    }
   }
-  os << "collector: outputs=" << collector.outputs
-     << " reports=" << collector.reports << "\n";
+  // The collector's raw output count is excluded: it includes whatever a
+  // dying slave drained before the crash (a thread race, see the `drained`
+  // note above); the deterministic output set is already pinned by the
+  // outputs=/hash= line.
+  os << "collector: reports=" << collector.reports << "\n";
   return std::move(os).str();
 }
 
@@ -61,10 +66,19 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
   const Rank n = opts.cfg.num_slaves;
   InProcHub hub(n + 2);
 
+  ChaosClusterResult result;
+  result.slaves.resize(n);
+  for (Rank r = 0; r < n + 2; ++r) {
+    result.obs.push_back(std::make_unique<obs::NodeObs>());
+    result.obs[r]->trace.SetRank(r);
+    result.obs[r]->trace.SetEnabled(opts.trace_events);
+  }
+
   std::vector<std::unique_ptr<FaultEndpoint>> endpoints(n + 2);
   for (Rank r = 0; r < n + 2; ++r) {
     endpoints[r] =
         std::make_unique<FaultEndpoint>(hub.Endpoint(r), opts.faults);
+    endpoints[r]->AttachMetrics(&result.obs[r]->registry);
   }
 
   std::vector<EpochTagSink> sinks;
@@ -77,9 +91,9 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
   wall.slave_extra_sinks.clear();
   wall.slave_epoch_sinks.clear();
   for (Rank s = 0; s < n; ++s) wall.slave_epoch_sinks.push_back(&sinks[s]);
-
-  ChaosClusterResult result;
-  result.slaves.resize(n);
+  wall.master_obs = result.obs[0].get();
+  wall.slave_obs.clear();
+  for (Rank s = 1; s <= n; ++s) wall.slave_obs.push_back(result.obs[s].get());
 
   std::vector<std::thread> slave_threads;
   slave_threads.reserve(n);
@@ -102,6 +116,14 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
 
   for (Rank r = 0; r < n + 2; ++r) {
     result.fault_stats.push_back(endpoints[r]->Stats());
+  }
+
+  if (opts.trace_events) {
+    std::vector<const obs::TraceSink*> sinks_by_rank;
+    for (Rank r = 0; r < n + 2; ++r) {
+      sinks_by_rank.push_back(&result.obs[r]->trace);
+    }
+    result.trace_json = obs::ExportChromeJson(obs::MergeTraces(sinks_by_rank));
   }
 
   // Failover output-voiding rule: outputs tagged (pid, epoch >= replay_from)

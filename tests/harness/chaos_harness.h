@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "core/runner.h"
 #include "join/reference_join.h"
 #include "net/fault_transport.h"
+#include "obs/obs.h"
 #include "tuple/tuple.h"
 
 namespace sjoin {
@@ -45,6 +47,11 @@ struct ChaosClusterOptions {
   WallOptions wall;    ///< input_trace / slave_extra_sinks are set by the run
   FaultConfig faults;  ///< applied to every endpoint (master included)
   std::vector<Rec> trace;  ///< timestamp-ordered input, required
+
+  /// Enables the per-rank TraceSinks; the merged Chrome trace lands in
+  /// ChaosClusterResult::trace_json. Off by default (registries and
+  /// recorders are always on regardless).
+  bool trace_events = false;
 };
 
 struct ChaosClusterResult {
@@ -64,11 +71,30 @@ struct ChaosClusterResult {
   /// lands is thread-timing dependent; the post-voiding output set is not.
   std::uint64_t voided = 0;
 
+  /// Per-rank observability bundles (index = rank, 0 .. num_slaves + 1; the
+  /// collector's exists but stays empty -- it has no instrumented runner
+  /// state). The master's carries the ClusterMetricsView assembled from
+  /// kMetrics frames. Registry counters on the fault endpoints are attached
+  /// to the same bundles (volatile families).
+  std::vector<std::unique_ptr<obs::NodeObs>> obs;
+
+  /// Merged Chrome trace_event JSON over every rank's sink ("" unless
+  /// ChaosClusterOptions::trace_events). Deterministic for a seeded run:
+  /// wall runners stamp logical epoch time, never wall time.
+  std::string trace_json;
+
   /// Deterministic digest of the run: every counter that depends only on
   /// the trace, the config, and the fault seed (no wall-clock-derived
   /// quantity). Two runs with identical options must produce identical
   /// summaries -- the seeded-determinism test compares these byte for byte.
-  std::string Summary() const;
+  ///
+  /// Pass include_fault_lines=false in crash scenarios: the dead-slave
+  /// verdict lands after real-time timeouts, so the *epoch* it falls in --
+  /// and with it every post-verdict message count (redirected batches,
+  /// checkpoint segments, replays) -- is wall-timing dependent. The
+  /// per-rank injected-fault counters inherit that variance; everything
+  /// else in the summary stays seed-deterministic even across a crash.
+  std::string Summary(bool include_fault_lines = true) const;
 };
 
 /// Runs the full cluster (one thread per rank) to completion and evaluates

@@ -388,8 +388,10 @@ TEST(ChaosTest, ReplicatedCrashExactAcrossFaultSeeds) {
 
 // Same fault seed, replication on, a crash in the schedule: two runs must
 // produce byte-identical summaries (migrations suppressed as in
-// SameSeedSameSummary; checkpoint-ack and replay counts are wall-timing
-// dependent and deliberately excluded from Summary()).
+// SameSeedSameSummary). The per-rank injected-fault lines are excluded:
+// the dead-slave verdict lands after real-time timeouts, so the epoch it
+// falls in -- and every post-verdict message count (redirected batches,
+// checkpoint segments, acks, replays) -- is wall-timing dependent.
 TEST(ChaosTest, ReplicatedSameSeedSameSummary) {
   ChaosClusterOptions opts = ReplicatedOptions(27);
   opts.cfg.balance.th_sup = 2.0;  // occupancy <= 1: no suppliers, no moves
@@ -402,7 +404,8 @@ TEST(ChaosTest, ReplicatedSameSeedSameSummary) {
   ChaosClusterResult b = RunChaosCluster(opts);
   EXPECT_TRUE(a.exact);
   EXPECT_TRUE(b.exact);
-  EXPECT_EQ(a.Summary(), b.Summary());
+  EXPECT_EQ(a.Summary(/*include_fault_lines=*/false),
+            b.Summary(/*include_fault_lines=*/false));
 }
 
 }  // namespace

@@ -1,0 +1,270 @@
+// Observability chaos tests: traced full-cluster runs under seeded fault
+// schedules. Three claims are checked on top of the differential-output
+// guarantees of chaos_test.cpp:
+//
+//   1. determinism -- two same-seed runs produce byte-identical merged
+//      Chrome traces and per-epoch recorder CSVs (wall runners stamp the
+//      logical epoch timeline, never wall time);
+//   2. validity -- a crash + failover + replay run's trace parses, nests,
+//      and satisfies the protocol invariants (ValidateChromeTrace);
+//   3. consistency -- registry counters mirror the legacy summaries
+//      one-for-one, and the master's kMetrics-fed cluster view agrees with
+//      what each slave reported.
+//
+// Set SJOIN_TRACE_OUT=<path> to dump the crash scenario's trace (CI uploads
+// it as an artifact and runs the trace_check CLI on it); SJOIN_EPOCH_CSV
+// likewise dumps the master's per-epoch series.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "harness/chaos_harness.h"
+#include "obs/trace_check.h"
+
+namespace sjoin {
+namespace {
+
+/// Mirrors chaos_test.cpp BaseOptions: 3 slaves, short epochs, dense trace.
+ChaosClusterOptions BaseOptions(std::uint64_t fault_seed) {
+  ChaosClusterOptions opts;
+  opts.cfg.num_slaves = 3;
+  opts.cfg.join.num_partitions = 24;
+  opts.cfg.join.window = 30 * kUsPerMs;
+  opts.cfg.epoch.t_dist = 5 * kUsPerMs;
+  opts.cfg.epoch.t_rep = 20 * kUsPerMs;
+  opts.wall.run_for = 10 * kUsPerSec;
+  opts.wall.recv_timeout_us = 250 * kUsPerMs;
+  opts.wall.recv_max_retries = 3;
+  opts.faults.seed = fault_seed;
+  opts.trace = MakeChaosTrace(/*seed=*/97, /*count=*/1200,
+                              /*span_us=*/150 * kUsPerMs,
+                              /*key_domain=*/40);
+  opts.trace_events = true;
+  return opts;
+}
+
+void MaybeDump(const char* env, const std::string& content) {
+  const char* path = std::getenv(env);
+  if (path == nullptr || content.empty()) return;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+// Two runs with the same fault seed must emit byte-identical traces and
+// per-epoch CSVs. Migrations are suppressed (wall-timing dependent, as in
+// ChaosTest.SameSeedSameSummary) and replication stays off: checkpoint-ack
+// arrival epochs are wall-timing dependent by design.
+TEST(ObsChaosTest, SameSeedByteIdenticalTraceAndEpochCsv) {
+  ChaosClusterOptions opts = BaseOptions(40);
+  opts.cfg.balance.th_sup = 2.0;  // occupancy <= 1: no suppliers, no moves
+  opts.faults.delay_prob = 0.3;
+  opts.faults.delay_min_us = 1 * kUsPerMs;
+  opts.faults.delay_max_us = 6 * kUsPerMs;
+  opts.faults.duplicate_prob = 0.5;
+  opts.faults.drop_prob = 0.15;
+  ChaosClusterResult a = RunChaosCluster(opts);
+  ChaosClusterResult b = RunChaosCluster(opts);
+  ASSERT_TRUE(a.exact);
+  ASSERT_FALSE(a.trace_json.empty());
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  for (Rank r = 0; r <= opts.cfg.num_slaves; ++r) {
+    EXPECT_EQ(a.obs[r]->recorder.ExportCsv(), b.obs[r]->recorder.ExportCsv())
+        << "rank " << r;
+    EXPECT_EQ(a.obs[r]->recorder.ExportJsonl(), b.obs[r]->recorder.ExportJsonl())
+        << "rank " << r;
+  }
+  // The trace is not merely identical but valid.
+  obs::TraceCheckResult check = obs::ValidateChromeTrace(a.trace_json);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_GT(check.spans, 0);
+}
+
+// A clean traced run: every epoch contributes its span pair plus a
+// distribute span on the master and join_batch spans on slaves, and the
+// per-epoch recorder rows line up with the epochs the master ran.
+TEST(ObsChaosTest, TraceAndRecorderCoverEveryEpoch) {
+  ChaosClusterOptions opts = BaseOptions(41);
+  opts.cfg.balance.th_sup = 2.0;  // no migrations: every batch is per-epoch
+  ChaosClusterResult r = RunChaosCluster(opts);
+  ASSERT_TRUE(r.exact);
+  obs::TraceCheckResult check = obs::ValidateChromeTrace(r.trace_json);
+  ASSERT_TRUE(check.ok) << check.error;
+
+  std::uint64_t master_epoch_spans = 0;
+  std::uint64_t distribute_spans = 0;
+  std::uint64_t join_batches = 0;
+  for (const obs::TraceEvent& ev : r.obs[0]->trace.Events()) {
+    if (ev.name == "epoch" && ev.ph == 'B') ++master_epoch_spans;
+    if (ev.name == "distribute") ++distribute_spans;
+  }
+  for (Rank s = 1; s <= opts.cfg.num_slaves; ++s) {
+    for (const obs::TraceEvent& ev : r.obs[s]->trace.Events()) {
+      if (ev.name == "join_batch") ++join_batches;
+    }
+  }
+  EXPECT_EQ(master_epoch_spans, r.master.epochs);
+  EXPECT_EQ(distribute_spans, r.master.epochs);
+  // Every distributed batch is drained exactly once by some slave.
+  EXPECT_EQ(join_batches, r.master.epochs * opts.cfg.num_slaves);
+  // One master recorder row per epoch, cumulative counters in the last row.
+  ASSERT_EQ(r.obs[0]->recorder.Rows().size(), r.master.epochs);
+  EXPECT_EQ(r.obs[0]->recorder.Back().cells.at("master_tuples_sent").i,
+            static_cast<std::int64_t>(r.master.tuples_sent));
+}
+
+// The crash + failover + replay scenario (the ISSUE acceptance run): the
+// merged trace must pass the full validator -- including the dead_slave ->
+// failover -> replay ordering invariants -- and is dumped for CI when
+// SJOIN_TRACE_OUT is set.
+TEST(ObsChaosTest, ReplicatedCrashTraceSatisfiesProtocolInvariants) {
+  ChaosClusterOptions opts = BaseOptions(42);
+  opts.cfg.replication.enabled = true;
+  opts.cfg.replication.ckpt_interval_epochs = 2;
+  opts.wall.recv_timeout_us = 30 * kUsPerMs;
+  opts.wall.recv_max_retries = 2;
+  opts.faults.crash_rank = 1;
+  opts.faults.crash_after_batches = 6;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  ASSERT_EQ(r.master.dead_slaves, 1u);
+  ASSERT_GT(r.master.groups_failed_over, 0u);
+  ASSERT_GT(r.master.replayed_batches, 0u);
+  EXPECT_TRUE(r.exact);
+
+  obs::TraceCheckResult check = obs::ValidateChromeTrace(r.trace_json);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_GT(check.instants, 0);
+
+  // The recovery story is visible in the master's event stream.
+  std::uint64_t dead = 0, failovers = 0, replays = 0, sweeps = 0, acks = 0;
+  for (const obs::TraceEvent& ev : r.obs[0]->trace.Events()) {
+    if (ev.name == "dead_slave") ++dead;
+    if (ev.name == "failover") ++failovers;
+    if (ev.name == "replay") ++replays;
+    if (ev.name == "ckpt_sweep") ++sweeps;
+    if (ev.name == "ckpt_ack") ++acks;
+  }
+  EXPECT_EQ(dead, 1u);
+  EXPECT_EQ(failovers, r.master.groups_failed_over);
+  EXPECT_EQ(replays, r.master.replayed_batches);
+  EXPECT_EQ(sweeps, r.master.ckpt_sweeps);
+  EXPECT_EQ(acks, r.master.ckpt_acks);
+  // The adopting buddies recorded their side of the story.
+  std::uint64_t adopts = 0;
+  for (Rank s = 1; s <= opts.cfg.num_slaves; ++s) {
+    for (const obs::TraceEvent& ev : r.obs[s]->trace.Events()) {
+      if (ev.name == "group_adopt") ++adopts;
+    }
+  }
+  std::uint64_t adopted = 0;
+  for (const SlaveSummary& s : r.slaves) adopted += s.groups_adopted;
+  EXPECT_EQ(adopts, adopted);
+
+  MaybeDump("SJOIN_TRACE_OUT", r.trace_json);
+  MaybeDump("SJOIN_EPOCH_CSV", r.obs[0]->recorder.ExportCsv());
+}
+
+// Registry counters must mirror the legacy summaries one-for-one: the
+// MetricsRegistry is bumped alongside every summary field, so at run end
+// the two views agree exactly (this is the cross-validation the recorder's
+// final row inherits).
+TEST(ObsChaosTest, RegistryCountersMatchLegacySummaries) {
+  ChaosClusterOptions opts = BaseOptions(43);
+  opts.cfg.replication.enabled = true;
+  opts.cfg.replication.ckpt_interval_epochs = 2;
+  opts.wall.recv_timeout_us = 30 * kUsPerMs;
+  opts.wall.recv_max_retries = 2;
+  opts.faults.crash_rank = 2;
+  opts.faults.crash_after_batches = 6;
+  ChaosClusterResult r = RunChaosCluster(opts);
+  ASSERT_EQ(r.master.dead_slaves, 1u);
+
+  const obs::MetricsRegistry& m = r.obs[0]->registry;
+  EXPECT_EQ(m.CounterValue("master_tuples_sent"), r.master.tuples_sent);
+  EXPECT_EQ(m.CounterValue("master_epochs"), r.master.epochs);
+  EXPECT_EQ(m.CounterValue("master_migrations"), r.master.migrations);
+  EXPECT_EQ(m.CounterValue("master_dead_slaves"), r.master.dead_slaves);
+  EXPECT_EQ(m.CounterValue("master_groups_rehosted"), r.master.groups_rehosted);
+  EXPECT_EQ(m.CounterValue("master_ckpt_sweeps"), r.master.ckpt_sweeps);
+  EXPECT_EQ(m.CounterValue("master_ckpt_acks"), r.master.ckpt_acks);
+  EXPECT_EQ(m.CounterValue("master_ckpt_bytes"), r.master.ckpt_bytes);
+  EXPECT_EQ(m.CounterValue("master_groups_failed_over"),
+            r.master.groups_failed_over);
+  EXPECT_EQ(m.CounterValue("master_degraded_failovers"),
+            r.master.degraded_failovers);
+  EXPECT_EQ(m.CounterValue("master_replayed_batches"), r.master.replayed_batches);
+  EXPECT_EQ(m.CounterValue("master_replayed_tuples"), r.master.replayed_tuples);
+
+  for (Rank rank = 1; rank <= opts.cfg.num_slaves; ++rank) {
+    if (rank == opts.faults.crash_rank) continue;  // died mid-run
+    const obs::MetricsRegistry& s = r.obs[rank]->registry;
+    const SlaveSummary& sum = r.slaves[rank - 1];
+    EXPECT_EQ(s.CounterValue("slave_tuples_processed"), sum.tuples_processed)
+        << "rank " << rank;
+    EXPECT_EQ(s.CounterValue("slave_outputs"), sum.outputs) << "rank " << rank;
+    EXPECT_EQ(s.CounterValue("slave_groups_moved_out"), sum.groups_moved_out)
+        << "rank " << rank;
+    EXPECT_EQ(s.CounterValue("slave_groups_moved_in"), sum.groups_moved_in)
+        << "rank " << rank;
+    EXPECT_EQ(s.CounterValue("slave_ckpt_segments_sent"),
+              sum.ckpt_segments_sent)
+        << "rank " << rank;
+    EXPECT_EQ(s.CounterValue("slave_ckpt_bytes_sent"), sum.ckpt_bytes_sent)
+        << "rank " << rank;
+    EXPECT_EQ(s.CounterValue("slave_ckpt_segments_applied"),
+              sum.ckpt_segments_applied)
+        << "rank " << rank;
+    EXPECT_EQ(s.CounterValue("slave_groups_adopted"), sum.groups_adopted)
+        << "rank " << rank;
+    EXPECT_EQ(s.CounterValue("slave_replayed_tuples"), sum.replayed_tuples)
+        << "rank " << rank;
+  }
+}
+
+// The master's cluster view is fed by fire-and-forget kMetrics frames keyed
+// by the slave's own epoch stamp: every recorded frame must agree with the
+// sending slave's recorder row for that epoch, and the view's export is
+// well-formed.
+TEST(ObsChaosTest, ClusterViewAgreesWithSlaveRecorders) {
+  ChaosClusterOptions opts = BaseOptions(44);
+  ChaosClusterResult r = RunChaosCluster(opts);
+  ASSERT_TRUE(r.exact);
+  const obs::ClusterMetricsView& view = r.obs[0]->cluster;
+  ASSERT_GT(view.FrameCount(), 0u);
+
+  std::size_t checked = 0;
+  for (Rank rank = 1; rank <= opts.cfg.num_slaves; ++rank) {
+    for (std::int64_t epoch : view.Epochs(rank)) {
+      // Find the slave's own recorder row for the same epoch stamp.
+      for (const obs::EpochRow& row : r.obs[rank]->recorder.Rows()) {
+        if (row.epoch != epoch) continue;
+        EXPECT_EQ(view.CounterAt(rank, epoch, "slave_tuples_processed"),
+                  static_cast<std::uint64_t>(
+                      row.cells.at("slave_tuples_processed").i))
+            << "rank " << rank << " epoch " << epoch;
+        EXPECT_EQ(view.CounterAt(rank, epoch, "slave_outputs"),
+                  static_cast<std::uint64_t>(row.cells.at("slave_outputs").i))
+            << "rank " << rank << " epoch " << epoch;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+
+  std::string csv = view.ExportCsv();
+  EXPECT_NE(csv.find("slave_outputs"), std::string::npos);
+  // Every live slave shipped at least one frame; frames never claim more
+  // than the slave's end-of-run totals (kMetrics is fire-and-forget, so the
+  // very last in-flight frames may be missing -- never wrong).
+  for (Rank rank = 1; rank <= opts.cfg.num_slaves; ++rank) {
+    std::int64_t latest = view.LatestEpoch(rank);
+    ASSERT_GE(latest, 0) << "rank " << rank;
+    EXPECT_LE(view.CounterAt(rank, latest, "slave_tuples_processed"),
+              r.slaves[rank - 1].tuples_processed)
+        << "rank " << rank;
+  }
+}
+
+}  // namespace
+}  // namespace sjoin

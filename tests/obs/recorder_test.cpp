@@ -1,0 +1,99 @@
+#include "obs/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sjoin::obs {
+namespace {
+
+TEST(EpochRecorderTest, SnapshotCapturesStableFamiliesOnly) {
+  MetricsRegistry reg;
+  reg.GetCounter("tuples").Add(10);
+  reg.GetGauge("occ").Set(0.5);
+  reg.GetHistogram("delay", {100.0}).Observe(5.0);
+  reg.GetCounter("net_bytes", {}, Stability::kVolatile).Add(999);
+
+  EpochRecorder rec;
+  rec.Snapshot(0, 0, reg);
+  ASSERT_FALSE(rec.Empty());
+  const EpochRow& row = rec.Back();
+  EXPECT_EQ(row.epoch, 0);
+  ASSERT_TRUE(row.cells.count("tuples"));
+  EXPECT_EQ(row.cells.at("tuples").i, 10);
+  ASSERT_TRUE(row.cells.count("occ"));
+  EXPECT_DOUBLE_EQ(row.cells.at("occ").d, 0.5);
+  EXPECT_TRUE(row.cells.count("delay.count"));
+  EXPECT_FALSE(row.cells.count("net_bytes"));  // volatile excluded
+}
+
+TEST(EpochRecorderTest, RowsAreCumulativePerEpoch) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("tuples");
+  EpochRecorder rec;
+  c.Add(5);
+  rec.Snapshot(0, 0, reg);
+  c.Add(7);
+  rec.Snapshot(1, 1000, reg);
+  ASSERT_EQ(rec.Rows().size(), 2u);
+  EXPECT_EQ(rec.Rows()[0].cells.at("tuples").i, 5);
+  EXPECT_EQ(rec.Rows()[1].cells.at("tuples").i, 12);
+  EXPECT_EQ(rec.Rows()[1].vt, 1000);
+}
+
+TEST(EpochRecorderTest, ExplicitCellsMergeIntoRow) {
+  MetricsRegistry reg;
+  EpochRecorder rec;
+  rec.Snapshot(3, 300, reg);
+  rec.SetInt(3, 300, "active_slaves", 4);
+  rec.SetDouble(3, 300, "spread", 0.125);
+  ASSERT_EQ(rec.Rows().size(), 1u);  // same epoch -> same row
+  EXPECT_EQ(rec.Back().cells.at("active_slaves").i, 4);
+  EXPECT_DOUBLE_EQ(rec.Back().cells.at("spread").d, 0.125);
+}
+
+TEST(EpochRecorderTest, RingDropsOldestBeyondCapacity) {
+  MetricsRegistry reg;
+  EpochRecorder rec(/*capacity=*/3);
+  for (int e = 0; e < 5; ++e) rec.Snapshot(e, e * 10, reg);
+  ASSERT_EQ(rec.Rows().size(), 3u);
+  EXPECT_EQ(rec.Rows().front().epoch, 2);
+  EXPECT_EQ(rec.Back().epoch, 4);
+}
+
+TEST(EpochRecorderTest, CsvHasUnionHeaderAndEmptyMissingCells) {
+  EpochRecorder rec;
+  rec.SetInt(0, 0, "a", 1);
+  rec.SetInt(1, 10, "b", 2);
+  std::string csv = rec.ExportCsv();
+  EXPECT_EQ(csv,
+            "epoch,vt_us,a,b\n"
+            "0,0,1,\n"
+            "1,10,,2\n");
+}
+
+TEST(EpochRecorderTest, JsonlSortsKeysAndFormatsTypes) {
+  EpochRecorder rec;
+  rec.SetDouble(2, 20, "occ", 0.5);
+  rec.SetInt(2, 20, "n", 7);
+  std::string jsonl = rec.ExportJsonl();
+  // std::map cell storage gives sorted keys; ints stay ints, doubles get
+  // fixed 6-digit precision.
+  EXPECT_EQ(jsonl, "{\"epoch\":2,\"vt_us\":20,\"n\":7,\"occ\":0.500000}\n");
+}
+
+TEST(EpochRecorderTest, ExportsAreDeterministic) {
+  auto build = [] {
+    MetricsRegistry reg;
+    reg.GetCounter("c").Add(3);
+    EpochRecorder rec;
+    rec.Snapshot(0, 0, reg);
+    rec.SetInt(0, 0, "x", 1);
+    rec.Snapshot(1, 100, reg);
+    return rec.ExportCsv() + "|" + rec.ExportJsonl();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace sjoin::obs

@@ -1,0 +1,50 @@
+// trace_check: validate an exported Chrome trace_event JSON file.
+//
+// Usage: trace_check <trace.json> [more.json ...]
+//
+// Runs the same structural and protocol-invariant checks the chaos tests
+// apply (see src/obs/trace_check.h) and prints a one-line verdict per file.
+// Exit status is 0 iff every file validates; CI runs this on the trace
+// artifact produced by the traced chaos scenario.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace_check.h"
+
+namespace {
+
+bool CheckFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  sjoin::obs::TraceCheckResult res =
+      sjoin::obs::ValidateChromeTrace(buf.str());
+  if (!res.ok) {
+    std::fprintf(stderr, "trace_check: %s: FAIL: %s\n", path,
+                 res.error.c_str());
+    return false;
+  }
+  std::printf("trace_check: %s: OK (%lld events, %lld spans, %lld instants)\n",
+              path, static_cast<long long>(res.events),
+              static_cast<long long>(res.spans),
+              static_cast<long long>(res.instants));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_check <trace.json> [more.json ...]\n");
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok = CheckFile(argv[i]) && ok;
+  return ok ? 0 : 1;
+}
