@@ -14,15 +14,18 @@ int main() {
   base.epoch_tuner.min_epoch = 250 * kUsPerMs;
   base.epoch_tuner.max_epoch = 8 * kUsPerSec;
   base.epoch_tuner.shrink_step = kUsPerSec;  // visible inside one bench run
-  bench::Header("Ext tuner", "adaptive distribution epoch (3 slaves)",
-                "from any starting t_d the controller converges towards a "
-                "moderate epoch: delay close to the good-static case, comm "
-                "overhead far below the bad-short-epoch case (cf. Figs "
-                "13/14)",
-                base);
+  bench::Reporter rep("ext_adaptive_epoch", "Ext tuner",
+                      "adaptive distribution epoch (3 slaves)",
+                      "from any starting t_d the controller converges "
+                      "towards a moderate epoch: delay close to the "
+                      "good-static case, comm overhead far below the "
+                      "bad-short-epoch case (cf. Figs 13/14)",
+                      base);
 
   std::printf("%-10s %-8s %10s %10s %12s %8s %8s\n", "mode", "t_d0",
               "delay_s", "comm_s", "final_t_d_s", "grows", "shrinks");
+  rep.Columns({"mode", "t_d0", "delay_s", "comm_s", "final_t_d_s", "grows",
+               "shrinks"});
   for (double td0 : {0.25, 2.0, 8.0}) {
     for (int adaptive = 0; adaptive <= 1; ++adaptive) {
       SystemConfig cfg = base;
@@ -32,14 +35,16 @@ int main() {
       cfg.epoch.t_rep = 5 * cfg.epoch.t_dist;
       cfg.epoch_tuner.enabled = adaptive == 1;
       RunMetrics rm = bench::Run(cfg);
-      std::printf("%-10s %-8.2f %10.2f %10.1f %12.2f %8llu %8llu\n",
-                  adaptive ? "adaptive" : "static", td0, rm.AvgDelaySec(),
-                  bench::PerSlaveSec(rm, rm.TotalComm()),
-                  UsToSeconds(rm.final_t_dist),
-                  static_cast<unsigned long long>(rm.epoch_grows),
-                  static_cast<unsigned long long>(rm.epoch_shrinks));
+      rep.Text("%-10s", adaptive ? "adaptive" : "static");
+      rep.Num(" %-8.2f", td0);
+      rep.Num(" %10.2f", rm.AvgDelaySec());
+      rep.Num(" %10.1f", bench::PerSlaveSec(rm, rm.TotalComm()));
+      rep.Num(" %12.2f", UsToSeconds(rm.final_t_dist));
+      rep.Num(" %8.0f", static_cast<double>(rm.epoch_grows));
+      rep.Num(" %8.0f", static_cast<double>(rm.epoch_shrinks));
+      rep.EndRow();
       std::fflush(stdout);
     }
   }
-  return 0;
+  return rep.Finish();
 }

@@ -13,13 +13,15 @@ int main() {
   using namespace sjoin;
   SystemConfig base = bench::ScaledConfig();
   base.num_slaves = 4;
-  bench::Header("Ext ATR/CTR",
-                "delay & comm vs rate: this system vs ATR vs CTR (4 nodes)",
-                "the partitioned system's knee sits ~4x one node's "
-                "capacity; ATR saturates near single-node capacity and "
-                "ships the whole window at every segment boundary; CTR "
-                "balances CPU but pays ~Nx the communication",
-                base);
+  bench::Reporter rep("ext_atr_baseline", "Ext ATR/CTR",
+                      "delay & comm vs rate: this system vs ATR vs CTR "
+                      "(4 nodes)",
+                      "the partitioned system's knee sits ~4x one node's "
+                      "capacity; ATR saturates near single-node capacity "
+                      "and ships the whole window at every segment "
+                      "boundary; CTR balances CPU but pays ~Nx the "
+                      "communication",
+                      base);
 
   AtrOptions aopts;
   aopts.segment = base.join.window;  // handovers land inside the measurement
@@ -34,17 +36,23 @@ int main() {
   std::printf("%-8s %12s %12s %12s %12s %12s %12s\n", "rate",
               "ours_delay_s", "atr_delay_s", "ctr_delay_s", "ours_comm_s",
               "atr_comm_s", "ctr_comm_s");
+  rep.Columns({"rate", "ours_delay_s", "atr_delay_s", "ctr_delay_s",
+               "ours_comm_s", "atr_comm_s", "ctr_comm_s"});
   for (double rate : rates) {
     SystemConfig cfg = base;
     cfg.workload.lambda = rate;
     RunMetrics ours = bench::Run(cfg);
     RunMetrics atr = RunAtr(cfg, aopts);
     RunMetrics ctr = RunCtr(cfg, copts);
-    std::printf("%-8.0f %12.2f %12.2f %12.2f %12.1f %12.1f %12.1f\n", rate,
-                ours.AvgDelaySec(), atr.AvgDelaySec(), ctr.AvgDelaySec(),
-                UsToSeconds(ours.TotalComm()), UsToSeconds(atr.TotalComm()),
-                UsToSeconds(ctr.TotalComm()));
+    rep.Num("%-8.0f", rate);
+    rep.Num(" %12.2f", ours.AvgDelaySec());
+    rep.Num(" %12.2f", atr.AvgDelaySec());
+    rep.Num(" %12.2f", ctr.AvgDelaySec());
+    rep.Num(" %12.1f", UsToSeconds(ours.TotalComm()));
+    rep.Num(" %12.1f", UsToSeconds(atr.TotalComm()));
+    rep.Num(" %12.1f", UsToSeconds(ctr.TotalComm()));
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

@@ -18,23 +18,27 @@ int main() {
   base.workload.key_domain = 500;
   base.workload.b_skew = 0.9;
   base.balance.adaptive_declustering = true;
-  bench::Header("Ablation", "beta sweep (adaptive, start 4 of 8 slaves, "
-                            "rate 5000, one hot partition)",
-                "smaller beta grows the cluster sooner: more active slaves, "
-                "lower delay, more aggregate communication",
-                base);
+  bench::Reporter rep("ext_beta_sweep", "Ablation",
+                      "beta sweep (adaptive, start 4 of 8 slaves, rate "
+                      "5000, one hot partition)",
+                      "smaller beta grows the cluster sooner: more active "
+                      "slaves, lower delay, more aggregate communication",
+                      base);
 
   std::printf("%-6s %12s %10s %12s %12s\n", "beta", "avg_active",
               "delay_s", "comm_agg_s", "migrations");
+  rep.Columns({"beta", "avg_active", "delay_s", "comm_agg_s", "migrations"});
   for (double beta : {0.1, 0.3, 0.5, 0.7, 0.9}) {
     SystemConfig cfg = base;
     cfg.balance.beta = beta;
     RunMetrics rm = bench::Run(cfg);
-    std::printf("%-6.1f %12.2f %10.2f %12.1f %12llu\n", beta,
-                rm.avg_active_slaves, rm.AvgDelaySec(),
-                UsToSeconds(rm.TotalComm()),
-                static_cast<unsigned long long>(rm.migrations));
+    rep.Num("%-6.1f", beta);
+    rep.Num(" %12.2f", rm.avg_active_slaves);
+    rep.Num(" %10.2f", rm.AvgDelaySec());
+    rep.Num(" %12.1f", UsToSeconds(rm.TotalComm()));
+    rep.Num(" %12.0f", static_cast<double>(rm.migrations));
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

@@ -20,15 +20,17 @@ int main() {
   };
   base.balance.th_sup = 0.2;  // classify eagerly
   base.epoch.t_rep = 10 * kUsPerSec;
-  bench::Header("Ext bursty", "cyclic quiet(1000)/surge(5000) load, 300 s "
-                              "period (5 slaves available)",
-                "adaptive declustering saves slave-seconds vs the "
-                "over-provisioned cluster, but pays delay at every surge "
-                "onset: the protocol moves only ONE partition-group per "
-                "supplier per reorganization epoch, so re-spreading the "
-                "load is slow -- shortening t_r (the 'adaptive-fast' row) "
-                "buys tracking speed with migration traffic",
-                base);
+  bench::Reporter rep("ext_bursty_load", "Ext bursty",
+                      "cyclic quiet(1000)/surge(5000) load, 300 s period "
+                      "(5 slaves available)",
+                      "adaptive declustering saves slave-seconds vs the "
+                      "over-provisioned cluster, but pays delay at every "
+                      "surge onset: the protocol moves only ONE "
+                      "partition-group per supplier per reorganization "
+                      "epoch, so re-spreading the load is slow -- "
+                      "shortening t_r (the 'adaptive-fast' row) buys "
+                      "tracking speed with migration traffic",
+                      base);
 
   std::printf("# NOTE: this bench overrides the standard windows: warmup one "
               "full load cycle, measure two (see source)\n");
@@ -40,6 +42,8 @@ int main() {
   };
   std::printf("%-16s %10s %12s %14s %12s\n", "policy", "delay_s",
               "avg_active", "comm_agg_s", "migrations");
+  rep.Columns({"policy", "delay_s", "avg_active", "comm_agg_s",
+               "migrations"});
   for (Policy p : {Policy{"static-min", 2, false},
                    Policy{"static-max", 5, false},
                    Policy{"adaptive", 2, true},
@@ -52,12 +56,15 @@ int main() {
     // Measure two full load cycles after one warmup cycle.
     SimOptions opts{300 * kUsPerSec, 600 * kUsPerSec};
     if (bench::QuickMode()) opts = {150 * kUsPerSec, 300 * kUsPerSec};
+    opts.obs = &bench::SharedObs();
     RunMetrics rm = SimDriver(cfg, opts).Run();
-    std::printf("%-16s %10.2f %12.2f %14.1f %12llu\n", p.name,
-                rm.AvgDelaySec(), rm.avg_active_slaves,
-                UsToSeconds(rm.TotalComm()),
-                static_cast<unsigned long long>(rm.migrations));
+    rep.Text("%-16s", p.name);
+    rep.Num(" %10.2f", rm.AvgDelaySec());
+    rep.Num(" %12.2f", rm.avg_active_slaves);
+    rep.Num(" %14.1f", UsToSeconds(rm.TotalComm()));
+    rep.Num(" %12.0f", static_cast<double>(rm.migrations));
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

@@ -7,26 +7,29 @@ int main() {
   using namespace sjoin;
   SystemConfig base = bench::ScaledConfig();
   base.num_slaves = 4;
-  bench::Header("Ext delay dist",
-                "production delay percentiles vs rate (4 slaves)",
-                "p50 tracks the epoch cadence; p95/p99 detach first as the "
-                "cluster approaches saturation (cf. Fig 6's mean-only "
-                "4-slave curve)",
-                base);
+  bench::Reporter rep("ext_delay_distribution", "Ext delay dist",
+                      "production delay percentiles vs rate (4 slaves)",
+                      "p50 tracks the epoch cadence; p95/p99 detach first "
+                      "as the cluster approaches saturation (cf. Fig 6's "
+                      "mean-only 4-slave curve)",
+                      base);
 
   const double rates[] = {1500, 3000, 4500, 6000, 7000, 8000};
 
   std::printf("%-8s %10s %10s %10s %10s\n", "rate", "mean_s", "p50_s",
               "p95_s", "p99_s");
+  rep.Columns({"rate", "mean_s", "p50_s", "p95_s", "p99_s"});
   for (double rate : rates) {
     SystemConfig cfg = base;
     cfg.workload.lambda = rate;
     RunMetrics rm = bench::Run(cfg);
-    std::printf("%-8.0f %10.2f %10.2f %10.2f %10.2f\n", rate,
-                rm.AvgDelaySec(), rm.delay_hist.Quantile(0.5) / 1e6,
-                rm.delay_hist.Quantile(0.95) / 1e6,
-                rm.delay_hist.Quantile(0.99) / 1e6);
+    rep.Num("%-8.0f", rate);
+    rep.Num(" %10.2f", rm.AvgDelaySec());
+    rep.Num(" %10.2f", rm.delay_hist.Quantile(0.5) / 1e6);
+    rep.Num(" %10.2f", rm.delay_hist.Quantile(0.95) / 1e6);
+    rep.Num(" %10.2f", rm.delay_hist.Quantile(0.99) / 1e6);
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

@@ -20,6 +20,9 @@
 //   column 1: checkpoint interval in distribution epochs ("off" = baseline)
 //   gnuplot: plot "..." using 1:4 (overhead %), 1:7 (replayed tuples)
 //
+// Wall-clock timings make this bench non-deterministic: its JSON report is
+// marked deterministic=false, so bench_diff checks structure only.
+//
 // SJOIN_BENCH=quick shrinks the trace for smoke runs.
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/config.h"
 #include "common/rng.h"
 #include "core/runner.h"
@@ -37,11 +41,6 @@
 namespace {
 
 using namespace sjoin;
-
-bool QuickMode() {
-  const char* v = std::getenv("SJOIN_BENCH");
-  return v != nullptr && std::strcmp(v, "quick") == 0;
-}
 
 /// Deterministic two-stream trace with strictly increasing timestamps.
 std::vector<Rec> MakeTrace(std::size_t count, Time span_us,
@@ -100,7 +99,7 @@ RunResult RunCluster(const SystemConfig& cfg, const WallOptions& wall,
 }  // namespace
 
 int main() {
-  const bool quick = QuickMode();
+  const bool quick = bench::QuickMode();
   const std::size_t tuples = quick ? 2400 : 8000;
   const Time span = (quick ? 300 : 900) * kUsPerMs;
 
@@ -116,6 +115,8 @@ int main() {
   wall.run_for = 60 * kUsPerSec;  // cap; the trace ends the run
   wall.recv_timeout_us = 30 * kUsPerMs;
   wall.recv_max_retries = 2;
+  // The master's wall-stage profile (codec/net) lands in the JSON report.
+  wall.master_obs = &bench::SharedObs();
   const std::vector<Rec> trace = MakeTrace(tuples, span, 60);
   wall.input_trace = &trace;
 
@@ -125,19 +126,22 @@ int main() {
   crash.crash_after_batches =
       static_cast<std::uint64_t>(span / cfg.epoch.t_dist) / 2;
 
-  std::printf("# ext_recovery_overhead -- replication overhead and recovery "
-              "cost vs checkpoint interval\n");
-  std::printf("# cfg: %s\n", Summarize(cfg).c_str());
+  bench::Reporter rep("ext_recovery_overhead", "Ext recovery",
+                      "replication overhead and recovery cost vs checkpoint "
+                      "interval",
+                      "ckpt_bytes falls and replayed_tuples grows as the "
+                      "interval widens",
+                      cfg);
+  rep.Deterministic(false);  // wall-clock cluster: timings vary run to run
   std::printf("# trace: %zu tuples over %.3f s, slave 1 crashes at epoch "
-              "%llu%s\n",
+              "%llu\n",
               tuples, UsToSeconds(span),
-              static_cast<unsigned long long>(crash.crash_after_batches),
-              quick ? " (quick mode)" : "");
-  std::printf("# expected shape: ckpt_bytes falls and replayed_tuples grows "
-              "as the interval widens\n");
+              static_cast<unsigned long long>(crash.crash_after_batches));
   std::printf("%-10s %12s %12s %12s %10s %12s %14s %12s\n", "ckpt_every",
               "tuple_bytes", "ckpt_bytes", "overhead_pct", "ckpt_acks",
               "replay_batch", "replay_tuples", "recovery_ms");
+  rep.Columns({"ckpt_every", "tuple_bytes", "ckpt_bytes", "overhead_pct",
+               "ckpt_acks", "replay_batch", "replay_tuples", "recovery_ms"});
 
   // Baseline: replication off, same crash -- no overhead, no recovery (the
   // dead groups' matches are simply lost).
@@ -145,10 +149,15 @@ int main() {
     SystemConfig base = cfg;
     base.replication.enabled = false;
     RunResult r = RunCluster(base, wall, crash);
-    std::printf("%-10s %12llu %12llu %12.2f %10llu %12llu %14llu %12.2f\n",
-                "off",
-                static_cast<unsigned long long>(r.master.tuples_sent * 64),
-                0ULL, 0.0, 0ULL, 0ULL, 0ULL, 0.0);
+    rep.Text("%-10s", "off");
+    rep.Num(" %12.0f", static_cast<double>(r.master.tuples_sent * 64));
+    rep.Num(" %12.0f", 0.0);
+    rep.Num(" %12.2f", 0.0);
+    rep.Num(" %10.0f", 0.0);
+    rep.Num(" %12.0f", 0.0);
+    rep.Num(" %14.0f", 0.0);
+    rep.Num(" %12.2f", 0.0);
+    rep.EndRow();
   }
 
   for (std::uint32_t every : {1u, 2u, 4u, 8u, 16u}) {
@@ -162,15 +171,16 @@ int main() {
         tuple_bytes > 0.0
             ? 100.0 * static_cast<double>(r.master.ckpt_bytes) / tuple_bytes
             : 0.0;
-    std::printf("%-10u %12llu %12llu %12.2f %10llu %12llu %14llu %12.2f\n",
-                every,
-                static_cast<unsigned long long>(r.master.tuples_sent * 64),
-                static_cast<unsigned long long>(r.master.ckpt_bytes), overhead,
-                static_cast<unsigned long long>(r.master.ckpt_acks),
-                static_cast<unsigned long long>(r.master.replayed_batches),
-                static_cast<unsigned long long>(r.master.replayed_tuples),
-                static_cast<double>(r.master.recovery_us) / 1000.0);
+    rep.Num("%-10.0f", static_cast<double>(every));
+    rep.Num(" %12.0f", tuple_bytes);
+    rep.Num(" %12.0f", static_cast<double>(r.master.ckpt_bytes));
+    rep.Num(" %12.2f", overhead);
+    rep.Num(" %10.0f", static_cast<double>(r.master.ckpt_acks));
+    rep.Num(" %12.0f", static_cast<double>(r.master.replayed_batches));
+    rep.Num(" %14.0f", static_cast<double>(r.master.replayed_tuples));
+    rep.Num(" %12.2f", static_cast<double>(r.master.recovery_us) / 1000.0);
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

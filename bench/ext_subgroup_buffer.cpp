@@ -11,10 +11,11 @@ int main() {
   // someone (empty slots would re-inflate the buffer).
   base.num_slaves = 8;
   base.workload.lambda = 4000;
-  bench::Header("Ext V-B", "master buffer peak vs sub-group count",
-                "peak buffer ~ (1 + 1/n_g)/2 of the single-group case: "
-                "halves as n_g grows (plus Poisson slack)",
-                base);
+  bench::Reporter rep("ext_subgroup_buffer", "Ext V-B",
+                      "master buffer peak vs sub-group count",
+                      "peak buffer ~ (1 + 1/n_g)/2 of the single-group "
+                      "case: halves as n_g grows (plus Poisson slack)",
+                      base);
 
   // Combined arrival rate r of both streams, tuples/sec.
   const double r = 2.0 * base.workload.lambda;
@@ -23,6 +24,7 @@ int main() {
 
   std::printf("%-6s %14s %16s %10s\n", "n_g", "peak_bytes",
               "formula_bytes", "ratio");
+  rep.Columns({"n_g", "peak_bytes", "formula_bytes", "ratio"});
   double base_peak = 0;
   for (std::uint32_t ng : {1u, 2u, 4u, 8u}) {
     SystemConfig cfg = base;
@@ -31,10 +33,13 @@ int main() {
     const double formula =
         r * td_s / 2.0 * (1.0 + 1.0 / ng) * static_cast<double>(tuple_bytes);
     if (ng == 1) base_peak = static_cast<double>(rm.master_buffer_peak_bytes);
-    std::printf("%-6u %14zu %16.0f %10.2f\n", ng,
-                rm.master_buffer_peak_bytes, formula,
-                static_cast<double>(rm.master_buffer_peak_bytes) / base_peak);
+    const double peak = static_cast<double>(rm.master_buffer_peak_bytes);
+    rep.Num("%-6.0f", static_cast<double>(ng));
+    rep.Num(" %14.0f", peak);
+    rep.Num(" %16.0f", formula);
+    rep.Num(" %10.2f", peak / base_peak);
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

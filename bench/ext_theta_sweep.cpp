@@ -9,23 +9,29 @@ int main() {
   SystemConfig base = bench::ScaledConfig();
   base.num_slaves = 4;
   base.workload.lambda = 4000;
-  bench::Header("Ablation", "theta sweep (4 slaves, rate 4000)",
-                "CPU time rises with theta towards the untuned cost; very "
-                "small theta adds tuning-move overhead and splits",
-                base);
+  bench::Reporter rep("ext_theta_sweep", "Ablation",
+                      "theta sweep (4 slaves, rate 4000)",
+                      "CPU time rises with theta towards the untuned cost; "
+                      "very small theta adds tuning-move overhead and "
+                      "splits",
+                      base);
 
   std::printf("%-10s %10s %10s %12s %10s %10s\n", "theta_KB", "cpu_s",
               "delay_s", "comparisons", "splits", "merges");
+  rep.Columns({"theta_KB", "cpu_s", "delay_s", "comparisons", "splits",
+               "merges"});
   for (std::size_t kb : {18u, 37u, 75u, 150u, 300u, 600u, 1200u}) {
     SystemConfig cfg = base;
     cfg.join.theta_bytes = kb * 1024;
     RunMetrics rm = bench::Run(cfg);
-    std::printf("%-10zu %10.1f %10.2f %12llu %10llu %10llu\n", kb,
-                bench::PerSlaveSec(rm, rm.TotalCpu()), rm.AvgDelaySec(),
-                static_cast<unsigned long long>(rm.TotalComparisons()),
-                static_cast<unsigned long long>(rm.splits),
-                static_cast<unsigned long long>(rm.merges));
+    rep.Num("%-10.0f", static_cast<double>(kb));
+    rep.Num(" %10.1f", bench::PerSlaveSec(rm, rm.TotalCpu()));
+    rep.Num(" %10.2f", rm.AvgDelaySec());
+    rep.Num(" %12.0f", static_cast<double>(rm.TotalComparisons()));
+    rep.Num(" %10.0f", static_cast<double>(rm.splits));
+    rep.Num(" %10.0f", static_cast<double>(rm.merges));
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

@@ -3,17 +3,21 @@
 // the arrival rate and shrinks with the degree of declustering; with the
 // skewed b-model keys, the hottest node holds noticeably more than the
 // average -- the imbalance the supplier/consumer protocol works against.
+#include <algorithm>
+
 #include "bench_common.h"
 
 int main() {
   using namespace sjoin;
   SystemConfig base = bench::ScaledConfig();
-  bench::Header("Ext window", "peak per-node window state (MB)",
-                "state per node ~ 2 * rate * W * 64B / nodes; max/avg shows "
-                "the skew-induced imbalance",
-                base);
+  bench::Reporter rep("ext_window_size", "Ext window",
+                      "peak per-node window state (MB)",
+                      "state per node ~ 2 * rate * W * 64B / nodes; "
+                      "max/avg shows the skew-induced imbalance",
+                      base);
+  rep.Columns({"workload", "rate", "nodes", "avg_MB", "max_MB", "max_avg"});
 
-  auto sweep = [&](const SystemConfig& variant) {
+  auto sweep = [&](const char* workload, const SystemConfig& variant) {
     for (double rate : {1500.0, 3000.0, 6000.0}) {
       for (std::uint32_t n : {2u, 4u}) {
         SystemConfig cfg = variant;
@@ -28,8 +32,13 @@ int main() {
           mx = std::max(mx, mb);
         }
         double avg = sum / n;
-        std::printf("%-8.0f %-6u %12.1f %12.1f %12.2f\n", rate, n, avg, mx,
-                    mx / avg);
+        rep.CellText(workload);  // the section comment carries it on stdout
+        rep.Num("%-8.0f", rate);
+        rep.Num(" %-6.0f", static_cast<double>(n));
+        rep.Num(" %12.1f", avg);
+        rep.Num(" %12.1f", mx);
+        rep.Num(" %12.2f", mx / avg);
+        rep.EndRow();
         std::fflush(stdout);
       }
     }
@@ -39,13 +48,13 @@ int main() {
               "indirection averages the skew out\n");
   std::printf("%-8s %-6s %12s %12s %12s\n", "rate", "nodes", "avg_MB",
               "max_MB", "max/avg");
-  sweep(base);
+  sweep("table1", base);
 
   std::printf("# dense hot keys (b=0.9, 10^4 keys): a single heavy "
               "partition skews the hottest node\n");
   SystemConfig hot = base;
   hot.workload.b_skew = 0.9;
   hot.workload.key_domain = 10'000;
-  sweep(hot);
-  return 0;
+  sweep("dense-hot", hot);
+  return rep.Finish();
 }

@@ -4,30 +4,37 @@
 int main() {
   using namespace sjoin;
   SystemConfig base = bench::ScaledConfig();
-  bench::Header("Fig 5", "average delay vs arrival rate (1-2 slaves)",
-                "flat (few seconds) until the saturation knee; knee near "
-                "1500-2000 t/s for 1 slave and ~2x that for 2 slaves",
-                base);
+  bench::Reporter rep("fig05_delay_small", "Fig 5",
+                      "average delay vs arrival rate (1-2 slaves)",
+                      "flat (few seconds) until the saturation knee; knee "
+                      "near 1500-2000 t/s for 1 slave and ~2x that for 2 "
+                      "slaves",
+                      base);
 
   const double rates[] = {1000, 1250, 1500, 1750, 2000,
                           2500, 3000, 3500};
   const std::uint32_t slave_counts[] = {1, 2};
 
+  std::vector<std::string> cols = {"rate"};
   std::printf("%-8s", "rate");
-  for (std::uint32_t n : slave_counts) std::printf(" delay_s_n%u", n);
+  for (std::uint32_t n : slave_counts) {
+    std::printf(" delay_s_n%u", n);
+    cols.push_back("delay_s_n" + std::to_string(n));
+  }
   std::printf("\n");
+  rep.Columns(std::move(cols));
 
   for (double rate : rates) {
-    std::printf("%-8.0f", rate);
+    rep.Num("%-8.0f", rate);
     for (std::uint32_t n : slave_counts) {
       SystemConfig cfg = base;
       cfg.num_slaves = n;
       cfg.workload.lambda = rate;
       RunMetrics rm = bench::Run(cfg);
-      std::printf(" %10.2f", rm.AvgDelaySec());
+      rep.Num(" %10.2f", rm.AvgDelaySec());
       std::fflush(stdout);
     }
-    std::printf("\n");
+    rep.EndRow();
   }
-  return 0;
+  return rep.Finish();
 }

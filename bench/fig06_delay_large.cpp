@@ -4,30 +4,36 @@
 int main() {
   using namespace sjoin;
   SystemConfig base = bench::ScaledConfig();
-  bench::Header("Fig 6", "average delay vs arrival rate (3-5 slaves)",
-                "delay stays low (~2 s) until a knee that moves right with "
-                "the slave count: ~5000 for 3 slaves, ~6500 for 4, beyond "
-                "7000 for 5",
-                base);
+  bench::Reporter rep("fig06_delay_large", "Fig 6",
+                      "average delay vs arrival rate (3-5 slaves)",
+                      "delay stays low (~2 s) until a knee that moves right "
+                      "with the slave count: ~5000 for 3 slaves, ~6500 for "
+                      "4, beyond 7000 for 5",
+                      base);
 
   const double rates[] = {1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000};
   const std::uint32_t slave_counts[] = {3, 4, 5};
 
+  std::vector<std::string> cols = {"rate"};
   std::printf("%-8s", "rate");
-  for (std::uint32_t n : slave_counts) std::printf(" delay_s_n%u", n);
+  for (std::uint32_t n : slave_counts) {
+    std::printf(" delay_s_n%u", n);
+    cols.push_back("delay_s_n" + std::to_string(n));
+  }
   std::printf("\n");
+  rep.Columns(std::move(cols));
 
   for (double rate : rates) {
-    std::printf("%-8.0f", rate);
+    rep.Num("%-8.0f", rate);
     for (std::uint32_t n : slave_counts) {
       SystemConfig cfg = base;
       cfg.num_slaves = n;
       cfg.workload.lambda = rate;
       RunMetrics rm = bench::Run(cfg);
-      std::printf(" %10.2f", rm.AvgDelaySec());
+      rep.Num(" %10.2f", rm.AvgDelaySec());
       std::fflush(stdout);
     }
-    std::printf("\n");
+    rep.EndRow();
   }
-  return 0;
+  return rep.Finish();
 }

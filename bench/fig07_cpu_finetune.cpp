@@ -6,17 +6,18 @@ int main() {
   using namespace sjoin;
   SystemConfig base = bench::ScaledConfig();
   base.num_slaves = 4;
-  bench::Header("Fig 7",
-                "average CPU time vs arrival rate, fine-tuning on/off "
-                "(4 slaves)",
-                "without tuning CPU time climbs sharply with rate (window "
-                "partitions grow, every probe scans more); with tuning it "
-                "grows gently and stays far lower",
-                base);
+  bench::Reporter rep("fig07_cpu_finetune", "Fig 7",
+                      "average CPU time vs arrival rate, fine-tuning on/off "
+                      "(4 slaves)",
+                      "without tuning CPU time climbs sharply with rate "
+                      "(window partitions grow, every probe scans more); "
+                      "with tuning it grows gently and stays far lower",
+                      base);
 
   const double rates[] = {1500, 2000, 2500, 3000, 3500, 4000, 5000, 6000};
 
   std::printf("%-8s %14s %14s\n", "rate", "cpu_s_no_tune", "cpu_s_tune");
+  rep.Columns({"rate", "cpu_s_no_tune", "cpu_s_tune"});
   for (double rate : rates) {
     double cpu[2];
     for (int tuned = 0; tuned <= 1; ++tuned) {
@@ -26,8 +27,11 @@ int main() {
       RunMetrics rm = bench::Run(cfg);
       cpu[tuned] = bench::PerSlaveSec(rm, rm.TotalCpu());
     }
-    std::printf("%-8.0f %14.1f %14.1f\n", rate, cpu[0], cpu[1]);
+    rep.Num("%-8.0f", rate);
+    rep.Num(" %14.1f", cpu[0]);
+    rep.Num(" %14.1f", cpu[1]);
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

@@ -8,21 +8,25 @@ int main() {
   SystemConfig base = bench::ScaledConfig();
   base.num_slaves = 4;
   base.join.fine_tuning = false;
-  bench::Header("Fig 8",
-                "average delay vs arrival rate, NO fine tuning (4 slaves)",
-                "delay blows up near 4000 t/s (~48 s in the paper) where the "
-                "tuned system (Fig 6) still sits near 2 s",
-                base);
+  bench::Reporter rep("fig08_delay_no_finetune", "Fig 8",
+                      "average delay vs arrival rate, NO fine tuning "
+                      "(4 slaves)",
+                      "delay blows up near 4000 t/s (~48 s in the paper) "
+                      "where the tuned system (Fig 6) still sits near 2 s",
+                      base);
 
   const double rates[] = {1500, 2000, 2500, 3000, 3500, 4000};
 
   std::printf("%-8s %10s\n", "rate", "delay_s");
+  rep.Columns({"rate", "delay_s"});
   for (double rate : rates) {
     SystemConfig cfg = base;
     cfg.workload.lambda = rate;
     RunMetrics rm = bench::Run(cfg);
-    std::printf("%-8.0f %10.2f\n", rate, rm.AvgDelaySec());
+    rep.Num("%-8.0f", rate);
+    rep.Num(" %10.2f", rm.AvgDelaySec());
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

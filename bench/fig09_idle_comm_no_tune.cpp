@@ -7,24 +7,27 @@ int main() {
   SystemConfig base = bench::ScaledConfig();
   base.num_slaves = 4;
   base.join.fine_tuning = false;
-  bench::Header("Fig 9",
-                "idle time & comm overhead vs rate, NO tuning (4 slaves)",
-                "idle time falls towards zero by ~4000 t/s (CPU eaten by "
-                "ever-larger partition scans); comm overhead grows mildly "
-                "with rate",
-                base);
+  bench::Reporter rep("fig09_idle_comm_no_tune", "Fig 9",
+                      "idle time & comm overhead vs rate, NO tuning "
+                      "(4 slaves)",
+                      "idle time falls towards zero by ~4000 t/s (CPU eaten "
+                      "by ever-larger partition scans); comm overhead grows "
+                      "mildly with rate",
+                      base);
 
   const double rates[] = {1500, 2000, 2500, 3000, 3500, 4000};
 
   std::printf("%-8s %10s %10s\n", "rate", "idle_s", "comm_s");
+  rep.Columns({"rate", "idle_s", "comm_s"});
   for (double rate : rates) {
     SystemConfig cfg = base;
     cfg.workload.lambda = rate;
     RunMetrics rm = bench::Run(cfg);
-    std::printf("%-8.0f %10.1f %10.1f\n", rate,
-                bench::PerSlaveSec(rm, rm.TotalIdle()),
-                bench::PerSlaveSec(rm, rm.TotalComm()));
+    rep.Num("%-8.0f", rate);
+    rep.Num(" %10.1f", bench::PerSlaveSec(rm, rm.TotalIdle()));
+    rep.Num(" %10.1f", bench::PerSlaveSec(rm, rm.TotalComm()));
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

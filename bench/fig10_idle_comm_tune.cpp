@@ -6,25 +6,29 @@ int main() {
   using namespace sjoin;
   SystemConfig base = bench::ScaledConfig();
   base.num_slaves = 4;
-  bench::Header("Fig 10",
-                "idle time & comm overhead vs rate, WITH tuning (4 slaves)",
-                "idle time stays high far past the untuned system's 4000 "
-                "t/s exhaustion point (Fig 9), approaching zero only near "
-                "the tuned capacity; comm overhead is essentially unchanged "
-                "by tuning -- the tuning is local and free of network cost",
-                base);
+  bench::Reporter rep("fig10_idle_comm_tune", "Fig 10",
+                      "idle time & comm overhead vs rate, WITH tuning "
+                      "(4 slaves)",
+                      "idle time stays high far past the untuned system's "
+                      "4000 t/s exhaustion point (Fig 9), approaching zero "
+                      "only near the tuned capacity; comm overhead is "
+                      "essentially unchanged by tuning -- the tuning is "
+                      "local and free of network cost",
+                      base);
 
   const double rates[] = {1500, 2000, 2500, 3000, 3500, 4000, 5000, 6000};
 
   std::printf("%-8s %10s %10s\n", "rate", "idle_s", "comm_s");
+  rep.Columns({"rate", "idle_s", "comm_s"});
   for (double rate : rates) {
     SystemConfig cfg = base;
     cfg.workload.lambda = rate;
     RunMetrics rm = bench::Run(cfg);
-    std::printf("%-8.0f %10.1f %10.1f\n", rate,
-                bench::PerSlaveSec(rm, rm.TotalIdle()),
-                bench::PerSlaveSec(rm, rm.TotalComm()));
+    rep.Num("%-8.0f", rate);
+    rep.Num(" %10.1f", bench::PerSlaveSec(rm, rm.TotalIdle()));
+    rep.Num(" %10.1f", bench::PerSlaveSec(rm, rm.TotalComm()));
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

@@ -7,14 +7,18 @@
 int main() {
   using namespace sjoin;
   SystemConfig base = bench::ScaledConfig();
-  bench::Header("Fig 11", "communication time vs total nodes (rate 1500)",
-                "per-node comm decreases with node count; aggregate "
-                "increases ~linearly; the adaptive system's aggregate stays "
-                "near the 1-node cost because it sheds unneeded slaves",
-                base);
+  bench::Reporter rep("fig11_comm_vs_nodes", "Fig 11",
+                      "communication time vs total nodes (rate 1500)",
+                      "per-node comm decreases with node count; aggregate "
+                      "increases ~linearly; the adaptive system's aggregate "
+                      "stays near the 1-node cost because it sheds unneeded "
+                      "slaves",
+                      base);
 
   std::printf("%-6s %12s %12s %18s %15s\n", "nodes", "aggregate_s",
               "per_node_s", "adaptive_agg_s", "adaptive_nodes");
+  rep.Columns({"nodes", "aggregate_s", "per_node_s", "adaptive_agg_s",
+               "adaptive_nodes"});
   for (std::uint32_t n = 1; n <= 5; ++n) {
     SystemConfig cfg = base;
     cfg.num_slaves = n;
@@ -24,12 +28,13 @@ int main() {
     acfg.balance.adaptive_declustering = true;
     RunMetrics adaptive = bench::Run(acfg);
 
-    std::printf("%-6u %12.1f %12.1f %18.1f %15.2f\n", n,
-                UsToSeconds(fixed.TotalComm()),
-                bench::PerSlaveSec(fixed, fixed.TotalComm()),
-                UsToSeconds(adaptive.TotalComm()),
-                adaptive.avg_active_slaves);
+    rep.Num("%-6.0f", static_cast<double>(n));
+    rep.Num(" %12.1f", UsToSeconds(fixed.TotalComm()));
+    rep.Num(" %12.1f", bench::PerSlaveSec(fixed, fixed.TotalComm()));
+    rep.Num(" %18.1f", UsToSeconds(adaptive.TotalComm()));
+    rep.Num(" %15.2f", adaptive.avg_active_slaves);
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

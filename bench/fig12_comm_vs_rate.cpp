@@ -7,25 +7,28 @@ int main() {
   using namespace sjoin;
   SystemConfig base = bench::ScaledConfig();
   base.num_slaves = 4;
-  bench::Header("Fig 12", "comm time (min/avg/max over slaves) vs rate "
-                          "(4 slaves)",
-                "all three grow with rate; the min-max divergence widens "
-                "because tuples are distributed to the slaves serially "
-                "within each epoch",
-                base);
+  bench::Reporter rep("fig12_comm_vs_rate", "Fig 12",
+                      "comm time (min/avg/max over slaves) vs rate "
+                      "(4 slaves)",
+                      "all three grow with rate; the min-max divergence "
+                      "widens because tuples are distributed to the slaves "
+                      "serially within each epoch",
+                      base);
 
   const double rates[] = {1500, 2000, 2500, 3000, 3500, 4000, 5000, 6000};
 
   std::printf("%-8s %10s %10s %10s\n", "rate", "min_s", "avg_s", "max_s");
+  rep.Columns({"rate", "min_s", "avg_s", "max_s"});
   for (double rate : rates) {
     SystemConfig cfg = base;
     cfg.workload.lambda = rate;
     RunMetrics rm = bench::Run(cfg);
-    std::printf("%-8.0f %10.1f %10.1f %10.1f\n", rate,
-                UsToSeconds(rm.MinComm()),
-                bench::PerSlaveSec(rm, rm.TotalComm()),
-                UsToSeconds(rm.MaxComm()));
+    rep.Num("%-8.0f", rate);
+    rep.Num(" %10.1f", UsToSeconds(rm.MinComm()));
+    rep.Num(" %10.1f", bench::PerSlaveSec(rm, rm.TotalComm()));
+    rep.Num(" %10.1f", UsToSeconds(rm.MaxComm()));
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

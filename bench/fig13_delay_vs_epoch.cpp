@@ -7,22 +7,26 @@ int main() {
   using namespace sjoin;
   SystemConfig base = bench::ScaledConfig();
   base.num_slaves = 3;
-  bench::Header("Fig 13", "average delay vs distribution epoch (3 slaves)",
-                "delay grows roughly linearly with the epoch (master-side "
-                "buffering dominates), from sub-second at t_d=0.25 s to "
-                "~6 s at t_d=6 s",
-                base);
+  bench::Reporter rep("fig13_delay_vs_epoch", "Fig 13",
+                      "average delay vs distribution epoch (3 slaves)",
+                      "delay grows roughly linearly with the epoch "
+                      "(master-side buffering dominates), from sub-second "
+                      "at t_d=0.25 s to ~6 s at t_d=6 s",
+                      base);
 
   const double epochs_s[] = {0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
 
   std::printf("%-8s %10s\n", "t_d_s", "delay_s");
+  rep.Columns({"t_d_s", "delay_s"});
   for (double td : epochs_s) {
     SystemConfig cfg = base;
     cfg.epoch.t_dist = SecondsToUs(td);
     cfg.epoch.t_rep = 10 * cfg.epoch.t_dist;  // keep the paper's ratio
     RunMetrics rm = bench::Run(cfg);
-    std::printf("%-8.2f %10.2f\n", td, rm.AvgDelaySec());
+    rep.Num("%-8.2f", td);
+    rep.Num(" %10.2f", rm.AvgDelaySec());
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

@@ -8,23 +8,26 @@ int main() {
   using namespace sjoin;
   SystemConfig base = bench::ScaledConfig();
   base.num_slaves = 3;
-  bench::Header("Fig 14", "comm overhead vs distribution epoch (3 slaves)",
-                "overhead falls steeply as t_d grows (fewer messages, "
-                "better amortized per-message cost), flattening once "
-                "payload cost dominates",
-                base);
+  bench::Reporter rep("fig14_comm_vs_epoch", "Fig 14",
+                      "comm overhead vs distribution epoch (3 slaves)",
+                      "overhead falls steeply as t_d grows (fewer messages, "
+                      "better amortized per-message cost), flattening once "
+                      "payload cost dominates",
+                      base);
 
   const double epochs_s[] = {0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
 
   std::printf("%-8s %10s\n", "t_d_s", "comm_s");
+  rep.Columns({"t_d_s", "comm_s"});
   for (double td : epochs_s) {
     SystemConfig cfg = base;
     cfg.epoch.t_dist = SecondsToUs(td);
     cfg.epoch.t_rep = 10 * cfg.epoch.t_dist;
     RunMetrics rm = bench::Run(cfg);
-    std::printf("%-8.2f %10.1f\n", td,
-                bench::PerSlaveSec(rm, rm.TotalComm()));
+    rep.Num("%-8.2f", td);
+    rep.Num(" %10.1f", bench::PerSlaveSec(rm, rm.TotalComm()));
+    rep.EndRow();
     std::fflush(stdout);
   }
-  return 0;
+  return rep.Finish();
 }

@@ -2,17 +2,35 @@
 // extendible-hash operations, join-module tuple processing, and the message
 // codecs. These bound the host-side cost of the execution-driven simulation
 // (they are NOT paper figures; the fig*/ext* binaries are).
+//
+// Every benchmark runs several repetitions and reports the median and p95
+// (obs::SampleQuantile) across them instead of a single noisy run; the
+// aggregate rows are also recorded into the structured JSON report
+// (deterministic=false: bench_diff checks structure, not wall timings).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "common/rng.h"
 #include "common/serialize.h"
 #include "gen/stream_source.h"
 #include "hash/extendible.h"
 #include "join/join_module.h"
 #include "net/codec.h"
+#include "obs/quantiles.h"
 
 namespace sjoin {
 namespace {
+
+/// Shared repetition/aggregate policy: medians over repetitions smooth the
+/// host's scheduling noise; p95 exposes the tail. Quick mode trades
+/// repetitions for runtime.
+void WithStats(benchmark::internal::Benchmark* b) {
+  b->Repetitions(bench::QuickMode() ? 3 : 7);
+  b->ComputeStatistics("p95", [](const std::vector<double>& xs) {
+    return obs::SampleQuantile(xs, 0.95);
+  });
+  b->ReportAggregatesOnly(true);
+}
 
 void BM_BModelNext(benchmark::State& state) {
   BModelGenerator gen(0.7, 10'000'000, 1);
@@ -20,7 +38,7 @@ void BM_BModelNext(benchmark::State& state) {
     benchmark::DoNotOptimize(gen.Next());
   }
 }
-BENCHMARK(BM_BModelNext);
+BENCHMARK(BM_BModelNext)->Apply(WithStats);
 
 void BM_MergedSourceNext(benchmark::State& state) {
   MergedSource src(5000.0, 0.7, 10'000'000, 2);
@@ -28,7 +46,7 @@ void BM_MergedSourceNext(benchmark::State& state) {
     benchmark::DoNotOptimize(src.Next());
   }
 }
-BENCHMARK(BM_MergedSourceNext);
+BENCHMARK(BM_MergedSourceNext)->Apply(WithStats);
 
 void BM_ExtendibleFindAndSplit(benchmark::State& state) {
   using Dir = ExtendibleDirectory<std::vector<std::uint64_t>>;
@@ -51,7 +69,7 @@ void BM_ExtendibleFindAndSplit(benchmark::State& state) {
     benchmark::DoNotOptimize(dir.BucketCount());
   }
 }
-BENCHMARK(BM_ExtendibleFindAndSplit);
+BENCHMARK(BM_ExtendibleFindAndSplit)->Apply(WithStats);
 
 void BM_JoinModuleProcessTuple(benchmark::State& state) {
   SystemConfig cfg;
@@ -73,7 +91,9 @@ void BM_JoinModuleProcessTuple(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(jm.TuplesProcessed()));
 }
-BENCHMARK(BM_JoinModuleProcessTuple)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JoinModuleProcessTuple)
+    ->Unit(benchmark::kMillisecond)
+    ->Apply(WithStats);
 
 void BM_TupleBatchEncodeDecode(benchmark::State& state) {
   TupleBatchMsg msg;
@@ -92,9 +112,48 @@ void BM_TupleBatchEncodeDecode(benchmark::State& state) {
       state.iterations() *
       static_cast<std::int64_t>(TupleBatchMsg::WireSize(1000, 64)));
 }
-BENCHMARK(BM_TupleBatchEncodeDecode);
+BENCHMARK(BM_TupleBatchEncodeDecode)->Apply(WithStats);
+
+/// Console output as usual, plus every finished (aggregate) run recorded as
+/// one JSON row: [name, real_time, cpu_time, unit].
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(bench::Reporter* rep) : rep_(rep) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      rep_->CellText(run.benchmark_name());
+      rep_->CellNum(run.GetAdjustedRealTime());
+      rep_->CellNum(run.GetAdjustedCPUTime());
+      rep_->CellText(benchmark::GetTimeUnitString(run.time_unit));
+      rep_->EndRowQuiet();
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::Reporter* rep_;
+};
 
 }  // namespace
 }  // namespace sjoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace sjoin;
+  SystemConfig cfg;  // header context only; micro-benches set their own
+  bench::Reporter rep("micro_benchmarks", "Micro",
+                      "substrate micro-benchmarks (google-benchmark)",
+                      "host-side substrate costs bounding the simulation; "
+                      "median/p95 over repetitions",
+                      cfg);
+  rep.Deterministic(false);  // wall timings: structure-only in bench_diff
+  rep.Columns({"name", "real_time", "cpu_time", "unit"});
+
+  JsonTeeReporter tee(&rep);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks(&tee);
+  benchmark::Shutdown();
+  return rep.Finish();
+}

@@ -3,41 +3,53 @@
 // the paper are visible at a glance).
 #include <cstdio>
 
+#include "bench_common.h"
 #include "common/config.h"
 
 int main() {
   using namespace sjoin;
   SystemConfig cfg;
-  std::printf("# Table I -- default values used in experiments\n");
+  bench::Reporter rep("table1_defaults", "Table I",
+                      "default values used in experiments",
+                      "the library's defaults match the paper's Table I",
+                      cfg);
   std::printf("%-28s %-12s %s\n", "parameter", "default", "comment");
-  std::printf("%-28s %-12.0f %s\n", "W_i (i=1,2)",
-              UsToSeconds(cfg.join.window) / 60.0, "window length (min)");
-  std::printf("%-28s %-12.0f %s\n", "lambda", cfg.workload.lambda,
-              "avg arrival rate (tuples/sec/stream)");
-  std::printf("%-28s %-12.1f %s\n", "b", cfg.workload.b_skew,
-              "skew in join attribute values (b-model)");
-  std::printf("%-28s %-12.2f %s\n", "Th_con", cfg.balance.th_con,
-              "consumer threshold");
-  std::printf("%-28s %-12.1f %s\n", "Th_sup", cfg.balance.th_sup,
-              "supplier threshold");
-  std::printf("%-28s %-12.1f %s\n", "theta",
-              static_cast<double>(cfg.join.theta_bytes) / (1024.0 * 1024.0),
-              "partition tuning parameter (MB)");
-  std::printf("%-28s %-12zu %s\n", "block size",
-              cfg.join.block_bytes / 1024, "block size (KB)");
-  std::printf("%-28s %-12.0f %s\n", "t_d", UsToSeconds(cfg.epoch.t_dist),
-              "distribution epoch (sec)");
-  std::printf("%-28s %-12.0f %s\n", "t_r", UsToSeconds(cfg.epoch.t_rep),
-              "reorganization epoch (sec)");
-  std::printf("%-28s %-12u %s\n", "partitions", cfg.join.num_partitions,
-              "level of indirection at the master");
-  std::printf("%-28s %-12zu %s\n", "tuple size",
-              cfg.workload.tuple_bytes, "bytes on the wire");
-  std::printf("%-28s %-12llu %s\n", "key domain",
-              static_cast<unsigned long long>(cfg.workload.key_domain),
-              "join attribute range [0, N)");
-  std::printf("%-28s %-12zu %s\n", "slave buffer",
-              cfg.balance.slave_buffer_bytes / 1024,
-              "stream buffer per slave (KB)");
-  return 0;
+  rep.Columns({"parameter", "default", "comment"});
+
+  auto row = [&rep](const char* name, const char* fmt, double v,
+                    const char* comment) {
+    rep.Text("%-28s ", name);
+    rep.Num(fmt, v);
+    rep.Text(" %s", comment);
+    rep.EndRow();
+  };
+  row("W_i (i=1,2)", "%-12.0f", UsToSeconds(cfg.join.window) / 60.0,
+      "window length (min)");
+  row("lambda", "%-12.0f", cfg.workload.lambda,
+      "avg arrival rate (tuples/sec/stream)");
+  row("b", "%-12.1f", cfg.workload.b_skew,
+      "skew in join attribute values (b-model)");
+  row("Th_con", "%-12.2f", cfg.balance.th_con, "consumer threshold");
+  row("Th_sup", "%-12.1f", cfg.balance.th_sup, "supplier threshold");
+  row("theta", "%-12.1f",
+      static_cast<double>(cfg.join.theta_bytes) / (1024.0 * 1024.0),
+      "partition tuning parameter (MB)");
+  row("block size", "%-12.0f",
+      static_cast<double>(cfg.join.block_bytes / 1024), "block size (KB)");
+  row("t_d", "%-12.0f", UsToSeconds(cfg.epoch.t_dist),
+      "distribution epoch (sec)");
+  row("t_r", "%-12.0f", UsToSeconds(cfg.epoch.t_rep),
+      "reorganization epoch (sec)");
+  row("partitions", "%-12.0f",
+      static_cast<double>(cfg.join.num_partitions),
+      "level of indirection at the master");
+  row("tuple size", "%-12.0f",
+      static_cast<double>(cfg.workload.tuple_bytes), "bytes on the wire");
+  row("key domain", "%-12.0f",
+      static_cast<double>(cfg.workload.key_domain),
+      "join attribute range [0, N)");
+  row("slave buffer", "%-12.0f",
+      static_cast<double>(cfg.balance.slave_buffer_bytes / 1024),
+      "stream buffer per slave (KB)");
+  return rep.Finish();
 }

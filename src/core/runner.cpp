@@ -94,6 +94,14 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
   obs::Counter& c_degraded = reg.GetCounter("master_degraded_failovers");
   obs::Counter& c_replay_batches = reg.GetCounter("master_replayed_batches");
   obs::Counter& c_replay_tuples = reg.GetCounter("master_replayed_tuples");
+  // Wall-clock stage histograms (kWall: real elapsed time, excluded from
+  // every deterministic export -- recorder snapshots and kMetrics frames).
+  obs::HistogramMetric& wall_distribute =
+      obs::WallStage(reg, obs::kStageDistribute);
+  obs::HistogramMetric& wall_encode =
+      obs::WallStage(reg, obs::kStageCodecEncode);
+  obs::HistogramMetric& wall_send = obs::WallStage(reg, obs::kStageNetSend);
+  obs::HistogramMetric& wall_recv = obs::WallStage(reg, obs::kStageNetRecv);
   // Logical timestamp of the trace events being emitted: the current epoch's
   // start. Events emitted after the epoch loop (drain-phase evictions) reuse
   // the last epoch's stamp.
@@ -345,31 +353,40 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
 
     // Distribute serially; each live slave's comm module answers with its
     // load report for exactly this batch (seq-matched below).
-    for (Rank s = 1; s <= n; ++s) {
-      if (!alive[s - 1]) continue;
-      std::vector<PartitionId> pids;
-      for (PartitionId pid : pmap.PartitionsOf(s - 1)) {
-        if (!in_flight[pid]) pids.push_back(pid);
-      }
-      TupleBatchMsg batch;
-      batch.recs = buffer.DrainFor(pids);
-      sum.tuples_sent += batch.recs.size();
-      c_tuples.Add(batch.recs.size());
-      if (repl && !batch.recs.empty()) {
-        // Retain this epoch's tuples per group until the covering
-        // checkpoint is acknowledged -- they are the failover replay.
-        std::map<PartitionId, std::vector<Rec>> by_pid;
-        for (const Rec& rec : batch.recs) {
-          by_pid[PartitionOf(rec.key, npart)].push_back(rec);
+    {
+      obs::ScopedTimer wall_dist(&wall_distribute);
+      for (Rank s = 1; s <= n; ++s) {
+        if (!alive[s - 1]) continue;
+        std::vector<PartitionId> pids;
+        for (PartitionId pid : pmap.PartitionsOf(s - 1)) {
+          if (!in_flight[pid]) pids.push_back(pid);
         }
-        for (auto& [pid, recs] : by_pid) {
-          retained[pid].emplace_back(sum.epochs, std::move(recs));
+        TupleBatchMsg batch;
+        batch.recs = buffer.DrainFor(pids);
+        sum.tuples_sent += batch.recs.size();
+        c_tuples.Add(batch.recs.size());
+        if (repl && !batch.recs.empty()) {
+          // Retain this epoch's tuples per group until the covering
+          // checkpoint is acknowledged -- they are the failover replay.
+          std::map<PartitionId, std::vector<Rec>> by_pid;
+          for (const Rec& rec : batch.recs) {
+            by_pid[PartitionOf(rec.key, npart)].push_back(rec);
+          }
+          for (auto& [pid, recs] : by_pid) {
+            retained[pid].emplace_back(sum.epochs, std::move(recs));
+          }
         }
+        Writer w(TupleBatchMsg::WireSize(batch.recs.size(), tb));
+        {
+          obs::ScopedTimer wall_enc(&wall_encode);
+          Encode(w, batch, tb);
+        }
+        {
+          obs::ScopedTimer wall_snd(&wall_send);
+          transport.Send(s, Make(MsgType::kTupleBatch, std::move(w)));
+        }
+        ++batches_sent[s - 1];
       }
-      Writer w(TupleBatchMsg::WireSize(batch.recs.size(), tb));
-      Encode(w, batch, tb);
-      transport.Send(s, Make(MsgType::kTupleBatch, std::move(w)));
-      ++batches_sent[s - 1];
     }
     ob.trace.Complete(
         "distribute", "epoch", epoch_start, 0,
@@ -384,7 +401,10 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       if (!alive[s - 1]) continue;
       std::uint32_t strikes = 0;
       while (alive[s - 1]) {
-        RecvResult res = transport.RecvFromTimed(s, opts.recv_timeout_us);
+        RecvResult res = [&] {
+          obs::ScopedTimer wall_rcv(&wall_recv);
+          return transport.RecvFromTimed(s, opts.recv_timeout_us);
+        }();
         if (res.status == RecvStatus::kClosed) {
           // The peer (or the whole transport) is gone; instant verdict.
           evict(s - 1);
@@ -604,6 +624,9 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
   wc.PutU64(sum.ckpt_bytes);
   wc.PutU64(sum.replayed_batches);
   transport.Send(collector, Make(MsgType::kShutdown, std::move(wc)));
+  sum.wall_stages = obs::SummarizeWallStages(reg);
+  SJOIN_INFO("master: wall stages: "
+             << obs::FormatWallStages(sum.wall_stages));
   return sum;
 }
 
@@ -697,6 +720,15 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
   obs::Counter& c_ck_applied = reg.GetCounter("slave_ckpt_segments_applied");
   obs::Counter& c_adopted = reg.GetCounter("slave_groups_adopted");
   obs::Counter& c_replayed = reg.GetCounter("slave_replayed_tuples");
+  // Wall-clock stage histograms (kWall; see obs/profiler.h). codec_decode is
+  // observed from the comm thread, the checkpoint stages from the join
+  // thread -- HistogramMetric is internally locked.
+  obs::HistogramMetric& wall_decode =
+      obs::WallStage(reg, obs::kStageCodecDecode);
+  obs::HistogramMetric& wall_ck_snap =
+      obs::WallStage(reg, obs::kStageCkptSnapshot);
+  obs::HistogramMetric& wall_ck_journal =
+      obs::WallStage(reg, obs::kStageCkptJournal);
 
   WallClock clock;
   std::atomic<Time> clock_offset{0};  // master_time - local_time
@@ -733,7 +765,10 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
         }
         case MsgType::kTupleBatch: {
           Reader r(msg->payload);
-          TupleBatchMsg batch = DecodeTupleBatch(r, tb);
+          TupleBatchMsg batch = [&] {
+            obs::ScopedTimer wall(&wall_decode);
+            return DecodeTupleBatch(r, tb);
+          }();
           // Load report: buffer occupancy before this batch lands. `seq`
           // names the batch it answers so the master can discard stale or
           // duplicated reports.
@@ -764,6 +799,7 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
         }
         case MsgType::kStateTransfer: {
           Reader r(msg->payload);
+          obs::ScopedTimer wall(&wall_decode);
           push(InstallWork{DecodeStateTransfer(r, tb)});
           break;
         }
@@ -775,6 +811,7 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
         case MsgType::kCheckpoint: {
           Reader r(msg->payload);
           const std::uint64_t bytes = msg->payload.size();
+          obs::ScopedTimer wall(&wall_decode);
           push(CkptApplyWork{DecodeCheckpoint(r, tb), bytes});
           break;
         }
@@ -937,6 +974,10 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
       MetricsMsg mm;
       mm.epoch = epochs_done;
       mm.samples = obs::CollectSamples(reg, /*include_volatile=*/false);
+      // Live per-stage wall quantiles ride along as synthetic samples; the
+      // cluster view is never byte-compared across runs, so wall data is
+      // safe there (unlike the recorder/trace exports).
+      obs::AppendWallStageSamples(reg, &mm.samples);
       Writer mw;
       Encode(mw, mm);
       transport.Send(0, Make(MsgType::kMetrics, std::move(mw)));
@@ -1015,9 +1056,11 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
         m.from_epoch = full ? 0 : lc->second;
         m.to_epoch = epochs_done;
         if (full) {
+          obs::ScopedTimer wall(&wall_ck_snap);
           (void)join.TakeJournal(e.partition_id);  // superseded by snapshot
           m.recs = CollectGroupRecords(*g);
         } else {
+          obs::ScopedTimer wall(&wall_ck_journal);
           m.recs = join.TakeJournal(e.partition_id);
         }
         Time max_seen = 0;
@@ -1151,6 +1194,9 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
   transport.Send(collector, Message{MsgType::kShutdown, 0, {}});
   sum.outputs = sink.Outputs();
   comm.join();
+  sum.wall_stages = obs::SummarizeWallStages(reg);
+  SJOIN_INFO("slave " << self << ": wall stages: "
+                      << obs::FormatWallStages(sum.wall_stages));
   return sum;
 }
 

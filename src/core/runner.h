@@ -67,6 +67,7 @@
 #include "join/sink.h"
 #include "net/transport.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 #include "tuple/tuple.h"
 
 namespace sjoin {
@@ -151,6 +152,11 @@ struct MasterSummary {
   /// (bench/ext_recovery_overhead reports it; excluded from deterministic
   /// chaos summaries).
   Duration recovery_us = 0;
+
+  /// Wall-clock stage profile of this node (obs/profiler.h): distribute,
+  /// codec_encode, net_send, net_recv. Real elapsed time -- never part of
+  /// deterministic exports.
+  std::vector<obs::WallStageSummary> wall_stages;
 };
 
 struct SlaveSummary {
@@ -165,6 +171,10 @@ struct SlaveSummary {
   std::uint64_t ckpt_segments_applied = 0;  ///< as buddy, from owners
   std::uint64_t groups_adopted = 0;         ///< failed over to this slave
   std::uint64_t replayed_tuples = 0;        ///< redelivered and reprocessed
+
+  /// Wall-clock stage profile of this node (obs/profiler.h): probe_insert,
+  /// codec_decode, ckpt_snapshot, ckpt_journal.
+  std::vector<obs::WallStageSummary> wall_stages;
 };
 
 struct CollectorSummary {

@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "net/codec.h"
+#include "obs/profiler.h"
 #include "window/state_codec.h"
 
 namespace sjoin {
@@ -34,7 +35,10 @@ SimDriver::SimDriver(const SystemConfig& cfg, SimOptions opts)
       ob_(opts.obs != nullptr ? *opts.obs : local_obs_),
       c_generated_(ob_.registry.GetCounter("sim_tuples_generated")),
       c_migrations_(ob_.registry.GetCounter("sim_migrations")),
-      c_state_moved_(ob_.registry.GetCounter("sim_state_moved_tuples")) {
+      c_state_moved_(ob_.registry.GetCounter("sim_state_moved_tuples")),
+      wall_distribute_(obs::WallStage(ob_.registry, obs::kStageDistribute)),
+      wall_codec_encode_(obs::WallStage(ob_.registry, obs::kStageCodecEncode)),
+      wall_codec_decode_(obs::WallStage(ob_.registry, obs::kStageCodecDecode)) {
   assert(cfg.num_slaves >= 1);
   assert(cfg.ActiveSlavesAtStart() <= cfg.num_slaves);
   assert(cfg.epoch.num_subgroups >= 1);
@@ -83,6 +87,7 @@ void SimDriver::GenerateArrivalsUntil(Time t) {
 }
 
 void SimDriver::ServeSlave(SlaveIdx si, Time t, Duration& serial_accum) {
+  obs::ScopedTimer wall(&wall_distribute_);
   Slave& s = slaves_[si];
   const CostModel& cm = cfg_.cost;
 
@@ -164,14 +169,17 @@ void SimDriver::MigrateGroup(PartitionId pid, SlaveIdx from, SlaveIdx to,
 
   // Serialize through the real state codec so the transferred byte count is
   // exact and the consumer rebuilds through the real decode path.
-  Writer w;
-  EncodeGroupState(w, *group);
-  StateTransferMsg msg;
-  msg.partition_id = pid;
-  msg.group_state = std::move(w).TakeBuffer();
-  msg.pending = std::move(pending);
   Writer wire;
-  Encode(wire, msg, cfg_.workload.tuple_bytes);
+  {
+    obs::ScopedTimer wall(&wall_codec_encode_);
+    Writer w;
+    EncodeGroupState(w, *group);
+    StateTransferMsg msg;
+    msg.partition_id = pid;
+    msg.group_state = std::move(w).TakeBuffer();
+    msg.pending = std::move(pending);
+    Encode(wire, msg, cfg_.workload.tuple_bytes);
+  }
   const std::size_t bytes = wire.Size() + 9;
 
   const std::uint64_t moved = group->TotalCount();
@@ -182,11 +190,14 @@ void SimDriver::MigrateGroup(PartitionId pid, SlaveIdx from, SlaveIdx to,
   sup.free_at = std::max(sup.free_at, t) + extract_cost + hop;
 
   Reader r(wire.Bytes());
-  StateTransferMsg decoded =
-      DecodeStateTransfer(r, cfg_.workload.tuple_bytes);
-  Reader gr(decoded.group_state);
-  std::unique_ptr<PartitionGroup> rebuilt =
-      DecodeGroupState(gr, cfg_.join, cfg_.workload.tuple_bytes);
+  StateTransferMsg decoded;
+  std::unique_ptr<PartitionGroup> rebuilt;
+  {
+    obs::ScopedTimer wall(&wall_codec_decode_);
+    decoded = DecodeStateTransfer(r, cfg_.workload.tuple_bytes);
+    Reader gr(decoded.group_state);
+    rebuilt = DecodeGroupState(gr, cfg_.join, cfg_.workload.tuple_bytes);
+  }
 
   const Duration install_cost = cm.MoveCost(rebuilt->TotalCount());
   con.stats.comm_xfer += hop;

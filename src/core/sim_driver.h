@@ -130,6 +130,11 @@ class SimDriver {
   obs::Counter& c_generated_;
   obs::Counter& c_migrations_;
   obs::Counter& c_state_moved_;
+  // Wall-clock stage histograms (Stability::kWall -- real elapsed time, kept
+  // out of every deterministic export; virtual-clock metrics are unaffected).
+  obs::HistogramMetric& wall_distribute_;
+  obs::HistogramMetric& wall_codec_encode_;
+  obs::HistogramMetric& wall_codec_decode_;
 };
 
 }  // namespace sjoin

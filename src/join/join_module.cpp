@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace sjoin {
 
@@ -20,6 +21,7 @@ JoinModule::JoinModule(const SystemConfig& cfg, JoinSink* sink)
 void JoinModule::AttachMetrics(obs::MetricsRegistry* reg) {
   if (reg == nullptr) return;
   obs_tuning_ = &reg->GetCounter("join_tuning_moves");
+  wall_probe_insert_ = &obs::WallStage(*reg, obs::kStageProbeInsert);
   store_.SetGroupCounters(&reg->GetCounter("group_splits"),
                           &reg->GetCounter("group_merges"));
 }
@@ -29,6 +31,10 @@ void JoinModule::EnqueueBatch(std::span<const Rec> recs) {
 }
 
 Duration JoinModule::ProcessFor(Time from, Duration budget) {
+  // Wall-time the probe/insert batch only when there is work: the drivers
+  // poll ProcessFor every slot, and empty polls would flood the histogram
+  // with meaningless sub-microsecond samples.
+  obs::ScopedTimer wall(buffer_.empty() ? nullptr : wall_probe_insert_);
   Duration used = 0;
   while (!buffer_.empty() && used < budget) {
     Rec rec = buffer_.front();

@@ -29,6 +29,7 @@
 #include "window/window_store.h"
 
 namespace sjoin::obs {
+class HistogramMetric;
 class MetricsRegistry;
 }  // namespace sjoin::obs
 
@@ -139,6 +140,7 @@ class JoinModule {
   std::uint64_t processed_ = 0;
   std::uint64_t tuning_moves_ = 0;
   obs::Counter* obs_tuning_ = nullptr;
+  obs::HistogramMetric* wall_probe_insert_ = nullptr;  ///< probe/insert stage
 
   bool journal_enabled_ = false;
   std::unordered_map<PartitionId, std::vector<Rec>> journal_;

@@ -1,0 +1,154 @@
+#include "obs/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sjoin::obs {
+
+namespace {
+
+std::string Fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+const BenchReport* FindBench(const BenchSuite& s, const std::string& id) {
+  for (const BenchReport& b : s.benches) {
+    if (b.bench_id == id) return &b;
+  }
+  return nullptr;
+}
+
+void Issue(DiffResult* r, const std::string& bench, std::string what) {
+  r->regressions.push_back(DiffIssue{bench, std::move(what)});
+}
+
+/// Numeric values of column `col`, or empty when any cell is text.
+std::vector<double> NumericColumn(const BenchReport& b, std::size_t col) {
+  std::vector<double> ys;
+  ys.reserve(b.rows.size());
+  for (const auto& row : b.rows) {
+    if (row[col].is_text) return {};
+    ys.push_back(row[col].number);
+  }
+  return ys;
+}
+
+void DiffBench(const BenchReport& base, const BenchReport& cand,
+               const DiffOptions& opts, DiffResult* r) {
+  const std::string& id = base.bench_id;
+  if (base.columns != cand.columns) {
+    Issue(r, id, "column set changed");
+    return;
+  }
+  if (base.rows.size() != cand.rows.size()) {
+    Issue(r, id,
+          "row count changed: " + std::to_string(base.rows.size()) + " -> " +
+              std::to_string(cand.rows.size()));
+    return;
+  }
+  // Text cells (mode/policy tags, Table I text) must match exactly,
+  // deterministic or not; a cell changing type is also structural.
+  for (std::size_t i = 0; i < base.rows.size(); ++i) {
+    for (std::size_t j = 0; j < base.columns.size(); ++j) {
+      const BenchCell& bc = base.rows[i][j];
+      const BenchCell& cc = cand.rows[i][j];
+      if (bc.is_text != cc.is_text) {
+        Issue(r, id, "row " + std::to_string(i) + " col " + base.columns[j] +
+                         ": cell type changed");
+        return;
+      }
+      if (bc.is_text && bc.text != cc.text) {
+        Issue(r, id, "row " + std::to_string(i) + " col " + base.columns[j] +
+                         ": \"" + bc.text + "\" -> \"" + cc.text + "\"");
+      }
+    }
+  }
+  if (!base.deterministic || !cand.deterministic) {
+    r->notes.push_back(id + ": non-deterministic bench, structural checks only");
+    return;
+  }
+
+  // Per-point relative deltas.
+  for (std::size_t i = 0; i < base.rows.size(); ++i) {
+    for (std::size_t j = 0; j < base.columns.size(); ++j) {
+      const BenchCell& bc = base.rows[i][j];
+      const BenchCell& cc = cand.rows[i][j];
+      if (bc.is_text) continue;
+      const double denom = std::max(std::fabs(bc.number), opts.abs_floor);
+      const double delta = std::fabs(cc.number - bc.number) / denom;
+      if (delta > opts.tolerance) {
+        Issue(r, id, "row " + std::to_string(i) + " col " + base.columns[j] +
+                         ": " + Fmt(bc.number) + " -> " + Fmt(cc.number) +
+                         " (rel delta " + Fmt(delta) + " > tolerance " +
+                         Fmt(opts.tolerance) + ")");
+      }
+    }
+  }
+
+  // Knee-location shifts, y-columns only (column 0 is the swept x-axis).
+  for (std::size_t j = 1; j < base.columns.size(); ++j) {
+    const std::vector<double> by = NumericColumn(base, j);
+    const std::vector<double> cy = NumericColumn(cand, j);
+    if (by.size() < 3 || cy.size() != by.size()) continue;
+    const int bk = KneeIndex(by, opts.knee_factor);
+    const int ck = KneeIndex(cy, opts.knee_factor);
+    if (bk == ck) continue;
+    const bool earlier =
+        (ck >= 0 && bk < 0) || (ck >= 0 && bk >= 0 && ck < bk);
+    const auto shift = bk >= 0 && ck >= 0 ? bk - ck : 0;
+    if (earlier && (bk < 0 || shift > opts.knee_shift_allowed)) {
+      Issue(r, id, "col " + base.columns[j] + ": knee moved earlier, row " +
+                       std::to_string(bk) + " -> " + std::to_string(ck));
+    } else if (!earlier) {
+      r->notes.push_back(id + ": col " + base.columns[j] +
+                         " knee moved later (row " + std::to_string(bk) +
+                         " -> " + std::to_string(ck) + "), improvement");
+    }
+  }
+}
+
+}  // namespace
+
+int KneeIndex(const std::vector<double>& ys, double knee_factor) {
+  if (ys.empty()) return -1;
+  const double lo = *std::min_element(ys.begin(), ys.end());
+  // A column touching zero has no well-defined blow-up ratio; per-point
+  // deltas still gate it.
+  if (lo <= 0.0) return -1;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    if (ys[i] >= knee_factor * lo && ys[i] > lo) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+DiffResult DiffBenchSuites(const BenchSuite& baseline,
+                           const BenchSuite& candidate,
+                           const DiffOptions& opts) {
+  DiffResult r;
+  if (baseline.mode != candidate.mode) {
+    Issue(&r, "(suite)",
+          "mode mismatch: baseline is \"" + baseline.mode +
+              "\", candidate is \"" + candidate.mode +
+              "\" -- quick and full runs are not comparable");
+    return r;
+  }
+  for (const BenchReport& base : baseline.benches) {
+    const BenchReport* cand = FindBench(candidate, base.bench_id);
+    if (cand == nullptr) {
+      Issue(&r, base.bench_id, "missing from candidate suite");
+      continue;
+    }
+    DiffBench(base, *cand, opts, &r);
+  }
+  for (const BenchReport& cand : candidate.benches) {
+    if (FindBench(baseline, cand.bench_id) == nullptr) {
+      r.notes.push_back(cand.bench_id + ": new bench, no baseline to compare");
+    }
+  }
+  return r;
+}
+
+}  // namespace sjoin::obs

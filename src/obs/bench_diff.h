@@ -1,0 +1,56 @@
+// Regression gate between two bench suite files (see obs/bench_report.h).
+//
+// Comparison rules:
+//   * Modes must match -- quick and full runs use different warmup/measure
+//     horizons, so their numbers are not comparable.
+//   * Structural checks for every bench: candidate must cover each baseline
+//     bench, with identical columns, row counts, and text cells.
+//   * Numeric gating only for benches marked deterministic (the virtual-time
+//     sims, exactly reproducible across machines): a cell regresses when
+//     |cand - base| / max(|base|, abs_floor) exceeds `tolerance`.
+//   * Knee-shift detection: for each numeric y-column of a deterministic
+//     bench, the knee is the first row where y >= knee_factor * min(y) --
+//     the load point where the metric blows up (the paper's saturation
+//     knees, Figs. 5-8). A knee that moves EARLIER by more than
+//     `knee_shift_allowed` rows is a regression even when individual points
+//     sit inside the tolerance band; a later knee is an improvement (note).
+//   * Non-deterministic benches (wall-clock cluster, micro) get structural
+//     checks only; their numbers vary run to run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.h"
+
+namespace sjoin::obs {
+
+struct DiffOptions {
+  double tolerance = 0.25;    ///< max allowed relative delta per numeric cell
+  double abs_floor = 0.05;    ///< denominator floor: |base| below this is
+                              ///< compared against the floor (kills noise on
+                              ///< near-zero baselines like 0.001 s delays)
+  double knee_factor = 5.0;   ///< knee = first row with y >= factor * min(y)
+  int knee_shift_allowed = 0; ///< rows a knee may move earlier without failing
+};
+
+struct DiffIssue {
+  std::string bench_id;
+  std::string what;
+};
+
+struct DiffResult {
+  std::vector<DiffIssue> regressions;  ///< nonempty => gate fails
+  std::vector<std::string> notes;      ///< informational (improvements, skips)
+  bool ok() const { return regressions.empty(); }
+};
+
+/// Index of the knee row in `ys` (first value >= knee_factor * min), or -1
+/// when the column never blows up. Exposed for tests.
+int KneeIndex(const std::vector<double>& ys, double knee_factor);
+
+DiffResult DiffBenchSuites(const BenchSuite& baseline,
+                           const BenchSuite& candidate,
+                           const DiffOptions& opts = {});
+
+}  // namespace sjoin::obs

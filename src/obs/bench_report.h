@@ -1,0 +1,113 @@
+// BenchReport: the machine-readable twin of a bench binary's stdout table.
+//
+// Every bench under bench/ prints a gnuplot-ready text table; this module
+// gives that output a versioned JSON schema so runs can be archived and
+// diffed (tools/bench_all merges per-bench reports into BENCH_PR4.json,
+// tools/bench_diff gates regressions against a baseline).
+//
+// Schema (version 1) -- one report:
+//   {
+//     "schema": "sjoin-bench-report", "schema_version": 1,
+//     "bench_id": "fig08_delay_no_finetune",   // binary name, stable key
+//     "figure": "fig 8", "title": "...", "paper_shape": "...",
+//     "mode": "quick" | "full",                 // machine-detectable mode
+//     "deterministic": true,                    // virtual-time sim => exact
+//     "warmup_s": 90, "measure_s": 120,
+//     "config": "<Summarize(cfg) one-liner>",
+//     "columns": ["rate_per_group", "delay_s"],
+//     "rows": [[200, 0.31], ["tune", 1.5]],     // cells: number or string
+//     "counters": {"sim_outputs": 123, ...},    // stable counters only
+//     "wall_stages": [{"stage": "...", "count": n,
+//                      "p50_us": x, "p95_us": y}, ...]
+//   }
+// A suite file wraps reports:
+//   {"schema": "sjoin-bench-suite", "schema_version": 1,
+//    "mode": "...", "benches": [<report>, ...]}
+//
+// Reports with deterministic=false (wall-clock cluster benches, micro
+// benches) carry real-time numbers; bench_diff only structurally checks
+// them. Deterministic reports are exactly reproducible across machines --
+// that is what makes CI numeric diffing sound.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/profiler.h"
+
+namespace sjoin::obs {
+
+inline constexpr int kBenchSchemaVersion = 1;
+inline constexpr std::string_view kBenchReportSchema = "sjoin-bench-report";
+inline constexpr std::string_view kBenchSuiteSchema = "sjoin-bench-suite";
+
+/// One table cell: a number or a text tag (e.g. the "mode"/"policy" columns).
+struct BenchCell {
+  bool is_text = false;
+  double number = 0.0;
+  std::string text;
+
+  static BenchCell Num(double v) {
+    BenchCell c;
+    c.number = v;
+    return c;
+  }
+  static BenchCell Text(std::string v) {
+    BenchCell c;
+    c.is_text = true;
+    c.text = std::move(v);
+    return c;
+  }
+  bool operator==(const BenchCell&) const = default;
+};
+
+struct BenchReport {
+  std::string bench_id;
+  std::string figure;
+  std::string title;
+  std::string paper_shape;
+  std::string mode = "full";
+  bool deterministic = true;
+  double warmup_s = 0.0;
+  double measure_s = 0.0;
+  std::string config;
+  std::vector<std::string> columns;
+  std::vector<std::vector<BenchCell>> rows;
+  /// Sorted (name or name{labels}, value) pairs of stable counters.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<WallStageSummary> wall_stages;
+
+  /// Deterministic pretty-printed JSON (trailing newline included).
+  std::string ToJson() const;
+};
+
+/// Parses and validates one report object. Returns false and sets `*err` on
+/// schema violations (wrong schema/version tags, missing fields, ragged
+/// rows, bad cell types).
+bool BenchReportFromJson(const JsonValue& v, BenchReport* out,
+                         std::string* err);
+
+struct BenchSuite {
+  std::string mode = "full";
+  std::vector<BenchReport> benches;
+
+  std::string ToJson() const;
+};
+
+/// Parses and validates a suite file (every contained report is validated;
+/// the suite mode must match each report's mode).
+bool BenchSuiteFromJson(const JsonValue& v, BenchSuite* out, std::string* err);
+
+/// Convenience: parse text -> validate. Used by tools and tests.
+bool ParseBenchReport(std::string_view text, BenchReport* out,
+                      std::string* err);
+bool ParseBenchSuite(std::string_view text, BenchSuite* out, std::string* err);
+
+/// The bench_id of every binary under bench/ -- tools/bench_all checks suite
+/// coverage against this list.
+std::vector<std::string> KnownBenchIds();
+
+}  // namespace sjoin::obs

@@ -1,0 +1,56 @@
+// Minimal JSON value, recursive-descent parser, and deterministic writer
+// helpers shared by the observability exporters and checkers (trace_check,
+// BenchReport, bench_diff).
+//
+// The parser accepts exactly the JSON our own tools emit (no comments, no
+// NaN/Inf literals) plus standard escapes; numbers are stored as doubles.
+// The writer helpers exist so every exporter formats numbers and strings the
+// same way -- a deterministic run must produce byte-identical files.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sjoin::obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First value under `key` (objects preserve insertion order); nullptr
+  /// when absent or when this value is not an object.
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  bool IsNumber() const { return kind == Kind::kNumber; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsObject() const { return kind == Kind::kObject; }
+};
+
+/// Parses `text` into `out`. On failure returns false and sets `*err` to a
+/// byte-offset diagnostic (when err is non-null and still empty).
+bool ParseJson(std::string_view text, JsonValue* out, std::string* err);
+
+// -- Writer helpers ---------------------------------------------------------
+
+/// Appends `s` as a quoted JSON string (escaping quotes, backslashes, and
+/// control characters).
+void AppendJsonString(std::string& out, std::string_view s);
+
+/// Shortest round-trippable decimal form ("%.17g" trimmed via "%g" probing);
+/// integers print without a decimal point. Deterministic for a given double.
+std::string JsonNumber(double d);
+
+}  // namespace sjoin::obs

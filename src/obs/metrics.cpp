@@ -95,7 +95,7 @@ std::vector<SnapshotEntry> MetricsRegistry::Collect(
   std::lock_guard<std::mutex> lock(mu_);
   out.reserve(entries_.size());
   for (const auto& [key, e] : entries_) {
-    if (!include_volatile && e.stability == Stability::kVolatile) continue;
+    if (!include_volatile && e.stability != Stability::kStable) continue;
     SnapshotEntry s;
     s.name = key.first;
     s.labels = key.second;

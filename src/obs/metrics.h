@@ -38,6 +38,10 @@ enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 
 enum class Stability : std::uint8_t {
   kStable = 0,    ///< value/placement deterministic under a seeded run
   kVolatile = 1,  ///< timing-dependent; excluded from per-epoch snapshots
+  kWall = 2,      ///< wall-clock measurement (profiler); never deterministic.
+                  ///< Excluded wherever kVolatile is, but kept distinct so
+                  ///< exporters/tools can tell "racy placement" apart from
+                  ///< "real-time duration" families.
 };
 
 /// Label set of one metric instance, e.g. {{"peer","3"},{"kind","ack"}}.
@@ -116,8 +120,9 @@ class MetricsRegistry {
                                 Stability stability = Stability::kStable);
 
   /// Sorted-by-(name, labels) snapshot. `include_volatile` adds the
-  /// timing-dependent families (end-of-run exports want them; the per-epoch
-  /// recorder must not).
+  /// timing-dependent families -- both kVolatile and kWall (end-of-run
+  /// exports want them; the per-epoch recorder and kMetrics frames must not,
+  /// or seeded-determinism guarantees break).
   std::vector<SnapshotEntry> Collect(bool include_volatile = true) const;
 
   /// Current value helpers for tests (0 / not-found safe).

@@ -1,0 +1,121 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace sjoin::obs {
+
+namespace {
+
+/// Histogram::Quantile over a SnapshotEntry's parallel bucket arrays (the
+/// snapshot stores raw vectors, not a Histogram object). Mirrors
+/// common/stats.cpp exactly, including the empty-leading-bucket q=0 guard.
+double SnapshotQuantile(const SnapshotEntry& e, double q) {
+  if (e.hist_total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<std::uint64_t>(q * static_cast<double>(e.hist_total));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < e.hist_counts.size(); ++i) {
+    cum += e.hist_counts[i];
+    if (cum >= target && cum > 0) {
+      const bool overflow = i >= e.hist_bounds.size();
+      double hi = overflow ? std::numeric_limits<double>::infinity()
+                           : e.hist_bounds[i];
+      double lo = i == 0 ? 0.0 : e.hist_bounds[i - 1];
+      if (std::isinf(hi)) return lo;
+      if (e.hist_counts[i] == 0) return hi;
+      double frac = static_cast<double>(e.hist_counts[i] - (cum - target)) /
+                    static_cast<double>(e.hist_counts[i]);
+      return lo + frac * (hi - lo);
+    }
+  }
+  return e.hist_bounds.empty() ? 0.0 : e.hist_bounds.back();
+}
+
+/// Extracts NAME from the canonical label string "stage=NAME"; empty when
+/// the labels are not in that single-label form.
+std::string StageFromLabels(const std::string& labels) {
+  constexpr std::string_view kPrefix = "stage=";
+  if (labels.compare(0, kPrefix.size(), kPrefix) != 0) return {};
+  std::string stage = labels.substr(kPrefix.size());
+  if (stage.find(',') != std::string::npos) return {};
+  return stage;
+}
+
+}  // namespace
+
+std::vector<double> WallStageBounds() {
+  std::vector<double> bounds;
+  double b = 1.0;  // 1 us
+  while (b <= 1e7) {
+    bounds.push_back(b);
+    b *= 3.1622776601683795;  // half-decade steps up to 10 s
+  }
+  return bounds;
+}
+
+HistogramMetric& WallStage(MetricsRegistry& reg, std::string_view stage) {
+  return reg.GetHistogram(kWallStageMetric, WallStageBounds(),
+                          {{"stage", std::string(stage)}}, Stability::kWall);
+}
+
+std::vector<WallStageSummary> SummarizeWallStages(const MetricsRegistry& reg) {
+  std::vector<WallStageSummary> out;
+  for (const SnapshotEntry& e : reg.Collect(/*include_volatile=*/true)) {
+    if (e.name != kWallStageMetric || e.kind != MetricKind::kHistogram) continue;
+    if (e.hist_total == 0) continue;
+    WallStageSummary s;
+    s.stage = StageFromLabels(e.labels);
+    if (s.stage.empty()) continue;
+    s.count = e.hist_total;
+    s.p50_us = SnapshotQuantile(e, 0.50);
+    s.p95_us = SnapshotQuantile(e, 0.95);
+    out.push_back(std::move(s));
+  }
+  // Collect() is (name, labels)-sorted, so `out` is already stage-sorted.
+  return out;
+}
+
+std::string FormatWallStages(const std::vector<WallStageSummary>& stages) {
+  if (stages.empty()) return "-";
+  std::string out;
+  char buf[160];
+  for (const WallStageSummary& s : stages) {
+    if (!out.empty()) out += " | ";
+    std::snprintf(buf, sizeof buf,
+                  "stage=%s count=%llu p50_us=%.1f p95_us=%.1f",
+                  s.stage.c_str(), static_cast<unsigned long long>(s.count),
+                  s.p50_us, s.p95_us);
+    out += buf;
+  }
+  return out;
+}
+
+void AppendWallStageSamples(const MetricsRegistry& reg,
+                            std::vector<MetricSample>* samples) {
+  for (const WallStageSummary& s : SummarizeWallStages(reg)) {
+    const std::string labels = "stage=" + s.stage;
+    MetricSample count;
+    count.name = "wall_stage_count";
+    count.labels = labels;
+    count.kind = MetricKind::kCounter;
+    count.counter = s.count;
+    samples->push_back(std::move(count));
+    MetricSample p50;
+    p50.name = "wall_stage_p50_us";
+    p50.labels = labels;
+    p50.kind = MetricKind::kGauge;
+    p50.gauge = s.p50_us;
+    samples->push_back(std::move(p50));
+    MetricSample p95;
+    p95.name = "wall_stage_p95_us";
+    p95.labels = labels;
+    p95.kind = MetricKind::kGauge;
+    p95.gauge = s.p95_us;
+    samples->push_back(std::move(p95));
+  }
+}
+
+}  // namespace sjoin::obs

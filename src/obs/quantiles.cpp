@@ -1,0 +1,21 @@
+#include "obs/quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace sjoin::obs {
+
+double SampleQuantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  if (lo == hi) return xs[lo];
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace sjoin::obs

@@ -1,0 +1,19 @@
+// Exact sample quantiles over raw observation vectors.
+//
+// common/stats Histogram::Quantile interpolates within fixed buckets, which
+// is the right trade for always-on metrics; tools that hold the full sample
+// set (micro-bench repetitions, trace span durations, bench_diff summaries)
+// want the exact order statistic instead. Shared here so every consumer
+// computes "p95" the same way.
+#pragma once
+
+#include <vector>
+
+namespace sjoin::obs {
+
+/// Exact interpolated sample quantile (linear between closest ranks, the
+/// common "R-7" definition). `q` is clamped to [0, 1]. Returns 0 for an
+/// empty sample. Takes the vector by value: it is sorted internally.
+double SampleQuantile(std::vector<double> xs, double q);
+
+}  // namespace sjoin::obs

@@ -1,276 +1,17 @@
 #include "obs/trace_check.h"
 
-#include <cctype>
+#include <algorithm>
 #include <limits>
 #include <map>
 #include <utility>
 #include <vector>
 
+#include "obs/json.h"
+#include "obs/quantiles.h"
+
 namespace sjoin::obs {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Minimal JSON value + recursive-descent parser.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* Find(std::string_view key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  JsonParser(std::string_view text, std::string* err)
-      : text_(text), err_(err) {}
-
-  bool Parse(JsonValue* out) {
-    SkipWs();
-    if (!ParseValue(out)) return false;
-    SkipWs();
-    if (pos_ != text_.size()) return Fail("trailing characters after value");
-    return true;
-  }
-
- private:
-  bool Fail(const std::string& why) {
-    if (err_->empty()) {
-      *err_ = "json parse error at byte " + std::to_string(pos_) + ": " + why;
-    }
-    return false;
-  }
-
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool ParseValue(JsonValue* out) {
-    if (depth_ > 64) return Fail("nesting too deep");
-    if (pos_ >= text_.size()) return Fail("unexpected end of input");
-    char c = text_[pos_];
-    switch (c) {
-      case '{':
-        return ParseObject(out);
-      case '[':
-        return ParseArray(out);
-      case '"':
-        out->kind = JsonValue::Kind::kString;
-        return ParseString(&out->str);
-      case 't':
-        return ParseLiteral("true", out, JsonValue::Kind::kBool, true);
-      case 'f':
-        return ParseLiteral("false", out, JsonValue::Kind::kBool, false);
-      case 'n':
-        return ParseLiteral("null", out, JsonValue::Kind::kNull, false);
-      default:
-        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
-        return Fail(std::string("unexpected character '") + c + "'");
-    }
-  }
-
-  bool ParseLiteral(std::string_view lit, JsonValue* out, JsonValue::Kind kind,
-                    bool b) {
-    if (text_.substr(pos_, lit.size()) != lit) return Fail("bad literal");
-    pos_ += lit.size();
-    out->kind = kind;
-    out->boolean = b;
-    return true;
-  }
-
-  bool ParseNumber(JsonValue* out) {
-    std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      return Fail("malformed number");
-    }
-    while (pos_ < text_.size() &&
-           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-    if (pos_ < text_.size() && text_[pos_] == '.') {
-      ++pos_;
-      if (pos_ >= text_.size() ||
-          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        return Fail("malformed number");
-      }
-      while (pos_ < text_.size() &&
-             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-      }
-    }
-    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
-        ++pos_;
-      }
-      if (pos_ >= text_.size() ||
-          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        return Fail("malformed number");
-      }
-      while (pos_ < text_.size() &&
-             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-      }
-    }
-    out->kind = JsonValue::Kind::kNumber;
-    out->number = std::stod(std::string(text_.substr(start, pos_ - start)));
-    return true;
-  }
-
-  bool ParseString(std::string* out) {
-    ++pos_;  // opening quote
-    out->clear();
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (c == '"') {
-        ++pos_;
-        return true;
-      }
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) return Fail("unterminated escape");
-        char e = text_[pos_];
-        switch (e) {
-          case '"': *out += '"'; break;
-          case '\\': *out += '\\'; break;
-          case '/': *out += '/'; break;
-          case 'b': *out += '\b'; break;
-          case 'f': *out += '\f'; break;
-          case 'n': *out += '\n'; break;
-          case 'r': *out += '\r'; break;
-          case 't': *out += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 >= text_.size()) return Fail("truncated \\u escape");
-            unsigned code = 0;
-            for (std::size_t i = 1; i <= 4; ++i) {
-              char h = text_[pos_ + i];
-              code <<= 4;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else return Fail("bad \\u escape");
-            }
-            pos_ += 4;
-            // Traces we emit only escape control chars; encode as UTF-8 for
-            // completeness.
-            if (code < 0x80) {
-              *out += static_cast<char>(code);
-            } else if (code < 0x800) {
-              *out += static_cast<char>(0xc0 | (code >> 6));
-              *out += static_cast<char>(0x80 | (code & 0x3f));
-            } else {
-              *out += static_cast<char>(0xe0 | (code >> 12));
-              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
-              *out += static_cast<char>(0x80 | (code & 0x3f));
-            }
-            break;
-          }
-          default:
-            return Fail("unknown escape");
-        }
-        ++pos_;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        return Fail("raw control character in string");
-      } else {
-        *out += c;
-        ++pos_;
-      }
-    }
-    return Fail("unterminated string");
-  }
-
-  bool ParseArray(JsonValue* out) {
-    out->kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    ++depth_;
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      --depth_;
-      return true;
-    }
-    while (true) {
-      JsonValue v;
-      SkipWs();
-      if (!ParseValue(&v)) return false;
-      out->array.push_back(std::move(v));
-      SkipWs();
-      if (pos_ >= text_.size()) return Fail("unterminated array");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        --depth_;
-        return true;
-      }
-      return Fail("expected ',' or ']' in array");
-    }
-  }
-
-  bool ParseObject(JsonValue* out) {
-    out->kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    ++depth_;
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      --depth_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      if (pos_ >= text_.size() || text_[pos_] != '"') {
-        return Fail("expected string key in object");
-      }
-      std::string key;
-      if (!ParseString(&key)) return false;
-      SkipWs();
-      if (pos_ >= text_.size() || text_[pos_] != ':') {
-        return Fail("expected ':' after object key");
-      }
-      ++pos_;
-      SkipWs();
-      JsonValue v;
-      if (!ParseValue(&v)) return false;
-      out->object.emplace_back(std::move(key), std::move(v));
-      SkipWs();
-      if (pos_ >= text_.size()) return Fail("unterminated object");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        --depth_;
-        return true;
-      }
-      return Fail("expected ',' or '}' in object");
-    }
-  }
-
-  std::string_view text_;
-  std::string* err_;
-  std::size_t pos_ = 0;
-  int depth_ = 0;
-};
 
 bool GetInt(const JsonValue& ev, std::string_view key, std::int64_t* out) {
   const JsonValue* v = ev.Find(key);
@@ -290,8 +31,7 @@ bool GetArgInt(const JsonValue& ev, std::string_view key, std::int64_t* out) {
 TraceCheckResult ValidateChromeTrace(std::string_view json) {
   TraceCheckResult res;
   JsonValue root;
-  JsonParser parser(json, &res.error);
-  if (!parser.Parse(&root)) return res;
+  if (!ParseJson(json, &root, &res.error)) return res;
   // Accept both the bare array format and {"traceEvents": [...]}.
   const JsonValue* events = &root;
   if (root.kind == JsonValue::Kind::kObject) {
@@ -453,6 +193,83 @@ TraceCheckResult ValidateChromeTrace(std::string_view json) {
 
   res.ok = true;
   return res;
+}
+
+bool SummarizeTraceSpans(std::string_view json,
+                         std::vector<TraceSpanSummary>* out,
+                         std::string* err) {
+  out->clear();
+  JsonValue root;
+  if (!ParseJson(json, &root, err)) return false;
+  const JsonValue* events = &root;
+  if (root.IsObject()) {
+    events = root.Find("traceEvents");
+    if (events == nullptr) {
+      if (err != nullptr) *err = "object trace without traceEvents key";
+      return false;
+    }
+  }
+  if (!events->IsArray()) {
+    if (err != nullptr) *err = "trace is not a JSON array of events";
+    return false;
+  }
+
+  // name -> durations (us); (pid, tid) -> open 'B' stack of (name, ts).
+  std::map<std::string, std::vector<double>> durations;
+  std::map<std::pair<std::int64_t, std::int64_t>,
+           std::vector<std::pair<std::string, std::int64_t>>>
+      open;
+  for (const JsonValue& ev : events->array) {
+    if (!ev.IsObject()) continue;
+    const JsonValue* name = ev.Find("name");
+    const JsonValue* ph = ev.Find("ph");
+    if (name == nullptr || !name->IsString() || ph == nullptr ||
+        !ph->IsString() || ph->str.size() != 1) {
+      continue;
+    }
+    std::int64_t ts = 0, pid = 0, tid = 0;
+    if (!GetInt(ev, "ts", &ts) || !GetInt(ev, "pid", &pid) ||
+        !GetInt(ev, "tid", &tid)) {
+      continue;
+    }
+    switch (ph->str[0]) {
+      case 'X': {
+        std::int64_t dur = 0;
+        if (GetInt(ev, "dur", &dur) && dur >= 0) {
+          durations[name->str].push_back(static_cast<double>(dur));
+        }
+        break;
+      }
+      case 'B':
+        open[{pid, tid}].emplace_back(name->str, ts);
+        break;
+      case 'E': {
+        auto& stack = open[{pid, tid}];
+        if (!stack.empty() && stack.back().first == name->str) {
+          durations[name->str].push_back(
+              static_cast<double>(ts - stack.back().second));
+          stack.pop_back();
+        }
+        break;
+      }
+      default:
+        break;  // instants carry no duration
+    }
+  }
+
+  for (auto& [name, ds] : durations) {
+    TraceSpanSummary s;
+    s.name = name;
+    s.count = ds.size();
+    for (double d : ds) {
+      s.total_us += d;
+      s.max_us = std::max(s.max_us, d);
+    }
+    s.p50_us = SampleQuantile(ds, 0.50);
+    s.p95_us = SampleQuantile(std::move(ds), 0.95);
+    out->push_back(std::move(s));
+  }
+  return true;
 }
 
 }  // namespace sjoin::obs

@@ -22,13 +22,14 @@
 //       covered_epoch does not exceed the newest sweep's epoch (acks cannot
 //       claim coverage the master has not yet requested).
 //
-// The parser is a deliberately tiny recursive-descent JSON reader -- enough
-// for traces we emit ourselves; not a general-purpose JSON library.
+// Parsing uses the shared obs/json.h reader -- enough for traces we emit
+// ourselves; not a general-purpose JSON library.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace sjoin::obs {
 
@@ -41,5 +42,23 @@ struct TraceCheckResult {
 };
 
 TraceCheckResult ValidateChromeTrace(std::string_view json);
+
+/// Per-phase span-duration digest of a trace (for `trace_check --summary`).
+/// Durations are the trace's native timestamp unit (logical-time traces
+/// export virtual microseconds).
+struct TraceSpanSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double max_us = 0.0;
+  double total_us = 0.0;
+};
+
+/// Aggregates 'X' durations and matched 'B'/'E' pairs per span name, sorted
+/// by name. Lenient where ValidateChromeTrace is strict (malformed events
+/// are skipped, not fatal) -- run the validator first for guarantees.
+bool SummarizeTraceSpans(std::string_view json,
+                         std::vector<TraceSpanSummary>* out, std::string* err);
 
 }  // namespace sjoin::obs

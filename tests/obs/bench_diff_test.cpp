@@ -1,0 +1,168 @@
+// bench_diff engine: structural checks, per-point tolerance bands, knee
+// detection and shift gating, quick/full mode refusal.
+#include "obs/bench_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sjoin::obs {
+namespace {
+
+BenchReport MakeBench(const std::string& id, std::vector<double> ys,
+                      bool deterministic = true) {
+  BenchReport r;
+  r.bench_id = id;
+  r.figure = "Fig T";
+  r.title = "test";
+  r.paper_shape = "test";
+  r.mode = "quick";
+  r.deterministic = deterministic;
+  r.warmup_s = 1;
+  r.measure_s = 1;
+  r.config = "test";
+  r.columns = {"rate", "delay_s"};
+  double x = 1000;
+  for (double y : ys) {
+    r.rows.push_back({BenchCell::Num(x), BenchCell::Num(y)});
+    x += 1000;
+  }
+  return r;
+}
+
+BenchSuite MakeSuite(std::vector<BenchReport> benches,
+                     const std::string& mode = "quick") {
+  BenchSuite s;
+  s.mode = mode;
+  s.benches = std::move(benches);
+  return s;
+}
+
+TEST(KneeIndexTest, FindsTheFirstBlowupPoint) {
+  // min = 1; knee = first y >= 5 * 1.
+  EXPECT_EQ(KneeIndex({1, 1.2, 2, 5.5, 40}, 5.0), 3);
+  // The scan is positional: any point >= factor*min knees, even before the
+  // minimum (a curve that *starts* saturated is already past its knee).
+  EXPECT_EQ(KneeIndex({10, 1, 2, 60}, 5.0), 0);
+  EXPECT_EQ(KneeIndex({1, 2, 3, 4}, 5.0), -1);   // never blows up
+  EXPECT_EQ(KneeIndex({2, 2, 2}, 5.0), -1);      // flat
+  EXPECT_EQ(KneeIndex({}, 5.0), -1);
+  // Zero/negative minimum: any positive point would trivially 'knee'; the
+  // detector opts out and leaves gating to the per-point deltas.
+  EXPECT_EQ(KneeIndex({0, 1, 2}, 5.0), -1);
+}
+
+TEST(BenchDiffTest, IdenticalSuitesPass) {
+  BenchSuite s = MakeSuite({MakeBench("a", {1, 1, 2, 8})});
+  DiffResult res = DiffBenchSuites(s, s);
+  EXPECT_TRUE(res.ok());
+  EXPECT_TRUE(res.regressions.empty());
+}
+
+TEST(BenchDiffTest, ToleranceEdges) {
+  BenchSuite base = MakeSuite({MakeBench("a", {1.0, 1.0, 1.0})});
+  DiffOptions opts;
+  opts.tolerance = 0.25;
+
+  // 24% off: inside the band.
+  DiffResult ok =
+      DiffBenchSuites(base, MakeSuite({MakeBench("a", {1.24, 1.0, 1.0})}),
+                      opts);
+  EXPECT_TRUE(ok.ok());
+
+  // 26% off: outside.
+  DiffResult bad =
+      DiffBenchSuites(base, MakeSuite({MakeBench("a", {1.26, 1.0, 1.0})}),
+                      opts);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.regressions[0].bench_id, "a");
+  EXPECT_NE(bad.regressions[0].what.find("delay_s"), std::string::npos);
+}
+
+TEST(BenchDiffTest, AbsFloorKillsNearZeroNoise) {
+  // 0.001 -> 0.012 is a 12x relative change, but against the 0.05 floor the
+  // delta is 0.22 < 0.25: tiny absolute wiggles on near-zero baselines pass.
+  BenchSuite base = MakeSuite({MakeBench("a", {0.001, 1.0})});
+  BenchSuite cand = MakeSuite({MakeBench("a", {0.012, 1.0})});
+  EXPECT_TRUE(DiffBenchSuites(base, cand).ok());
+}
+
+TEST(BenchDiffTest, EarlierKneeFailsEvenInsideTolerance) {
+  // Baseline knee (factor 5, min 1) at index 3: 4.5 < 5 <= 10.
+  BenchSuite base = MakeSuite({MakeBench("a", {1, 1, 4.5, 10})});
+  // 4.5 -> 5.5 is a 22% delta (inside the band) but crosses 5*min: the knee
+  // moves to index 2 -- the cluster saturates one load point earlier.
+  BenchSuite cand = MakeSuite({MakeBench("a", {1, 1, 5.5, 10})});
+  DiffResult res = DiffBenchSuites(base, cand);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.regressions[0].what.find("knee"), std::string::npos)
+      << res.regressions[0].what;
+
+  // With one point of slack the same shift passes.
+  DiffOptions slack;
+  slack.knee_shift_allowed = 1;
+  EXPECT_TRUE(DiffBenchSuites(base, cand, slack).ok());
+}
+
+TEST(BenchDiffTest, LaterKneeIsAnImprovementNote) {
+  BenchSuite base = MakeSuite({MakeBench("a", {1, 1, 5.5, 10})});
+  BenchSuite cand = MakeSuite({MakeBench("a", {1, 1, 4.5, 10})});
+  DiffResult res = DiffBenchSuites(base, cand);
+  EXPECT_TRUE(res.ok());
+  EXPECT_FALSE(res.notes.empty());
+}
+
+TEST(BenchDiffTest, ModeMismatchIsRefused) {
+  BenchSuite quick = MakeSuite({MakeBench("a", {1, 2})}, "quick");
+  BenchSuite full = MakeSuite({MakeBench("a", {1, 2})}, "full");
+  full.benches[0].mode = "full";
+  DiffResult res = DiffBenchSuites(quick, full);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.regressions[0].what.find("mode"), std::string::npos);
+}
+
+TEST(BenchDiffTest, NonDeterministicBenchesAreStructuralOnly) {
+  BenchSuite base = MakeSuite({MakeBench("a", {1, 2, 3}, false)});
+  // Wildly different numbers: fine, the bench is wall-clock.
+  BenchSuite cand = MakeSuite({MakeBench("a", {100, 0.5, 9}, false)});
+  EXPECT_TRUE(DiffBenchSuites(base, cand).ok());
+
+  // But structure still gates: a dropped row fails.
+  BenchSuite fewer = MakeSuite({MakeBench("a", {100, 0.5}, false)});
+  EXPECT_FALSE(DiffBenchSuites(base, fewer).ok());
+}
+
+TEST(BenchDiffTest, StructuralChecks) {
+  BenchSuite base = MakeSuite({MakeBench("a", {1, 2})});
+
+  // Renamed column.
+  BenchSuite renamed = MakeSuite({MakeBench("a", {1, 2})});
+  renamed.benches[0].columns[1] = "latency_s";
+  EXPECT_FALSE(DiffBenchSuites(base, renamed).ok());
+
+  // Cell type flip (number -> text).
+  BenchSuite flipped = MakeSuite({MakeBench("a", {1, 2})});
+  flipped.benches[0].rows[0][1] = BenchCell::Text("n/a");
+  EXPECT_FALSE(DiffBenchSuites(base, flipped).ok());
+
+  // Missing bench is a regression; an extra bench is only a note.
+  BenchSuite empty = MakeSuite({});
+  EXPECT_FALSE(DiffBenchSuites(base, empty).ok());
+  DiffResult extra = DiffBenchSuites(
+      base, MakeSuite({MakeBench("a", {1, 2}), MakeBench("b", {3, 4})}));
+  EXPECT_TRUE(extra.ok());
+  EXPECT_FALSE(extra.notes.empty());
+}
+
+TEST(BenchDiffTest, TextCellsMustMatchExactly) {
+  BenchReport b = MakeBench("a", {1});
+  b.columns = {"policy", "delay_s"};
+  b.rows = {{BenchCell::Text("static"), BenchCell::Num(1.0)}};
+  BenchReport c = b;
+  c.rows[0][0] = BenchCell::Text("adaptive");
+  EXPECT_FALSE(DiffBenchSuites(MakeSuite({b}), MakeSuite({c})).ok());
+}
+
+}  // namespace
+}  // namespace sjoin::obs

@@ -1,0 +1,110 @@
+// bench_diff: regression gate between two bench-suite JSON files.
+//
+// Usage:
+//   bench_diff [options] <baseline.json> <candidate.json>
+//     --tolerance X    per-point relative delta allowed (default 0.25)
+//     --abs-floor X    denominator floor for tiny baselines (default 0.05)
+//     --knee-factor X  y >= X*min(y) marks the saturation knee (default 5)
+//     --knee-shift N   knee may move N points earlier before failing
+//                      (default 0)
+//
+// Compares every bench of the baseline against the candidate: structural
+// checks always (coverage, columns, row counts, cell types, text cells);
+// per-point relative deltas and knee-location shifts only for benches
+// marked deterministic. Both files must come from the same mode
+// (quick/full) -- comparing a quick run against a full baseline measures
+// the warmup difference, not a regression.
+//
+// Exit status: 0 = no regression, 1 = regression(s), 2 = usage/IO/schema.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_diff.h"
+#include "obs/bench_report.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff [--tolerance X] [--abs-floor X] "
+               "[--knee-factor X] [--knee-shift N] <baseline.json> "
+               "<candidate.json>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sjoin::obs::DiffOptions opts;
+  const char* paths[2] = {nullptr, nullptr};
+  int npaths = 0;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::strtod(argv[++i], nullptr);
+      return true;
+    };
+    if (std::strcmp(argv[i], "--tolerance") == 0) {
+      if (!value(&opts.tolerance)) return Usage();
+    } else if (std::strcmp(argv[i], "--abs-floor") == 0) {
+      if (!value(&opts.abs_floor)) return Usage();
+    } else if (std::strcmp(argv[i], "--knee-factor") == 0) {
+      if (!value(&opts.knee_factor)) return Usage();
+    } else if (std::strcmp(argv[i], "--knee-shift") == 0) {
+      double n = 0;
+      if (!value(&n)) return Usage();
+      opts.knee_shift_allowed = static_cast<int>(n);
+    } else if (npaths < 2) {
+      paths[npaths++] = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (npaths != 2) return Usage();
+
+  std::string texts[2];
+  sjoin::obs::BenchSuite suites[2];
+  for (int i = 0; i < 2; ++i) {
+    if (!ReadFile(paths[i], &texts[i])) {
+      std::fprintf(stderr, "bench_diff: cannot open %s\n", paths[i]);
+      return 2;
+    }
+    std::string err;
+    if (!sjoin::obs::ParseBenchSuite(texts[i], &suites[i], &err)) {
+      std::fprintf(stderr, "bench_diff: %s: %s\n", paths[i], err.c_str());
+      return 2;
+    }
+  }
+
+  sjoin::obs::DiffResult res =
+      sjoin::obs::DiffBenchSuites(suites[0], suites[1], opts);
+  for (const std::string& n : res.notes) {
+    std::printf("bench_diff: note: %s\n", n.c_str());
+  }
+  for (const sjoin::obs::DiffIssue& r : res.regressions) {
+    std::printf("bench_diff: REGRESSION: %s: %s\n", r.bench_id.c_str(),
+                r.what.c_str());
+  }
+  if (res.ok()) {
+    std::printf("bench_diff: OK: %zu benches compared, no regression "
+                "(tolerance %.3g)\n",
+                suites[0].benches.size(), opts.tolerance);
+    return 0;
+  }
+  std::printf("bench_diff: FAIL: %zu regression(s)\n",
+              res.regressions.size());
+  return 1;
+}

@@ -1,21 +1,25 @@
 // trace_check: validate an exported Chrome trace_event JSON file.
 //
-// Usage: trace_check <trace.json> [more.json ...]
+// Usage: trace_check [--summary] <trace.json> [more.json ...]
 //
 // Runs the same structural and protocol-invariant checks the chaos tests
 // apply (see src/obs/trace_check.h) and prints a one-line verdict per file.
-// Exit status is 0 iff every file validates; CI runs this on the trace
-// artifact produced by the traced chaos scenario.
+// With --summary it additionally prints per-phase span-duration quantiles
+// (count, p50, p95, max, total; microseconds) for every span name in the
+// trace. Exit status is 0 iff every file validates; CI runs this on the
+// trace artifact produced by the traced chaos scenario.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/trace_check.h"
 
 namespace {
 
-bool CheckFile(const char* path) {
+bool CheckFile(const char* path, bool summary) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "trace_check: cannot open %s\n", path);
@@ -23,8 +27,8 @@ bool CheckFile(const char* path) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  sjoin::obs::TraceCheckResult res =
-      sjoin::obs::ValidateChromeTrace(buf.str());
+  const std::string json = buf.str();
+  sjoin::obs::TraceCheckResult res = sjoin::obs::ValidateChromeTrace(json);
   if (!res.ok) {
     std::fprintf(stderr, "trace_check: %s: FAIL: %s\n", path,
                  res.error.c_str());
@@ -34,17 +38,44 @@ bool CheckFile(const char* path) {
               path, static_cast<long long>(res.events),
               static_cast<long long>(res.spans),
               static_cast<long long>(res.instants));
+  if (!summary) return true;
+
+  std::vector<sjoin::obs::TraceSpanSummary> spans;
+  std::string err;
+  if (!sjoin::obs::SummarizeTraceSpans(json, &spans, &err)) {
+    std::fprintf(stderr, "trace_check: %s: summary failed: %s\n", path,
+                 err.c_str());
+    return false;
+  }
+  std::printf("%-24s %8s %12s %12s %12s %14s\n", "span", "count", "p50_us",
+              "p95_us", "max_us", "total_us");
+  for (const sjoin::obs::TraceSpanSummary& s : spans) {
+    std::printf("%-24s %8llu %12.1f %12.1f %12.1f %14.1f\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.count), s.p50_us, s.p95_us,
+                s.max_us, s.total_us);
+  }
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: trace_check <trace.json> [more.json ...]\n");
+  bool summary = false;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--summary") == 0) {
+      summary = true;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: trace_check [--summary] <trace.json> [more.json "
+                 "...]\n");
     return 2;
   }
   bool ok = true;
-  for (int i = 1; i < argc; ++i) ok = CheckFile(argv[i]) && ok;
+  for (const char* f : files) ok = CheckFile(f, summary) && ok;
   return ok ? 0 : 1;
 }
