@@ -1,0 +1,128 @@
+// Extension: intra-slave worker-pool scaling at fig-6 defaults.
+//
+// Two views per worker count (1..8):
+//   * virtual time -- a full SimDriver run (3 slaves, 5000 tuples/s, the
+//     fig-6 geometry) with cfg.slave.workers = k: average production delay
+//     and summed slave CPU shrink as the per-epoch batch pass advances the
+//     clock by its critical path instead of the serial sum; the stable
+//     worker_busy_cost counter reports the summed per-worker charge.
+//   * real wall clock -- one slave's JoinModule fed the same generated
+//     workload, batch pass timed around ProcessFor: pass_ms is the measured
+//     wall time of the probe/insert pass, speedup is pass_ms(1)/pass_ms(k).
+//
+// The wall columns are host-dependent (bench_diff checks structure only);
+// the acceptance claim is speedup >= 2 at k = 4 on a 4+-core host, with the
+// join output byte-identical across k (asserted by worker_chaos_test, and
+// cross-checked here via an output-count equality).
+#include <chrono>
+#include <cstdint>
+
+#include "bench_common.h"
+#include "core/worker_pool.h"
+#include "gen/stream_source.h"
+#include "join/join_module.h"
+#include "join/sink.h"
+
+namespace {
+
+struct WallPass {
+  double pass_ms = 0.0;
+  std::uint64_t outputs = 0;
+};
+
+/// Feeds `recs` to one JoinModule in epoch-sized batches under a k-worker
+/// pool, fully draining each batch, and returns the summed wall time of the
+/// ProcessFor calls only (enqueue and teardown excluded).
+WallPass RunWallPass(const sjoin::SystemConfig& base,
+                     const std::vector<sjoin::Rec>& recs,
+                     std::uint32_t workers, std::size_t batch) {
+  using Clock = std::chrono::steady_clock;
+  sjoin::SystemConfig cfg = base;
+  cfg.slave.workers = workers;
+  sjoin::StatsSink sink;
+  sjoin::JoinModule jm(cfg, &sink);
+  sjoin::WorkerPool pool(workers);
+  jm.SetWorkerPool(&pool);
+  // Per-worker probe_insert[wK] wall rows land in the report's wall_stages.
+  jm.AttachMetrics(&sjoin::bench::SharedObs().registry);
+  WallPass res;
+  double us = 0.0;
+  constexpr sjoin::Duration kDrain = 365LL * 24 * 3600 * sjoin::kUsPerSec;
+  for (std::size_t i = 0; i < recs.size(); i += batch) {
+    const std::size_t n = std::min(batch, recs.size() - i);
+    jm.EnqueueBatch(std::span<const sjoin::Rec>(recs.data() + i, n));
+    const auto t0 = Clock::now();
+    (void)jm.ProcessFor(static_cast<sjoin::Time>(recs[i].ts), kDrain);
+    us += std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+  }
+  res.pass_ms = us / 1000.0;
+  res.outputs = jm.Outputs();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sjoin;
+  SystemConfig base = bench::ScaledConfig();
+  base.num_slaves = 3;
+  base.workload.lambda = 5000.0;  // fig-6 mid-range point
+  bench::Reporter rep("ext_worker_scaling", "Ext",
+                      "intra-slave worker-pool scaling (1..8 workers)",
+                      "virtual delay/CPU fall with the critical path as "
+                      "workers are added; measured batch-pass wall time "
+                      "scales down near-linearly until the merge and the "
+                      "core count bound it",
+                      base);
+  rep.Deterministic(false);  // pass_ms/speedup are wall-clock derived
+  rep.Columns({"workers", "delay_s", "cpu_s", "busy_cost_s", "pass_ms",
+               "speedup"});
+
+  // Wall-pass workload: the fig-6 arrival process, one slave's worth of
+  // partitions, a denser key domain so probes dominate. Identical input for
+  // every worker count; output count equality is asserted below.
+  SystemConfig wall_cfg = base;
+  wall_cfg.workload.key_domain = 20'000;
+  wall_cfg.join.window = 10 * kUsPerSec;
+  const std::size_t wall_tuples = bench::QuickMode() ? 40'000 : 150'000;
+  const std::size_t wall_batch = 5'000;
+  std::vector<Rec> recs;
+  recs.reserve(wall_tuples);
+  {
+    MergedSource src(wall_cfg.workload.lambda, wall_cfg.workload.b_skew,
+                     wall_cfg.workload.key_domain, wall_cfg.workload.seed);
+    for (std::size_t i = 0; i < wall_tuples; ++i) recs.push_back(src.Next());
+  }
+
+  std::printf("%-8s %8s %8s %11s %9s %8s\n", "workers", "delay_s", "cpu_s",
+              "busy_s", "pass_ms", "speedup");
+
+  double pass_ms_1 = 0.0;
+  std::uint64_t outputs_1 = 0;
+  for (std::uint32_t workers = 1; workers <= 8; ++workers) {
+    SystemConfig cfg = base;
+    cfg.slave.workers = workers;
+    RunMetrics rm = bench::Run(cfg);
+    const WallPass wall = RunWallPass(wall_cfg, recs, workers, wall_batch);
+    if (workers == 1) {
+      pass_ms_1 = wall.pass_ms;
+      outputs_1 = wall.outputs;
+    } else if (wall.outputs != outputs_1) {
+      std::fprintf(stderr,
+                   "ext_worker_scaling: output mismatch at workers=%u: "
+                   "%llu != %llu\n",
+                   workers, static_cast<unsigned long long>(wall.outputs),
+                   static_cast<unsigned long long>(outputs_1));
+      return 1;
+    }
+    rep.Num("%-8.0f", static_cast<double>(workers));
+    rep.Num(" %8.2f", rm.AvgDelaySec());
+    rep.Num(" %8.2f", bench::PerSlaveSec(rm, rm.TotalCpu()));
+    rep.Num(" %11.2f", static_cast<double>(rm.worker_busy_cost_us) / 1e6);
+    rep.Num(" %9.1f", wall.pass_ms);
+    rep.Num(" %8.2f", wall.pass_ms > 0.0 ? pass_ms_1 / wall.pass_ms : 0.0);
+    rep.EndRow();
+    std::fflush(stdout);
+  }
+  return rep.Finish();
+}

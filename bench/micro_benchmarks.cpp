@@ -114,6 +114,30 @@ void BM_TupleBatchEncodeDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_TupleBatchEncodeDecode)->Apply(WithStats);
 
+/// Raw per-record codec throughput at the fig-6 wire size, with the Writer
+/// reused across batches (Clear() keeps the allocation): isolates the
+/// EncodeRec/DecodeRec padding fast path (PutZeros/Skip) from the batch
+/// framing measured by BM_TupleBatchEncodeDecode.
+void BM_RecCodecThroughput(benchmark::State& state) {
+  Pcg32 rng(11, 3);
+  std::vector<Rec> recs;
+  for (int i = 0; i < 1000; ++i) {
+    recs.push_back(Rec{i, rng.NextU64(), static_cast<StreamId>(i % 2)});
+  }
+  Writer w(64 * 1024);
+  for (auto _ : state) {
+    w.Clear();
+    for (const Rec& rec : recs) EncodeRec(w, rec, 64);
+    Reader r(w.Bytes());
+    std::uint64_t keys = 0;
+    for (int i = 0; i < 1000; ++i) keys += DecodeRec(r, 64).key;
+    benchmark::DoNotOptimize(keys);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(1000 * 64));
+}
+BENCHMARK(BM_RecCodecThroughput)->Apply(WithStats);
+
 /// Console output as usual, plus every finished (aggregate) run recorded as
 /// one JSON row: [name, real_time, cpu_time, unit].
 class JsonTeeReporter : public benchmark::ConsoleReporter {

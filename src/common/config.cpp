@@ -24,6 +24,10 @@ std::string Summarize(const SystemConfig& cfg) {
   if (cfg.replication.enabled) {
     os << " ckpt_every=" << cfg.replication.ckpt_interval_epochs;
   }
+  // Only printed off-default so existing bench headers stay byte-identical.
+  if (cfg.slave.workers != 1) {
+    os << " workers=" << cfg.slave.workers;
+  }
   os << " net=" << (cfg.net.use_inet ? "inet" : "unix");
   return os.str();
 }

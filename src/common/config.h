@@ -122,6 +122,21 @@ struct ReplicationConfig {
   std::uint32_t ckpt_interval_epochs = 4;
 };
 
+/// Intra-slave execution (extension; see DESIGN.md "Intra-slave multicore
+/// execution"). The paper's slave is single-threaded; the author's
+/// follow-up work extends the design to multicore nodes by running the
+/// batch-join pass over the slave's partition-groups in parallel. Groups
+/// are sharded across workers (disjoint ownership, no locks on the hot
+/// path) and match emission is merged in deterministic (group-id, seq)
+/// order, so the produced output is byte-identical for any worker count.
+struct SlaveConfig {
+  /// Worker threads per slave for the batch-join pass. 1 (default) keeps
+  /// the paper's single-threaded slave, bit-identical to the serial code
+  /// path; k > 1 advances the slave's virtual clock by the critical path
+  /// max(worker costs) + merge cost instead of the serial sum.
+  std::uint32_t workers = 1;
+};
+
 /// Transport selection for the multi-process deployment (launchers that
 /// build a SocketMesh; in-process channel transports ignore this).
 struct NetConfig {
@@ -168,6 +183,7 @@ struct SystemConfig {
   EpochConfig epoch;
   EpochTunerConfig epoch_tuner;  ///< extension: adaptive t_d (off by default)
   ReplicationConfig replication;  ///< buddy replication (off by default)
+  SlaveConfig slave;              ///< intra-slave worker pool (1 = serial)
   NetConfig net;                  ///< transport domain of socket launchers
   WorkloadConfig workload;
   CostModel cost;

@@ -38,6 +38,13 @@ struct CostModel {
   /// (extendible-hash split/merge) or by window-state extraction.
   double move_ns = 1'000.0;
 
+  /// Cost per output record merged from the per-worker staging buffers into
+  /// the sink when the intra-slave worker pool runs with more than one
+  /// worker (cfg.slave.workers > 1). The serial path never stages, so this
+  /// charge does not exist at workers=1 and the paper's numbers are
+  /// unaffected.
+  double merge_ns = 100.0;
+
   // -- Network costs --------------------------------------------------------
 
   /// Wire transfer cost per byte (Gigabit Ethernet ~ 125 MB/s => 8 ns/B).
@@ -65,6 +72,12 @@ struct CostModel {
   }
   Duration MoveCost(std::size_t records) const {
     return static_cast<Duration>(static_cast<double>(records) * move_ns /
+                                 1000.0);
+  }
+  /// Staged-emission merge of the parallel batch pass (charged once per
+  /// epoch on top of the critical-path worker cost).
+  Duration MergeCost(std::size_t outputs) const {
+    return static_cast<Duration>(static_cast<double>(outputs) * merge_ns /
                                  1000.0);
   }
   Duration SerializeCost(std::size_t bytes) const {

@@ -31,8 +31,16 @@ class Writer {
   void PutI64(std::int64_t v) { PutLe(static_cast<std::uint64_t>(v)); }
   void PutDouble(double v);
   void PutBytes(std::span<const std::uint8_t> bytes);
+  /// Appends `n` zero bytes in one insert -- the tuple codec's payload
+  /// padding; a per-byte PutU8 loop here dominates encode time at large
+  /// tuple sizes.
+  void PutZeros(std::size_t n) { buf_.insert(buf_.end(), n, 0); }
   /// Length-prefixed (u32) string.
   void PutString(std::string_view s);
+
+  /// Drops the contents but keeps the allocation, so one Writer can be
+  /// reused across batches without reallocating its scratch buffer.
+  void Clear() { buf_.clear(); }
 
   std::size_t Size() const { return buf_.size(); }
   std::span<const std::uint8_t> Bytes() const { return buf_; }
@@ -72,6 +80,11 @@ class Reader {
   /// Copies `n` raw bytes out of the stream.
   std::vector<std::uint8_t> GetBytes(std::size_t n);
   std::string GetString();
+  /// Advances past `n` bytes without copying them (opaque payload padding).
+  void Skip(std::size_t n) {
+    Require(n);
+    pos_ += n;
+  }
 
   std::size_t Remaining() const { return bytes_.size() - pos_; }
   bool AtEnd() const { return pos_ == bytes_.size(); }

@@ -61,6 +61,11 @@ struct RunMetrics {
   std::uint64_t epoch_grows = 0;
   std::uint64_t epoch_shrinks = 0;
 
+  /// Summed per-worker virtual cost of the intra-slave pools' batch passes,
+  /// over all slaves (mirrors the stable `worker_busy_cost` registry
+  /// counter; 0 with cfg.slave.workers == 1, where the serial path runs).
+  std::uint64_t worker_busy_cost_us = 0;
+
   // -- Convenience aggregates (over slaves that were ever active) ----------
 
   double AvgDelaySec() const {

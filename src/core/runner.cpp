@@ -17,6 +17,7 @@
 #include "core/balancer.h"
 #include "core/master_buffer.h"
 #include "core/partition_map.h"
+#include "core/worker_pool.h"
 #include "gen/stream_source.h"
 #include "join/epoch_tag_sink.h"
 #include "join/join_module.h"
@@ -858,6 +859,13 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
   TeeSink tee(fan);
   JoinModule join(wall_cfg, &tee);
   join.AttachMetrics(&reg);
+  // Intra-slave worker pool for the batch pass (cfg.slave.workers; 1 =
+  // serial). Only the join thread calls ProcessFor, and RunOnAll is a
+  // barrier, so checkpoint sweeps / migrations on this thread always see a
+  // quiesced pool. The pool must outlive every ProcessFor call; it is
+  // destroyed after the work loop exits.
+  WorkerPool pool(cfg.slave.workers);
+  join.SetWorkerPool(&pool);
   if (cfg.replication.enabled) join.EnableCheckpointJournal();
   SlaveSummary sum;
 
@@ -1193,6 +1201,7 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
   sync_join_counters();  // registry mirrors equal the summary at exit
   transport.Send(collector, Message{MsgType::kShutdown, 0, {}});
   sum.outputs = sink.Outputs();
+  sum.worker_busy_cost_us = join.WorkerBusyUs();
   comm.join();
   sum.wall_stages = obs::SummarizeWallStages(reg);
   SJOIN_INFO("slave " << self << ": wall stages: "

@@ -172,8 +172,14 @@ struct SlaveSummary {
   std::uint64_t groups_adopted = 0;         ///< failed over to this slave
   std::uint64_t replayed_tuples = 0;        ///< redelivered and reprocessed
 
-  /// Wall-clock stage profile of this node (obs/profiler.h): probe_insert,
-  /// codec_decode, ckpt_snapshot, ckpt_journal.
+  /// Summed per-worker virtual cost of the intra-slave pool's batch passes
+  /// (mirrors the stable `worker_busy_cost` registry counter; 0 with
+  /// cfg.slave.workers == 1).
+  std::uint64_t worker_busy_cost_us = 0;
+
+  /// Wall-clock stage profile of this node (obs/profiler.h): probe_insert
+  /// (plus per-worker probe_insert[wK] rows under a pool), codec_decode,
+  /// ckpt_snapshot, ckpt_journal.
   std::vector<obs::WallStageSummary> wall_stages;
 };
 

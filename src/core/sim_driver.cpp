@@ -28,6 +28,7 @@ SimDriver::SimDriver(const SystemConfig& cfg, SimOptions opts)
       master_buffer_(cfg.join.num_partitions, cfg.workload.tuple_bytes),
       pmap_(cfg.join.num_partitions, cfg.ActiveSlavesAtStart()),
       rng_(Mix64(cfg.workload.seed ^ 0xD1E5EEDULL), 99),
+      pool_(cfg.slave.workers),
       td_(cfg.epoch.t_dist),
       rep_ratio_(static_cast<double>(cfg.epoch.t_rep) /
                  static_cast<double>(cfg.epoch.t_dist)),
@@ -54,6 +55,7 @@ SimDriver::SimDriver(const SystemConfig& cfg, SimOptions opts)
     }
     s.join = std::make_unique<JoinModule>(cfg_, sink);
     s.join->AttachMetrics(&ob_.registry);
+    s.join->SetWorkerPool(&pool_);
     s.active = i < cfg.ActiveSlavesAtStart();
   }
 }
@@ -375,6 +377,7 @@ void SimDriver::ResetMetricsAtWarmup(Time t) {
     s.snap_outputs = s.join->Outputs();
     s.snap_cmp = s.join->Comparisons();
     s.snap_proc = s.join->TuplesProcessed();
+    s.snap_busy = s.join->WorkerBusyUs();
   }
 }
 
@@ -467,6 +470,7 @@ RunMetrics SimDriver::Collect() const {
     rm.delay_hist.Merge(s.sink->DelayHistogram());
     rm.splits += s.join->Splits();
     rm.merges += s.join->Merges();
+    rm.worker_busy_cost_us += s.join->WorkerBusyUs() - s.snap_busy;
     rm.slaves.push_back(st);
   }
   return rm;

@@ -32,6 +32,7 @@
 #include "core/master_buffer.h"
 #include "core/metrics.h"
 #include "core/partition_map.h"
+#include "core/worker_pool.h"
 #include "gen/stream_source.h"
 #include "join/join_module.h"
 #include "obs/obs.h"
@@ -86,6 +87,7 @@ class SimDriver {
     std::uint64_t snap_outputs = 0;
     std::uint64_t snap_cmp = 0;
     std::uint64_t snap_proc = 0;
+    std::uint64_t snap_busy = 0;
   };
 
   std::vector<SlaveIdx> ActiveList() const;
@@ -110,6 +112,10 @@ class SimDriver {
   MasterBuffer master_buffer_;
   PartitionMap pmap_;
   Pcg32 rng_;
+  // One pool shared by every simulated slave: slaves are advanced serially
+  // on the virtual timeline, so their batch passes never overlap and the
+  // pool's worker-disjoint invariant holds cluster-wide.
+  WorkerPool pool_;
   std::vector<Slave> slaves_;
 
   // Dynamic distribution epoch (constant unless the tuner is enabled).

@@ -1,7 +1,9 @@
 #include "join/join_module.h"
 
+#include <algorithm>
 #include <cassert>
 
+#include "core/worker_pool.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 
@@ -20,10 +22,27 @@ JoinModule::JoinModule(const SystemConfig& cfg, JoinSink* sink)
 
 void JoinModule::AttachMetrics(obs::MetricsRegistry* reg) {
   if (reg == nullptr) return;
+  reg_ = reg;
   obs_tuning_ = &reg->GetCounter("join_tuning_moves");
   wall_probe_insert_ = &obs::WallStage(*reg, obs::kStageProbeInsert);
   store_.SetGroupCounters(&reg->GetCounter("group_splits"),
                           &reg->GetCounter("group_merges"));
+  EnsureWorkerObs();
+}
+
+void JoinModule::SetWorkerPool(WorkerPool* pool) {
+  pool_ = pool;
+  EnsureWorkerObs();
+}
+
+void JoinModule::EnsureWorkerObs() {
+  if (reg_ == nullptr || pool_ == nullptr || pool_->WorkerCount() <= 1) return;
+  if (c_worker_busy_ != nullptr) return;
+  c_worker_busy_ = &reg_->GetCounter("worker_busy_cost");
+  wall_workers_.resize(pool_->WorkerCount());
+  for (std::uint32_t k = 0; k < pool_->WorkerCount(); ++k) {
+    wall_workers_[k] = &obs::WallStageWorker(*reg_, obs::kStageProbeInsert, k);
+  }
 }
 
 void JoinModule::EnqueueBatch(std::span<const Rec> recs) {
@@ -35,6 +54,15 @@ Duration JoinModule::ProcessFor(Time from, Duration budget) {
   // poll ProcessFor every slot, and empty polls would flood the histogram
   // with meaningless sub-microsecond samples.
   obs::ScopedTimer wall(buffer_.empty() ? nullptr : wall_probe_insert_);
+  if (pool_ != nullptr && pool_->WorkerCount() > 1) {
+    return ProcessParallel(from, budget);
+  }
+  return ProcessSerial(from, budget);
+}
+
+Duration JoinModule::ProcessSerial(Time from, Duration budget) {
+  PassCtx ctx;
+  ctx.sink = sink_;
   Duration used = 0;
   while (!buffer_.empty() && used < budget) {
     Rec rec = buffer_.front();
@@ -45,19 +73,137 @@ Duration JoinModule::ProcessFor(Time from, Duration budget) {
     MiniGroup& mg = group.GroupFor(rec.key);
     mg.Part(rec.stream).Insert(rec);
     group.AddCount(1);
-    ++processed_;
+    ++ctx.processed;
     if (mg.Part(rec.stream).HeadFull()) {
-      used += FlushMiniGroup(pid, group, mg, from + used);
+      used += FlushMiniGroup(group, mg, from + used, ctx);
     }
   }
   if (buffer_.empty()) {
-    used += FlushAllPartials(from + used);
+    used += FlushAllPartials(from + used, ctx);
   }
+  FoldStats(ctx);
   return used;
 }
 
-Duration JoinModule::FlushMiniGroup(PartitionId pid, PartitionGroup& group,
-                                    MiniGroup& mg, Time work_start) {
+Duration JoinModule::ProcessParallel(Time from, Duration budget) {
+  const std::uint32_t k = pool_->WorkerCount();
+  if (lanes_.size() != k) lanes_.resize(k);
+  for (WorkerLane& lane : lanes_) lane.Reset();
+
+  // Route on the join thread: Ensure() mutates the store's group map, so it
+  // must be frozen before the fan-out (workers only Find()). Per-lane input
+  // keeps arrival order, hence each group's tuple subsequence is exactly the
+  // one the serial pass would process.
+  std::uint64_t idx = 0;
+  for (const Rec& rec : buffer_) {
+    Routed rt;
+    rt.rec = rec;
+    rt.pid = PartitionOf(rec.key, num_partitions_);
+    rt.idx = idx++;
+    store_.Ensure(rt.pid);
+    lanes_[WorkerOf(rt.pid, k)].input.push_back(rt);
+  }
+  buffer_.clear();
+
+  pool_->RunOnAll([&](std::uint32_t w) { RunWorker(w, k, from, budget); });
+
+  // Re-queue unprocessed leftovers in arrival order: budget exhaustion left
+  // each lane with a suffix; merging by arrival index reconstitutes the
+  // buffer exactly as the serial pass would have left its tail.
+  leftover_scratch_.clear();
+  for (const WorkerLane& lane : lanes_) {
+    leftover_scratch_.insert(leftover_scratch_.end(),
+                             lane.input.begin() +
+                                 static_cast<std::ptrdiff_t>(lane.consumed),
+                             lane.input.end());
+  }
+  if (!leftover_scratch_.empty()) {
+    std::sort(leftover_scratch_.begin(), leftover_scratch_.end(),
+              [](const Routed& a, const Routed& b) { return a.idx < b.idx; });
+    for (const Routed& rt : leftover_scratch_) buffer_.push_back(rt.rec);
+  }
+
+  // Deterministic merge: emissions ordered by (group-id, seq). Entries of
+  // one pid all live in one lane (disjoint sharding) already in seq order,
+  // so a stable sort by pid alone realizes the full key.
+  struct Ref {
+    const StagingSink* sink;
+    const StagingSink::Entry* entry;
+  };
+  std::size_t total_entries = 0;
+  for (const WorkerLane& lane : lanes_) {
+    total_entries += lane.staging.Entries().size();
+  }
+  std::vector<Ref> refs;
+  refs.reserve(total_entries);
+  for (const WorkerLane& lane : lanes_) {
+    for (const StagingSink::Entry& e : lane.staging.Entries()) {
+      refs.push_back(Ref{&lane.staging, &e});
+    }
+  }
+  std::stable_sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    return a.entry->pid < b.entry->pid;
+  });
+  std::uint64_t merged_outputs = 0;
+  for (const Ref& r : refs) {
+    merged_outputs += r.entry->count;
+    sink_->OnMatches(r.entry->probe, r.sink->Partners(*r.entry),
+                     r.entry->produced_at);
+  }
+
+  // Fold tallies and account the epoch: the slave's clock advances by the
+  // critical path over workers plus the merge, while worker_busy_cost
+  // records the summed (parallel) work for utilization analysis.
+  Duration critical = 0;
+  std::uint64_t busy = 0;
+  for (const WorkerLane& lane : lanes_) {
+    FoldStats(lane.stats);
+    critical = std::max(critical, lane.used);
+    busy += static_cast<std::uint64_t>(lane.used);
+  }
+  worker_busy_us_ += busy;
+  if (c_worker_busy_ != nullptr) c_worker_busy_->Add(busy);
+  return critical + cost_.MergeCost(merged_outputs);
+}
+
+void JoinModule::RunWorker(std::uint32_t w, std::uint32_t workers, Time from,
+                           Duration budget) {
+  WorkerLane& lane = lanes_[w];
+  obs::ScopedTimer wall(lane.input.empty() || w >= wall_workers_.size()
+                            ? nullptr
+                            : wall_workers_[w]);
+  PassCtx& ctx = lane.stats;
+  ctx.sink = &lane.staging;
+  Duration used = 0;
+  std::size_t i = 0;
+  for (; i < lane.input.size() && used < budget; ++i) {
+    const Routed& rt = lane.input[i];
+    used += cost_.TupleFixedCost(1);
+    PartitionGroup& group = *store_.Find(rt.pid);
+    MiniGroup& mg = group.GroupFor(rt.rec.key);
+    mg.Part(rt.rec.stream).Insert(rt.rec);
+    group.AddCount(1);
+    ++ctx.processed;
+    if (mg.Part(rt.rec.stream).HeadFull()) {
+      lane.staging.SetPartition(rt.pid);
+      used += FlushMiniGroup(group, mg, from + used, ctx);
+    }
+  }
+  lane.consumed = i;
+  if (i == lane.input.size()) {
+    // This lane drained: flush partial head blocks of its shard (the serial
+    // buffer-drain rule, restricted to the groups this worker owns).
+    store_.ForEachGroup([&](PartitionId pid, PartitionGroup& group) {
+      if (WorkerOf(pid, workers) != w) return;
+      lane.staging.SetPartition(pid);
+      used += FlushGroupPartials(group, from + used, ctx);
+    });
+  }
+  lane.used = used;
+}
+
+Duration JoinModule::FlushMiniGroup(PartitionGroup& group, MiniGroup& mg,
+                                    Time work_start, PassCtx& ctx) {
   Duration c = 0;
   std::uint64_t tune_key = 0;
   bool have_key = false;
@@ -72,29 +218,30 @@ Duration JoinModule::FlushMiniGroup(PartitionId pid, PartitionGroup& group,
     have_key = true;
     const MiniPartition& opp = mg.Part(Opposite(s));
     const std::size_t cmp = fresh.size() * opp.SealedCount();
-    comparisons_ += cmp;
+    ctx.comparisons += cmp;
     c += cost_.CmpCost(cmp);
     const Time produced_at = work_start + c;
     for (const Rec& r : fresh) {
       auto partners = opp.ProbeSealed(r.key, r.ts - window_, r.ts + window_);
       if (!partners.empty()) {
-        outputs_ += partners.size();
-        sink_->OnMatches(r, partners, produced_at);
+        ctx.outputs += partners.size();
+        ctx.sink->OnMatches(r, partners, produced_at);
       }
     }
     if (journal_enabled_) {
-      auto& j = journal_[pid];
-      j.insert(j.end(), fresh.begin(), fresh.end());
+      group.AppendJournal(fresh);
     }
     mg.Part(s).Seal();
   }
 
-  c += ExpireMiniGroup(group, mg, mg.MaxSeenTs() - window_, work_start + c);
+  c += ExpireMiniGroup(group, mg, mg.MaxSeenTs() - window_, work_start + c,
+                       ctx);
 
   if (have_key) {
     // NOTE: a split/merge invalidates `mg`; nothing touches it afterwards.
     const std::size_t moved = group.MaybeTune(tune_key);
-    tuning_moves_ += moved;
+    ctx.tuning_moves += moved;
+    // obs::Counter is a relaxed atomic: safe from concurrent workers.
     if (obs_tuning_ != nullptr && moved > 0) obs_tuning_->Add(moved);
     c += cost_.MoveCost(moved);
   }
@@ -102,8 +249,12 @@ Duration JoinModule::FlushMiniGroup(PartitionId pid, PartitionGroup& group,
 }
 
 Duration JoinModule::ExpireMiniGroup(PartitionGroup& group, MiniGroup& mg,
-                                     Time low_ts, Time produced_at) {
+                                     Time low_ts, Time produced_at,
+                                     PassCtx& ctx) {
   Duration c = 0;
+  // Group-local scratch: reused across flushes, and safe under the pool
+  // because a group is only ever touched by its owning worker.
+  std::vector<Time>& scratch = group.ProbeScratch();
   for (StreamId s = 0; s < kStreamCount; ++s) {
     std::vector<Block> expired = mg.Part(s).ExpireBlocks(low_ts);
     if (expired.empty()) continue;
@@ -117,66 +268,72 @@ Duration JoinModule::ExpireMiniGroup(PartitionGroup& group, MiniGroup& mg,
     auto opp_fresh = mg.Part(Opposite(s)).FreshRecords();
     if (opp_fresh.empty()) continue;
     const std::size_t cmp = total * opp_fresh.size();
-    comparisons_ += cmp;
+    ctx.comparisons += cmp;
     c += cost_.CmpCost(cmp);
     for (const Rec& f : opp_fresh) {
-      probe_scratch_.clear();
+      scratch.clear();
       for (const Block& b : expired) {
         for (const Rec& r : b.Records()) {
           if (r.key == f.key && r.ts >= f.ts - window_ &&
               r.ts <= f.ts + window_) {
-            probe_scratch_.push_back(r.ts);
+            scratch.push_back(r.ts);
           }
         }
       }
-      if (!probe_scratch_.empty()) {
-        outputs_ += probe_scratch_.size();
-        sink_->OnMatches(f, probe_scratch_, produced_at + c);
+      if (!scratch.empty()) {
+        ctx.outputs += scratch.size();
+        ctx.sink->OnMatches(f, scratch, produced_at + c);
       }
     }
   }
   return c;
 }
 
-Duration JoinModule::FlushAllPartials(Time from) {
+Duration JoinModule::FlushGroupPartials(PartitionGroup& group, Time from,
+                                        PassCtx& ctx) {
+  // Flushing may split/merge mini-groups (invalidating any directory
+  // iteration), so locate one fresh mini-group at a time.
   Duration c = 0;
-  store_.ForEachGroup([&](PartitionId pid, PartitionGroup& group) {
-    // Flushing may split/merge mini-groups (invalidating any directory
-    // iteration), so locate one fresh mini-group at a time.
-    while (true) {
-      MiniGroup* target = nullptr;
-      group.ForEachMiniGroup([&](MiniGroup& mg) {
-        if (target == nullptr &&
-            (mg.Part(0).FreshCount() > 0 || mg.Part(1).FreshCount() > 0)) {
-          target = &mg;
-        }
-      });
-      if (target == nullptr) break;
-      c += FlushMiniGroup(pid, group, *target, from + c);
-    }
-  });
-  return c;
-}
-
-std::unique_ptr<PartitionGroup> JoinModule::ExtractGroup(
-    PartitionId pid, Time from, Duration& cost, std::vector<Rec>& pending_out) {
-  PartitionGroup* g = store_.Find(pid);
-  assert(g != nullptr && "cannot extract a partition this slave does not own");
-  cost = 0;
-
-  // Seal everything: migrated state must carry no fresh tuples (they probe
-  // here, before the move, so no result is lost or duplicated).
   while (true) {
     MiniGroup* target = nullptr;
-    g->ForEachMiniGroup([&](MiniGroup& mg) {
+    group.ForEachMiniGroup([&](MiniGroup& mg) {
       if (target == nullptr &&
           (mg.Part(0).FreshCount() > 0 || mg.Part(1).FreshCount() > 0)) {
         target = &mg;
       }
     });
     if (target == nullptr) break;
-    cost += FlushMiniGroup(pid, *g, *target, from + cost);
+    c += FlushMiniGroup(group, *target, from + c, ctx);
   }
+  return c;
+}
+
+Duration JoinModule::FlushAllPartials(Time from, PassCtx& ctx) {
+  Duration c = 0;
+  store_.ForEachGroup([&](PartitionId /*pid*/, PartitionGroup& group) {
+    c += FlushGroupPartials(group, from + c, ctx);
+  });
+  return c;
+}
+
+void JoinModule::FoldStats(const PassCtx& ctx) {
+  comparisons_ += ctx.comparisons;
+  outputs_ += ctx.outputs;
+  processed_ += ctx.processed;
+  tuning_moves_ += ctx.tuning_moves;
+}
+
+std::unique_ptr<PartitionGroup> JoinModule::ExtractGroup(
+    PartitionId pid, Time from, Duration& cost, std::vector<Rec>& pending_out) {
+  PartitionGroup* g = store_.Find(pid);
+  assert(g != nullptr && "cannot extract a partition this slave does not own");
+
+  // Seal everything: migrated state must carry no fresh tuples (they probe
+  // here, before the move, so no result is lost or duplicated).
+  PassCtx ctx;
+  ctx.sink = sink_;
+  cost = FlushGroupPartials(*g, from, ctx);
+  FoldStats(ctx);
 
   // Buffered tuples of this partition travel with the state.
   std::deque<Rec> rest;
@@ -192,7 +349,7 @@ std::unique_ptr<PartitionGroup> JoinModule::ExtractGroup(
   // The group leaves this slave; its journal is meaningless here. The master
   // forces the new owner's first checkpoint to be a full snapshot, which
   // covers everything a discarded journal would have.
-  journal_.erase(pid);
+  g->ClearJournal();
 
   auto group = store_.Take(pid);
   cost += cost_.MoveCost(group->TotalCount());
@@ -205,11 +362,9 @@ void JoinModule::InstallGroup(PartitionId pid,
 }
 
 std::vector<Rec> JoinModule::TakeJournal(PartitionId pid) {
-  auto it = journal_.find(pid);
-  if (it == journal_.end()) return {};
-  std::vector<Rec> out = std::move(it->second);
-  journal_.erase(it);
-  return out;
+  PartitionGroup* g = store_.Find(pid);
+  if (g == nullptr) return {};
+  return g->TakeJournal();
 }
 
 std::uint64_t JoinModule::Splits() const {

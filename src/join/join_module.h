@@ -15,12 +15,21 @@
 // block-nested-loop comparison count is exact (fresh x opposite-sealed per
 // batch) while match discovery itself uses the per-key index (see
 // window/mini_partition.h).
+//
+// Intra-slave parallelism (extension; DESIGN.md "Intra-slave multicore
+// execution"): with a WorkerPool of k > 1 attached, ProcessFor shards the
+// slave's partition-groups across workers (each group is owned by exactly
+// one worker, so the hot path takes no locks), stages each worker's match
+// emissions in order, and merges them into the sink in deterministic
+// (group-id, seq) order -- the produced output set is identical for any
+// worker count. The virtual clock advances by the critical path
+// max(worker costs) + merge cost. Without a pool (or with k == 1) the
+// original serial path runs unchanged.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.h"
@@ -29,11 +38,14 @@
 #include "window/window_store.h"
 
 namespace sjoin::obs {
+class Counter;
 class HistogramMetric;
 class MetricsRegistry;
 }  // namespace sjoin::obs
 
 namespace sjoin {
+
+class WorkerPool;
 
 /// The master's stream-partitioning hash: partition id of a join key.
 inline PartitionId PartitionOf(std::uint64_t key, std::uint32_t num_partitions) {
@@ -52,6 +64,14 @@ class JoinModule {
   /// module. nullptr detaches nothing and is a no-op.
   void AttachMetrics(obs::MetricsRegistry* reg);
 
+  /// Attaches the intra-slave worker pool driving the parallel batch pass.
+  /// The pool must outlive the module; nullptr (default) or a 1-worker pool
+  /// keeps the serial path. Call at node setup, before processing starts.
+  /// With k > 1 and metrics attached, a stable `worker_busy_cost` counter
+  /// (summed per-worker virtual cost, us) and per-worker kWall histograms
+  /// `wall_stage_us{stage=probe_insert,worker=k}` are registered.
+  void SetWorkerPool(WorkerPool* pool);
+
   // -- Ingest ---------------------------------------------------------------
 
   /// Appends a received batch to the stream buffer (arrival order).
@@ -68,7 +88,9 @@ class JoinModule {
   /// buffer drains or the consumed cost reaches `budget` (the final tuple may
   /// overshoot). When the buffer drains, partial head blocks are flushed so
   /// no tuple waits indefinitely for its block to fill. Returns the cost
-  /// actually consumed.
+  /// actually consumed -- with a worker pool attached, the critical-path
+  /// max over the per-worker costs plus the staged-emission merge cost, each
+  /// worker individually honoring `budget`.
   Duration ProcessFor(Time from, Duration budget);
 
   // -- Migration ------------------------------------------------------------
@@ -109,21 +131,139 @@ class JoinModule {
   std::uint64_t Splits() const;
   std::uint64_t Merges() const;
 
+  /// Total virtual cost accumulated by pool workers across all parallel
+  /// batch passes (sum over workers, not the critical path). 0 on the
+  /// serial path.
+  std::uint64_t WorkerBusyUs() const { return worker_busy_us_; }
+
  private:
+  /// Mutable state of one (possibly worker-local) batch-join pass: where
+  /// matches go and what the pass tallied. Serial passes fold the tallies
+  /// into the module totals when the public call returns; parallel passes
+  /// fold after the barrier, keeping the hot path free of shared writes.
+  struct PassCtx {
+    JoinSink* sink = nullptr;
+    std::uint64_t comparisons = 0;
+    std::uint64_t outputs = 0;
+    std::uint64_t processed = 0;
+    std::uint64_t tuning_moves = 0;
+  };
+
+  /// Per-worker ordered staging of match emissions. ProbeSealed spans are
+  /// invalidated by subsequent window mutations, so partner timestamps are
+  /// copied into a reusable flat arena at emission time. Entry order within
+  /// the buffer is the worker's emission order; since every partition-group
+  /// is processed by exactly one worker, it is also each group's emission
+  /// order -- the `seq` of the (group-id, seq) merge key.
+  class StagingSink final : public JoinSink {
+   public:
+    struct Entry {
+      Rec probe;
+      PartitionId pid = 0;
+      Time produced_at = 0;
+      std::size_t offset = 0;  ///< into arena_
+      std::size_t count = 0;
+    };
+
+    void SetPartition(PartitionId pid) { pid_ = pid; }
+
+    void OnMatches(const Rec& probe, std::span<const Time> partner_ts,
+                   Time produced_at) override {
+      Entry e;
+      e.probe = probe;
+      e.pid = pid_;
+      e.produced_at = produced_at;
+      e.offset = arena_.size();
+      e.count = partner_ts.size();
+      arena_.insert(arena_.end(), partner_ts.begin(), partner_ts.end());
+      entries_.push_back(e);
+    }
+
+    const std::vector<Entry>& Entries() const { return entries_; }
+    std::span<const Time> Partners(const Entry& e) const {
+      return std::span<const Time>(arena_.data() + e.offset, e.count);
+    }
+    void Reset() {
+      entries_.clear();
+      arena_.clear();
+    }
+
+   private:
+    PartitionId pid_ = 0;
+    std::vector<Entry> entries_;
+    std::vector<Time> arena_;
+  };
+
+  /// One tuple routed to a worker lane. `idx` is the arrival index within
+  /// this pass, used to restore arrival order for unprocessed leftovers.
+  struct Routed {
+    Rec rec;
+    PartitionId pid = 0;
+    std::uint64_t idx = 0;
+  };
+
+  /// Per-worker run queue plus everything the worker mutates during a pass.
+  struct WorkerLane {
+    std::vector<Routed> input;
+    StagingSink staging;
+    PassCtx stats;
+    Duration used = 0;
+    std::size_t consumed = 0;
+
+    void Reset() {
+      input.clear();
+      staging.Reset();
+      stats = PassCtx{};
+      used = 0;
+      consumed = 0;
+    }
+  };
+
+  /// The original single-threaded pass (bit-identical to the pre-pool code).
+  Duration ProcessSerial(Time from, Duration budget);
+
+  /// The pooled pass: route, fan out, merge (see file comment).
+  Duration ProcessParallel(Time from, Duration budget);
+
+  /// Body of one worker of the parallel pass.
+  void RunWorker(std::uint32_t w, std::uint32_t workers, Time from,
+                 Duration budget);
+
   /// Runs the batch join pass on one mini-group (probe fresh of each stream
   /// against the opposite sealed records, seal, expire, re-tune). Returns the
-  /// charged cost; `work_start` stamps the produced outputs.
-  Duration FlushMiniGroup(PartitionId pid, PartitionGroup& group,
-                          MiniGroup& mg, Time work_start);
+  /// charged cost; `work_start` stamps the produced outputs. Re-entrant:
+  /// touches only `group`, `mg`, and `ctx` (plus atomic obs counters), so
+  /// concurrent calls on distinct groups are safe.
+  Duration FlushMiniGroup(PartitionGroup& group, MiniGroup& mg,
+                          Time work_start, PassCtx& ctx);
 
   /// Expires old blocks of `mg`, running the paper's expiring-block vs.
   /// opposite-fresh completeness join. Returns the charged cost.
   Duration ExpireMiniGroup(PartitionGroup& group, MiniGroup& mg, Time low_ts,
-                           Time produced_at);
+                           Time produced_at, PassCtx& ctx);
 
-  /// Flushes every mini-group that still holds fresh records (buffer drain
-  /// or pre-migration flush). Returns the charged cost.
-  Duration FlushAllPartials(Time from);
+  /// Flushes every mini-group of `group` that still holds fresh records.
+  Duration FlushGroupPartials(PartitionGroup& group, Time from, PassCtx& ctx);
+
+  /// Flushes every owned group's partials (buffer drain, serial path).
+  Duration FlushAllPartials(Time from, PassCtx& ctx);
+
+  /// Adds a finished pass's tallies to the module totals.
+  void FoldStats(const PassCtx& ctx);
+
+  /// Shard rule: the worker owning `pid`. Decorrelated from PartitionOf
+  /// (partition ids land on a slave in arithmetic patterns; taking
+  /// pid % workers could collapse a slave's groups onto few workers).
+  static std::uint32_t WorkerOf(PartitionId pid, std::uint32_t workers) {
+    return static_cast<std::uint32_t>(
+        Mix64(static_cast<std::uint64_t>(pid) ^ 0xA24BAED4963EE407ULL) %
+        workers);
+  }
+
+  /// Registers worker_busy_cost + per-worker wall histograms once both the
+  /// registry and a multi-worker pool are attached (keeps the workers=1
+  /// registry byte-identical to the pre-pool one).
+  void EnsureWorkerObs();
 
   JoinConfig join_cfg_;
   CostModel cost_;
@@ -141,11 +281,16 @@ class JoinModule {
   std::uint64_t tuning_moves_ = 0;
   obs::Counter* obs_tuning_ = nullptr;
   obs::HistogramMetric* wall_probe_insert_ = nullptr;  ///< probe/insert stage
+  obs::MetricsRegistry* reg_ = nullptr;
 
   bool journal_enabled_ = false;
-  std::unordered_map<PartitionId, std::vector<Rec>> journal_;
 
-  std::vector<Time> probe_scratch_;
+  WorkerPool* pool_ = nullptr;
+  std::vector<WorkerLane> lanes_;
+  std::vector<Routed> leftover_scratch_;
+  std::uint64_t worker_busy_us_ = 0;
+  obs::Counter* c_worker_busy_ = nullptr;
+  std::vector<obs::HistogramMetric*> wall_workers_;
 };
 
 }  // namespace sjoin

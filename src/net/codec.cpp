@@ -29,18 +29,22 @@ constexpr Time kPunctuationTs = -1;
 
 void EncodePunctuated(Writer& w, const TupleBatchMsg& m,
                       std::size_t tuple_bytes) {
-  std::vector<const Rec*> per_stream[kStreamCount];
-  for (const Rec& rec : m.recs) per_stream[rec.stream].push_back(&rec);
+  // Two passes over recs (count, then emit per stream) instead of building
+  // per-stream pointer vectors: this runs once per distributed batch, and
+  // the old temporaries were the encode path's only per-call allocations.
+  std::uint64_t per_stream[kStreamCount] = {};
+  for (const Rec& rec : m.recs) ++per_stream[rec.stream];
   std::uint64_t entries = 0;
-  for (const auto& v : per_stream) {
-    if (!v.empty()) entries += 1 + v.size();
+  for (std::uint64_t n : per_stream) {
+    if (n != 0) entries += 1 + n;
   }
   w.PutU64(entries);
   for (StreamId s = 0; s < kStreamCount; ++s) {
-    if (per_stream[s].empty()) continue;
+    if (per_stream[s] == 0) continue;
     EncodeRec(w, Rec{kPunctuationTs, s, 0}, tuple_bytes);
-    for (const Rec* rec : per_stream[s]) {
-      Rec stripped = *rec;
+    for (const Rec& rec : m.recs) {
+      if (rec.stream != s) continue;
+      Rec stripped = rec;
       stripped.stream = 0;  // carried by the punctuation, not the tuple
       EncodeRec(w, stripped, tuple_bytes);
     }
@@ -50,6 +54,10 @@ void EncodePunctuated(Writer& w, const TupleBatchMsg& m,
 TupleBatchMsg DecodePunctuated(Reader& r, std::size_t tuple_bytes) {
   TupleBatchMsg m;
   std::uint64_t entries = r.GetU64();
+  if (entries > r.Remaining() / tuple_bytes) {
+    throw DecodeError("punctuated batch count exceeds payload");
+  }
+  m.recs.reserve(entries);  // upper bound: punctuation marks excluded later
   bool have_stream = false;
   StreamId current = 0;
   for (std::uint64_t i = 0; i < entries; ++i) {

@@ -381,6 +381,7 @@ std::vector<std::string> KnownBenchIds() {
       "ext_subgroup_buffer",
       "ext_theta_sweep",
       "ext_window_size",
+      "ext_worker_scaling",
       "micro_benchmarks",
   };
 }

@@ -34,14 +34,22 @@ double SnapshotQuantile(const SnapshotEntry& e, double q) {
   return e.hist_bounds.empty() ? 0.0 : e.hist_bounds.back();
 }
 
-/// Extracts NAME from the canonical label string "stage=NAME"; empty when
-/// the labels are not in that single-label form.
+/// Extracts NAME from the canonical label string "stage=NAME", or
+/// "NAME[wK]" from the per-worker form "stage=NAME,worker=K"; empty when
+/// the labels are in neither form.
 std::string StageFromLabels(const std::string& labels) {
   constexpr std::string_view kPrefix = "stage=";
   if (labels.compare(0, kPrefix.size(), kPrefix) != 0) return {};
   std::string stage = labels.substr(kPrefix.size());
-  if (stage.find(',') != std::string::npos) return {};
-  return stage;
+  const std::size_t comma = stage.find(',');
+  if (comma == std::string::npos) return stage;
+  constexpr std::string_view kWorker = "worker=";
+  const std::string rest = stage.substr(comma + 1);
+  if (rest.compare(0, kWorker.size(), kWorker) != 0 ||
+      rest.find(',') != std::string::npos) {
+    return {};
+  }
+  return stage.substr(0, comma) + "[w" + rest.substr(kWorker.size()) + "]";
 }
 
 }  // namespace
@@ -59,6 +67,14 @@ std::vector<double> WallStageBounds() {
 HistogramMetric& WallStage(MetricsRegistry& reg, std::string_view stage) {
   return reg.GetHistogram(kWallStageMetric, WallStageBounds(),
                           {{"stage", std::string(stage)}}, Stability::kWall);
+}
+
+HistogramMetric& WallStageWorker(MetricsRegistry& reg, std::string_view stage,
+                                 std::uint32_t worker) {
+  return reg.GetHistogram(kWallStageMetric, WallStageBounds(),
+                          {{"stage", std::string(stage)},
+                           {"worker", std::to_string(worker)}},
+                          Stability::kWall);
 }
 
 std::vector<WallStageSummary> SummarizeWallStages(const MetricsRegistry& reg) {

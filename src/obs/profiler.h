@@ -49,6 +49,12 @@ std::vector<double> WallStageBounds();
 /// registration takes the registry mutex.
 HistogramMetric& WallStage(MetricsRegistry& reg, std::string_view stage);
 
+/// Per-worker variant for stages run by the intra-slave worker pool:
+/// wall_stage_us{stage=...,worker=k}. Summaries render the stage as
+/// "<stage>[wK]" so per-worker rows sort next to their aggregate stage.
+HistogramMetric& WallStageWorker(MetricsRegistry& reg, std::string_view stage,
+                                 std::uint32_t worker);
+
 /// RAII wall timer: observes elapsed microseconds into `hist` on destruction.
 /// A null histogram disables the timer (zero-cost off switch for call sites
 /// whose registry may be absent).

@@ -9,9 +9,7 @@ void EncodeRec(Writer& w, const Rec& rec, std::size_t wire_bytes) {
   w.PutU64(rec.key);
   w.PutI64(rec.ts);
   w.PutU8(rec.stream);
-  for (std::size_t i = kMinWireTupleBytes; i < wire_bytes; ++i) {
-    w.PutU8(0);  // opaque payload padding
-  }
+  w.PutZeros(wire_bytes - kMinWireTupleBytes);  // opaque payload padding
 }
 
 Rec DecodeRec(Reader& r, std::size_t wire_bytes) {
@@ -20,9 +18,7 @@ Rec DecodeRec(Reader& r, std::size_t wire_bytes) {
   rec.key = r.GetU64();
   rec.ts = r.GetI64();
   rec.stream = r.GetU8();
-  for (std::size_t i = kMinWireTupleBytes; i < wire_bytes; ++i) {
-    (void)r.GetU8();
-  }
+  r.Skip(wire_bytes - kMinWireTupleBytes);
   return rec;
 }
 

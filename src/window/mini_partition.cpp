@@ -8,6 +8,11 @@ namespace sjoin {
 MiniPartition::MiniPartition(std::size_t block_capacity)
     : block_capacity_(block_capacity) {
   assert(block_capacity > 0);
+  // Pre-size the per-key index for one block's worth of distinct keys: the
+  // common case (a freshly split / freshly created mini-partition) fills at
+  // least a head block before tuning reshapes it, and reserving here avoids
+  // the rehash cascade on every such group's first batch.
+  index_.reserve(block_capacity);
 }
 
 Block& MiniPartition::HeadBlock() {
@@ -93,7 +98,22 @@ std::vector<Block> MiniPartition::ExpireBlocks(Time low_ts) {
     expired.push_back(std::move(b));
     blocks_.pop_front();
   }
+  if (!expired.empty()) MaybeShrinkIndex();
   return expired;
+}
+
+void MiniPartition::MaybeShrinkIndex() {
+  // Dead keys are erased eagerly above, but the hash table keeps its bucket
+  // array: after a burst expires, a partition can hold a huge empty table
+  // forever. Rehash down once live keys occupy < 1/8 of the buckets (with a
+  // floor so steady-state partitions never churn). libstdc++'s rehash(n)
+  // shrinks to the smallest prime bucket count satisfying n and the load
+  // factor; node pointers are stable, so outstanding ProbeSealed spans
+  // (which point into KeyQueue vectors) stay valid.
+  const std::size_t buckets = index_.bucket_count();
+  if (buckets > 1024 && index_.size() * 8 < buckets) {
+    index_.rehash(std::max(block_capacity_, index_.size() * 2));
+  }
 }
 
 void MiniPartition::InstallSealed(const Rec& rec) {

@@ -78,6 +78,13 @@ class MiniPartition {
   std::size_t BlockCount() const { return blocks_.size(); }
   Time MaxSeenTs() const { return max_seen_ts_; }
 
+  /// Live (distinct, non-fully-expired) keys in the probe index. The index
+  /// must track live keys exactly: an expired key's entry is erased, and
+  /// long bursty runs must not accumulate empty hash buckets (see
+  /// IndexBucketCount and the shrink rule in ExpireBlocks).
+  std::size_t IndexKeyCount() const { return index_.size(); }
+  std::size_t IndexBucketCount() const { return index_.bucket_count(); }
+
   /// Visits all records (sealed then fresh) in temporal order.
   template <class F>
   void ForEachRecord(F f) const {
@@ -93,6 +100,7 @@ class MiniPartition {
  private:
   Block& HeadBlock();
   void IndexRecord(const Rec& rec);
+  void MaybeShrinkIndex();
 
   /// Per-key FIFO of sealed record timestamps. `head` advances on expiry;
   /// the live range [head, ts.size()) is ascending in time.

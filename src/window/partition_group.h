@@ -13,6 +13,8 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/config.h"
 #include "common/rng.h"
@@ -118,6 +120,30 @@ class PartitionGroup {
   /// Installs a record directly as sealed window state (migration path).
   void InstallSealed(const Rec& rec);
 
+  // -- Group-local join scratch / bookkeeping --------------------------------
+  // Owned by the group so concurrent workers of the intra-slave pool touch
+  // disjoint state: each partition-group is processed by exactly one worker
+  // per batch pass (see JoinModule), so none of this needs locking.
+
+  /// Reusable probe scratch of the expiry completeness join (timestamps of
+  /// one probe's matches). Cleared per probe, capacity retained.
+  std::vector<Time>& ProbeScratch() { return probe_scratch_; }
+
+  /// Checkpoint journal: every record sealed into this group since the last
+  /// TakeJournal (see JoinModule::EnableCheckpointJournal).
+  void AppendJournal(std::span<const Rec> recs) {
+    journal_.insert(journal_.end(), recs.begin(), recs.end());
+  }
+  std::vector<Rec> TakeJournal() {
+    std::vector<Rec> out = std::move(journal_);
+    journal_.clear();
+    return out;
+  }
+  void ClearJournal() {
+    journal_.clear();
+    journal_.shrink_to_fit();
+  }
+
  private:
   std::size_t SplitOnce(std::uint64_t hash);
   std::size_t MergeOnce(std::uint64_t hash, bool& merged);
@@ -132,6 +158,8 @@ class PartitionGroup {
   std::uint64_t merges_ = 0;
   obs::Counter* obs_splits_ = nullptr;
   obs::Counter* obs_merges_ = nullptr;
+  std::vector<Time> probe_scratch_;
+  std::vector<Rec> journal_;
 };
 
 }  // namespace sjoin

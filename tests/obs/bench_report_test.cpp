@@ -151,10 +151,10 @@ TEST(BenchSuiteTest, RoundTripAndModeConsistency) {
 
 TEST(BenchReportTest, KnownBenchIdsCoverTheSuite) {
   std::vector<std::string> ids = KnownBenchIds();
-  EXPECT_EQ(ids.size(), 21u);
+  EXPECT_EQ(ids.size(), 22u);
   for (const char* expected :
        {"fig05_delay_small", "table1_defaults", "micro_benchmarks",
-        "ext_recovery_overhead"}) {
+        "ext_recovery_overhead", "ext_worker_scaling"}) {
     bool found = false;
     for (const std::string& id : ids) found = found || id == expected;
     EXPECT_TRUE(found) << expected;

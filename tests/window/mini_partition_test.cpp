@@ -168,5 +168,56 @@ TEST(MiniPartitionTest, IndexCompactionUnderLongExpiryStream) {
   EXPECT_LE(m.size(), 110u);
 }
 
+TEST(MiniPartitionTest, IndexTracksLiveKeysAcrossSealAndExpire) {
+  MiniPartition p(4);
+  // 64 distinct keys, sealed as each block fills (the join module's
+  // HeadFull rule): every sealed key must be indexed.
+  for (Time t = 1; t <= 64; ++t) {
+    p.Insert(R(t, static_cast<std::uint64_t>(t)));
+    p.Seal();
+  }
+  EXPECT_EQ(p.IndexKeyCount(), 64u);
+
+  // Expire everything expirable (the head block never expires): only keys
+  // with surviving records may stay in the index -- dead keys must be
+  // erased, not left as empty queues.
+  (void)p.ExpireBlocks(kFarFuture);
+  EXPECT_LE(p.IndexKeyCount(), 4u);
+  EXPECT_EQ(p.IndexKeyCount(), p.TotalCount());  // keys are all distinct
+  EXPECT_TRUE(p.ProbeSealed(1, 0, kFarFuture).empty());
+
+  // Partial expiry: key 1's records all predate the horizon, key 2 stays.
+  MiniPartition q(4);
+  for (Time t = 100; t < 108; ++t) {
+    q.Insert(R(t, 1));
+    q.Seal();
+  }
+  for (Time t = 200; t < 208; ++t) {
+    q.Insert(R(t, 2));
+    q.Seal();
+  }
+  EXPECT_EQ(q.IndexKeyCount(), 2u);
+  (void)q.ExpireBlocks(150);
+  EXPECT_EQ(q.IndexKeyCount(), 1u);
+  EXPECT_TRUE(q.ProbeSealed(1, 0, kFarFuture).empty());
+  EXPECT_FALSE(q.ProbeSealed(2, 0, kFarFuture).empty());
+}
+
+TEST(MiniPartitionTest, IndexBucketsShrinkAfterBurst) {
+  // A bursty run: a wide distinct-key burst grows the bucket array, then
+  // the keys die. The shrink rule must rehash the table back down instead
+  // of carrying thousands of empty buckets for the rest of the run.
+  MiniPartition p(4);
+  for (Time t = 1; t <= 20000; ++t) {
+    p.Insert(R(t, static_cast<std::uint64_t>(t)));  // all keys distinct
+    p.Seal();
+  }
+  const std::size_t peak = p.IndexBucketCount();
+  ASSERT_GT(peak, 1024u);
+  (void)p.ExpireBlocks(kFarFuture);
+  EXPECT_LE(p.IndexKeyCount(), 4u);  // head block only
+  EXPECT_LT(p.IndexBucketCount(), peak / 4);
+}
+
 }  // namespace
 }  // namespace sjoin
