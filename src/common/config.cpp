@@ -28,6 +28,11 @@ std::string Summarize(const SystemConfig& cfg) {
   if (cfg.slave.workers != 1) {
     os << " workers=" << cfg.slave.workers;
   }
+  if (cfg.cluster.elastic.enabled) {
+    os << " elastic=on drain_per_epoch="
+       << cfg.cluster.elastic.drain_groups_per_epoch
+       << " policy=" << (cfg.cluster.elastic.policy ? "on" : "off");
+  }
   os << " net=" << (cfg.net.use_inet ? "inet" : "unix");
   return os.str();
 }

@@ -122,6 +122,45 @@ struct ReplicationConfig {
   std::uint32_t ckpt_interval_epochs = 4;
 };
 
+/// Elastic cluster membership (wall-clock runners; see DESIGN.md "Elastic
+/// membership"). Off by default: the paper's cluster is a fixed slave set.
+/// When enabled, the master starts with ActiveSlavesAtStart() members (the
+/// remaining ranks idle as standbys), admits standbys at epoch boundaries
+/// via the kJoinCmd/kJoinAck handshake, and gracefully drains members via
+/// checkpoint-aligned group migration before the kLeaveCmd/kLeaveAck
+/// farewell. Scheduled transitions come from WallOptions::membership; the
+/// optional policy loop proposes them from the per-epoch occupancy reports.
+struct ElasticConfig {
+  bool enabled = false;
+
+  /// Max partition-group migrations a membership transition issues per
+  /// distribution epoch (bounds the per-epoch disruption of a drain or an
+  /// admission rebalance).
+  std::uint32_t drain_groups_per_epoch = 4;
+
+  /// Join/leave handshake bounding: each awaited frame runs under the
+  /// runner's recv timeout; on timeout the command is resent with the
+  /// timeout doubled (capped at `handshake_backoff_cap_us`), at most
+  /// `handshake_max_retries` times before the peer is declared dead.
+  std::uint32_t handshake_max_retries = 3;
+  Duration handshake_backoff_cap_us = 2 * kUsPerSec;
+
+  /// Master policy loop (scale proposals from mean member occupancy).
+  /// Disabled unless `policy`; see core/membership.h ElasticPolicy.
+  bool policy = false;
+  double surge_occupancy = 0.5;   ///< occupancy above this counts as surge
+  std::uint32_t surge_epochs = 3; ///< consecutive surge epochs => scale-out
+  double idle_occupancy = 0.01;   ///< occupancy below this counts as idle
+  std::uint32_t idle_epochs = 8;  ///< consecutive idle epochs => scale-in
+  std::uint32_t min_members = 1;  ///< scale-in floor
+  std::uint32_t cooldown_epochs = 4;  ///< quiet epochs after any decision
+};
+
+/// Cluster-level (as opposed to per-node) extension knobs.
+struct ClusterConfig {
+  ElasticConfig elastic;
+};
+
 /// Intra-slave execution (extension; see DESIGN.md "Intra-slave multicore
 /// execution"). The paper's slave is single-threaded; the author's
 /// follow-up work extends the design to multicore nodes by running the
@@ -184,6 +223,7 @@ struct SystemConfig {
   EpochTunerConfig epoch_tuner;  ///< extension: adaptive t_d (off by default)
   ReplicationConfig replication;  ///< buddy replication (off by default)
   SlaveConfig slave;              ///< intra-slave worker pool (1 = serial)
+  ClusterConfig cluster;          ///< elastic membership (off by default)
   NetConfig net;                  ///< transport domain of socket launchers
   WorkloadConfig workload;
   CostModel cost;

@@ -88,6 +88,78 @@ std::vector<EvacuationMove> PlanEvacuation(
   return moves;
 }
 
+std::vector<RebalanceMove> PlanAdmission(const PartitionMap& pmap,
+                                         const std::vector<SlaveIdx>& members,
+                                         SlaveIdx joiner,
+                                         bool respect_buddies) {
+  std::vector<RebalanceMove> moves;
+  if (members.empty()) return moves;
+  const std::size_t share = pmap.NumPartitions() / members.size();
+  std::size_t have = pmap.CountOf(joiner);
+  if (have >= share) return moves;
+
+  // Working copy of per-member loads; donors are the other members.
+  std::vector<SlaveIdx> donors;
+  std::vector<std::size_t> load;
+  for (SlaveIdx m : members) {
+    if (m == joiner) continue;
+    donors.push_back(m);
+    load.push_back(pmap.CountOf(m));
+  }
+  // Groups already planned away from their donor (the map itself is const).
+  std::vector<bool> taken(pmap.NumPartitions(), false);
+  while (have < share) {
+    // Most-loaded donor (ties to the lowest index).
+    std::size_t best = donors.size();
+    for (std::size_t i = 0; i < donors.size(); ++i) {
+      if (load[i] == 0) continue;
+      if (best == donors.size() || load[i] > load[best]) best = i;
+    }
+    if (best == donors.size()) break;  // nobody has anything left to give
+    PartitionId pick = pmap.NumPartitions();
+    for (PartitionId pid : pmap.PartitionsOf(donors[best])) {
+      if (taken[pid]) continue;
+      if (respect_buddies && pmap.BuddyOf(pid) == joiner) continue;
+      pick = pid;
+      break;
+    }
+    if (pick == pmap.NumPartitions()) {
+      // Every remaining group of this donor is pinned (buddy = joiner);
+      // retire the donor from this round.
+      load[best] = 0;
+      continue;
+    }
+    taken[pick] = true;
+    --load[best];
+    ++have;
+    moves.push_back(RebalanceMove{pick, donors[best], joiner});
+  }
+  return moves;
+}
+
+std::vector<RebalanceMove> PlanDrain(const PartitionMap& pmap, SlaveIdx leaver,
+                                     const std::vector<SlaveIdx>& remaining,
+                                     bool respect_buddies) {
+  std::vector<RebalanceMove> moves;
+  if (remaining.empty()) return moves;
+  std::vector<std::size_t> load;
+  load.reserve(remaining.size());
+  for (SlaveIdx s : remaining) load.push_back(pmap.CountOf(s));
+  for (PartitionId pid : pmap.PartitionsOf(leaver)) {
+    std::size_t best = remaining.size();
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (respect_buddies && remaining[i] == pmap.BuddyOf(pid) &&
+          remaining.size() > 1) {
+        continue;
+      }
+      if (best == remaining.size() || load[i] < load[best]) best = i;
+    }
+    ++load[best];
+    moves.push_back(RebalanceMove{pid, leaver, remaining[best]});
+  }
+  return moves;
+}
+
 DeclusterAction DecideDecluster(const std::vector<Role>& roles, double beta,
                                 std::uint32_t active, std::uint32_t total) {
   std::uint32_t n_sup = 0;

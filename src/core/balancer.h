@@ -66,6 +66,43 @@ std::vector<EvacuationMove> PlanEvacuation(
     const PartitionMap& pmap, SlaveIdx dead,
     const std::vector<SlaveIdx>& survivors, bool prefer_buddies = false);
 
+/// One planned live migration of an elastic-membership rebalance (unlike
+/// EvacuationMove the source is alive: the group travels via the normal
+/// kMoveCmd/kStateTransfer sub-protocol, not a failover).
+struct RebalanceMove {
+  PartitionId pid = 0;
+  SlaveIdx from = 0;
+  SlaveIdx to = 0;
+};
+
+/// Plans the partition-groups a newly admitted member takes over: up to an
+/// equal share (floor(npart / members.size())) of groups, pulled one at a
+/// time from whichever *other* member currently owns the most. Deterministic
+/// (ties to the lowest slave index, lowest partition id first). With
+/// `respect_buddies` a group is never moved onto its own buddy -- owner and
+/// replica must stay distinct. Groups the joiner already owns count toward
+/// its share. `members` must be ascending and include `joiner`.
+///
+/// Recomputable: the plan is a function of the current map, so the caller
+/// may execute any prefix, mutate the map, and re-plan -- convergence is
+/// monotone (the joiner's deficit only shrinks).
+std::vector<RebalanceMove> PlanAdmission(const PartitionMap& pmap,
+                                         const std::vector<SlaveIdx>& members,
+                                         SlaveIdx joiner,
+                                         bool respect_buddies = false);
+
+/// Plans the graceful drain of every partition-group owned by `leaver` onto
+/// `remaining` (ascending, must not contain `leaver`): each group goes to
+/// the remaining member with the fewest assigned partitions (ties to the
+/// lowest index). With `respect_buddies` a group avoids its own buddy when
+/// any other member is available; when the buddy is the *only* remaining
+/// member it is used anyway -- liveness over replica placement, and the
+/// caller must re-ring the buddy afterwards. Empty `remaining` (or a leaver
+/// owning nothing) yields an empty plan. Deterministic.
+std::vector<RebalanceMove> PlanDrain(const PartitionMap& pmap, SlaveIdx leaver,
+                                     const std::vector<SlaveIdx>& remaining,
+                                     bool respect_buddies = false);
+
 enum class DeclusterAction : std::uint8_t { kNone, kGrow, kShrink };
 
 /// Degree-of-declustering decision given the current classification.

@@ -31,4 +31,13 @@ std::size_t PartitionMap::CountOf(SlaveIdx slave) const {
   return n;
 }
 
+SlaveIdx PartitionMap::RingSuccessor(SlaveIdx owner,
+                                     const std::vector<SlaveIdx>& members) {
+  assert(!members.empty());
+  for (SlaveIdx m : members) {
+    if (m > owner) return m;
+  }
+  return members.front();
+}
+
 }  // namespace sjoin

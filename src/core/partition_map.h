@@ -41,6 +41,15 @@ class PartitionMap {
   /// Number of partitions assigned to `slave`.
   std::size_t CountOf(SlaveIdx slave) const;
 
+  /// Ring successor of `owner` within `members` (ascending, non-empty): the
+  /// smallest member index greater than `owner`, wrapping to the front.
+  /// `owner` itself is skipped, so with >= 2 members the successor is always
+  /// a distinct node. Elastic membership re-rings buddies with this after
+  /// the member set changes (the fixed-set constructor is the special case
+  /// members = [0, active)).
+  static SlaveIdx RingSuccessor(SlaveIdx owner,
+                                const std::vector<SlaveIdx>& members);
+
  private:
   std::vector<SlaveIdx> owner_;
   std::vector<SlaveIdx> buddy_;

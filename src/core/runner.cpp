@@ -7,6 +7,7 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
 #include <variant>
@@ -16,6 +17,7 @@
 #include "common/rng.h"
 #include "core/balancer.h"
 #include "core/master_buffer.h"
+#include "core/membership.h"
 #include "core/partition_map.h"
 #include "core/worker_pool.h"
 #include "gen/stream_source.h"
@@ -55,6 +57,20 @@ struct PendingMove {
   std::uint64_t seq = 0;
 };
 
+/// One in-progress membership transition (at most one at a time; scheduled
+/// events and policy proposals queue behind it). A join is handshaken first
+/// and then rebalanced toward its share; a leave is drained group-by-group,
+/// hands its replicas over, and is dismissed by the farewell handshake.
+struct MembershipTransition {
+  bool join = false;
+  SlaveIdx slave = 0;
+  std::uint64_t start_epoch = 0;
+  Time started_wall = 0;  ///< for MasterSummary::membership_us
+};
+
+/// No pending buddy handover for a group (sentinel in `pending_buddy`).
+constexpr SlaveIdx kNoPendingBuddy = 0xFFFFFFFFu;
+
 }  // namespace
 
 MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
@@ -69,7 +85,18 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
   MergedSource source(cfg.workload.lambda, cfg.workload.b_skew,
                       cfg.workload.key_domain, cfg.workload.seed);
   MasterBuffer buffer(cfg.join.num_partitions, tb);
-  PartitionMap pmap(cfg.join.num_partitions, n);
+  // Elastic membership (DESIGN.md "Elastic membership"): the cluster starts
+  // with ActiveSlavesAtStart() members, the remaining ranks idle as
+  // standbys until admitted. With elastic off every slave is a member and
+  // the protocol below degenerates to the fixed-set behavior.
+  const ElasticConfig& ecfg = cfg.cluster.elastic;
+  const bool elastic = ecfg.enabled;
+  const std::uint32_t init_members =
+      elastic ? std::min<std::uint32_t>(n, std::max<std::uint32_t>(
+                                               1, cfg.ActiveSlavesAtStart()))
+              : n;
+  MembershipTable members(n, init_members);
+  PartitionMap pmap(cfg.join.num_partitions, init_members);
   Pcg32 rng(Mix64(cfg.workload.seed ^ 0xABCDEFULL), 41);
 
   MasterSummary sum;
@@ -95,6 +122,17 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
   obs::Counter& c_degraded = reg.GetCounter("master_degraded_failovers");
   obs::Counter& c_replay_batches = reg.GetCounter("master_replayed_batches");
   obs::Counter& c_replay_tuples = reg.GetCounter("master_replayed_tuples");
+  // Elastic membership counters (stable: scheduled transitions resolve at
+  // deterministic epoch boundaries, so same-seed runs agree on them).
+  obs::Counter& c_joins = reg.GetCounter("master_joins");
+  obs::Counter& c_leaves = reg.GetCounter("master_leaves");
+  obs::Counter& c_drain_moves = reg.GetCounter("master_drain_moves");
+  obs::Counter& c_handovers = reg.GetCounter("master_buddy_handovers");
+  obs::Counter& c_hs_retries = reg.GetCounter("master_handshake_retries");
+  obs::Counter& c_stale_acks = reg.GetCounter("master_stale_ckpt_acks");
+  obs::Counter& c_scale_outs = reg.GetCounter("master_policy_scale_outs");
+  obs::Counter& c_scale_ins = reg.GetCounter("master_policy_scale_ins");
+  obs::Counter& c_memb_skipped = reg.GetCounter("master_membership_skipped");
   // Wall-clock stage histograms (kWall: real elapsed time, excluded from
   // every deterministic export -- recorder snapshots and kMetrics frames).
   obs::HistogramMetric& wall_distribute =
@@ -110,10 +148,25 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
 
   std::vector<double> occupancy(n, 0.0);
   std::vector<bool> in_flight(cfg.join.num_partitions, false);
-  std::vector<bool> alive(n, true);
   std::vector<std::uint64_t> batches_sent(n, 0);
   std::vector<PendingMove> moves;
   std::uint64_t next_move_seq = 1;
+
+  // Membership transition state: a sorted queue of scheduled events, the
+  // policy's proposals behind them, and the (single) transition in
+  // progress. `pending_buddy` marks groups whose replica is being handed to
+  // a new buddy: the ring pointer switches only when the new buddy acks a
+  // full snapshot, so there is never a window where the only replica of a
+  // group lives on a node that is about to leave.
+  std::deque<MembershipEvent> schedule(opts.membership.begin(),
+                                       opts.membership.end());
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const MembershipEvent& a, const MembershipEvent& b) {
+                     return a.epoch < b.epoch;
+                   });
+  std::deque<MembershipEvent> proposals;
+  std::optional<MembershipTransition> trans;
+  ElasticPolicy policy(ecfg);
 
   // Replication bookkeeping (see runner.h "Replication and failover"):
   // retained tuple batches per (group, epoch), dropped when the current
@@ -128,24 +181,30 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       repl ? npart : 0);
   std::vector<std::uint64_t> acked(repl ? npart : 0, 0);
   std::vector<bool> need_full(repl ? npart : 0, true);
+  // Per-group pending buddy handover (elastic membership): while set, the
+  // checkpoint sweeps ship the group to this rank in full, but pmap's ring
+  // pointer (and the old replica) stay authoritative until the new buddy
+  // acks -- there is never a window without a committed replica.
+  std::vector<SlaveIdx> pending_buddy(repl ? npart : 0, kNoPendingBuddy);
+  // Whether any tuple was ever distributed to a group: an untouched group
+  // has no state anywhere, so its buddy pointer may flip instantly without
+  // a snapshot handover (the owner-side store creates groups on first touch
+  // and silently skips checkpoint commands for absent ones).
+  std::vector<bool> touched(repl ? npart : 0, false);
 
-  auto live_count = [&] {
-    return static_cast<std::uint32_t>(
-        std::count(alive.begin(), alive.end(), true));
-  };
-
-  // Re-points a group's buddy to the first live ring successor of its
-  // owner. The new buddy holds no segments: the ack watermark resets and the
-  // next checkpoint must be a full snapshot.
+  // Re-points a group's buddy to the owner's successor on the member ring.
+  // The new buddy holds no segments: the ack watermark resets, the next
+  // checkpoint must be a full snapshot, and any handover that was pending
+  // for the group is moot.
   auto rering_buddy = [&](PartitionId pid, SlaveIdx owner) {
-    for (SlaveIdx step = 1; step < n; ++step) {
-      const SlaveIdx cand = (owner + step) % n;
-      if (!alive[cand]) continue;
-      pmap.SetBuddy(pid, cand);
-      acked[pid] = 0;
-      need_full[pid] = true;
-      return;
-    }
+    const std::vector<SlaveIdx> ring = members.Members();
+    if (ring.empty()) return;
+    const SlaveIdx cand = PartitionMap::RingSuccessor(owner, ring);
+    if (cand == owner) return;  // sole member: no distinct buddy exists
+    pmap.SetBuddy(pid, cand);
+    acked[pid] = 0;
+    need_full[pid] = true;
+    pending_buddy[pid] = kNoPendingBuddy;
   };
 
   // Dead-slave verdict: exclude the rank from all subsequent epochs, cancel
@@ -155,13 +214,30 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
   // the rehosted groups from new arrivals (WindowStore creates groups on
   // first touch), so the run keeps producing results.
   auto evict = [&](SlaveIdx dead) {
+    // Idempotent: a second verdict against the same rank (a failover racing
+    // a late frame from the evicted slave on another wait path) must not
+    // re-run eviction side effects.
+    if (!members.Evict(dead, sum.epochs)) return;
     WallClock recovery_clock;
     const Time recovery_t0 = recovery_clock.Now();
-    alive[dead] = false;
     ++sum.dead_slaves;
     c_dead.Inc();
     ob.trace.Instant("dead_slave", "fault", vt_now,
                      {{"slave", static_cast<std::int64_t>(dead) + 1}});
+    // A membership transition naming the dead rank is aborted: a joiner's
+    // groups were already force-evacuated below like any member's, and a
+    // leaver's remaining drain is subsumed by the failover.
+    if (trans && trans->slave == dead) {
+      sum.membership_us += clock.Now() - trans->started_wall;
+      trans.reset();
+    }
+    // Handovers pending toward the dead rank dissolve; the groups keep
+    // their old (still committed) buddies.
+    if (repl) {
+      for (PartitionId pid = 0; pid < npart; ++pid) {
+        if (pending_buddy[pid] == dead) pending_buddy[pid] = kNoPendingBuddy;
+      }
+    }
     // Cancel migrations the dead slave was party to. With replication, a
     // move whose supplier died before the consumer confirmed the install
     // leaves the group's live state in limbo (the transfer may never have
@@ -178,10 +254,9 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
         ++it;
       }
     }
-    std::vector<SlaveIdx> survivors;
-    for (SlaveIdx i = 0; i < n; ++i) {
-      if (alive[i]) survivors.push_back(i);
-    }
+    // Evacuation targets are the surviving *members* -- standbys receive no
+    // batches, so rehosting onto one would strand the group.
+    const std::vector<SlaveIdx> survivors = members.Members();
 
     // One group's failover: reassign ownership, record the voiding entry,
     // and re-ring the buddy (the target usually *is* the old buddy, so the
@@ -199,7 +274,8 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       }
       pmap.SetOwner(pid, target);
       adopts[target].push_back(Adopt{pid, replay_from});
-      sum.failovers.push_back(FailoverRecord{pid, target + 1, replay_from});
+      sum.failovers.push_back(
+          FailoverRecord{pid, target + 1, replay_from, sum.epochs});
       ++sum.groups_failed_over;
       c_failed_over.Inc();
       // `slave` is the adopting target (replay events key on it); `dead`
@@ -227,7 +303,7 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       if (repl) {
         for (PartitionId pid : orphaned) {
           SlaveIdx target = pmap.BuddyOf(pid);
-          if (!alive[target]) {
+          if (!members.Active(target)) {
             target = survivors.front();
             for (SlaveIdx s : survivors) {
               if (pmap.CountOf(s) < pmap.CountOf(target)) target = s;
@@ -238,7 +314,7 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
         // Groups that replicated *to* the dead slave lose their replica;
         // their (live) owners re-checkpoint in full to a fresh buddy.
         for (PartitionId pid = 0; pid < npart; ++pid) {
-          if (pmap.BuddyOf(pid) == dead && alive[pmap.OwnerOf(pid)]) {
+          if (pmap.BuddyOf(pid) == dead && members.Active(pmap.OwnerOf(pid))) {
             rering_buddy(pid, pmap.OwnerOf(pid));
           }
         }
@@ -310,6 +386,450 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     }
   };
 
+  // Checkpoint-ack path, three cases in order: (1) the ack commits a
+  // pending buddy handover -- the new buddy holds a full snapshot, so the
+  // ring pointer flips to it and the retention it covers is released;
+  // (2) a regular ack from the group's current buddy advances the watermark
+  // (membership.h AcceptCheckpointAck); (3) everything else -- a late ack
+  // from a replaced buddy, a duplicate, anything from a rank no longer
+  // alive -- is dropped and counted, never re-entering eviction or
+  // retention bookkeeping.
+  auto handle_ckpt_ack = [&](SlaveIdx src, const CheckpointAckMsg& ack) {
+    if (!repl || ack.partition_id >= npart) return;
+    const PartitionId pid = ack.partition_id;
+    if (members.Alive(src) && pending_buddy[pid] == src) {
+      pmap.SetBuddy(pid, src);
+      pending_buddy[pid] = kNoPendingBuddy;
+      acked[pid] = std::max(acked[pid], ack.covered_epoch);
+      auto& q = retained[pid];
+      while (!q.empty() && q.front().first <= acked[pid]) q.pop_front();
+      need_full[pid] = false;
+      ++sum.ckpt_acks;
+      sum.ckpt_bytes += ack.bytes;
+      c_acks.Inc();
+      c_ack_bytes.Add(ack.bytes);
+      ++sum.buddy_handovers;
+      c_handovers.Inc();
+      ob.trace.Instant(
+          "buddy_handover", "membership", vt_now,
+          {{"slave", static_cast<std::int64_t>(src) + 1},
+           {"pid", static_cast<std::int64_t>(pid)},
+           {"covered_epoch", static_cast<std::int64_t>(ack.covered_epoch)}});
+      return;
+    }
+    if (AcceptCheckpointAck(members.Alive(src), pmap.BuddyOf(pid) == src,
+                            ack.covered_epoch, acked[pid])) {
+      acked[pid] = ack.covered_epoch;
+      auto& q = retained[pid];
+      while (!q.empty() && q.front().first <= ack.covered_epoch) {
+        q.pop_front();
+      }
+      ++sum.ckpt_acks;
+      sum.ckpt_bytes += ack.bytes;
+      c_acks.Inc();
+      c_ack_bytes.Add(ack.bytes);
+      ob.trace.Instant(
+          "ckpt_ack", "repl", vt_now,
+          {{"slave", static_cast<std::int64_t>(src) + 1},
+           {"pid", static_cast<std::int64_t>(pid)},
+           {"covered_epoch", static_cast<std::int64_t>(ack.covered_epoch)}});
+      return;
+    }
+    ++sum.stale_ckpt_acks;
+    c_stale_acks.Inc();
+  };
+
+  // Frames that may arrive on any slave channel while the master waits for
+  // something else. Load reports are seq-matched at their one consumption
+  // site; here (and on every other wait path) a stray report is stale by
+  // construction and dropped, as is any unexpected type.
+  auto dispatch = [&](SlaveIdx src, Message& msg) {
+    if (msg.type == MsgType::kAck) {
+      Reader r(msg.payload);
+      handle_ack(src, DecodeAck(r));
+    } else if (msg.type == MsgType::kMetrics) {
+      Reader r(msg.payload);
+      MetricsMsg mm = DecodeMetrics(r);
+      ob.cluster.Record(static_cast<Rank>(src) + 1,
+                        static_cast<std::int64_t>(mm.epoch),
+                        std::move(mm.samples));
+    } else if (msg.type == MsgType::kCheckpointAck) {
+      Reader r(msg.payload);
+      handle_ckpt_ack(src, DecodeCheckpointAck(r));
+    }
+  };
+
+  // Bounded wait on one slave channel until `done()` holds. Non-matching
+  // frames are dispatched normally. On strike-out the rank either gets the
+  // dead-slave verdict (`verdict`, the migration semantics) or the wait is
+  // abandoned for this epoch (handover semantics: the per-epoch load-report
+  // wait stays the authoritative failure detector, so a slow third party
+  // never costs an innocent buddy its life).
+  auto wait_on = [&](SlaveIdx src, auto&& done, bool verdict) {
+    std::uint32_t strikes = 0;
+    while (!done()) {
+      if (!members.Alive(src)) return;
+      RecvResult res = [&] {
+        obs::ScopedTimer wall_rcv(&wall_recv);
+        return transport.RecvFromTimed(static_cast<Rank>(src) + 1,
+                                       opts.recv_timeout_us);
+      }();
+      if (res.status == RecvStatus::kClosed) {
+        evict(src);
+        return;
+      }
+      if (res.status == RecvStatus::kTimeout) {
+        if (++strikes > opts.recv_max_retries) {
+          if (verdict) evict(src);
+          return;
+        }
+        continue;
+      }
+      strikes = 0;
+      dispatch(src, res.msg);
+    }
+  };
+
+  // Drives every in-flight migration to completion (both movers acked).
+  // Bounded like the epoch loop: an unresponsive mover gets the dead-slave
+  // verdict, which cancels its moves.
+  auto drain_moves = [&] {
+    std::uint32_t strikes = 0;
+    while (!moves.empty() && members.LiveCount() > 0) {
+      const PendingMove& mv = moves.front();
+      const SlaveIdx src = !mv.sup_acked ? mv.sup : mv.con;
+      RecvResult res = transport.RecvFromTimed(static_cast<Rank>(src) + 1,
+                                               opts.recv_timeout_us);
+      if (res.status == RecvStatus::kClosed) {
+        evict(src);
+        strikes = 0;
+        continue;
+      }
+      if (res.status == RecvStatus::kTimeout) {
+        if (++strikes > opts.recv_max_retries) {
+          evict(src);
+          strikes = 0;
+        }
+        continue;
+      }
+      strikes = 0;
+      dispatch(src, res.msg);
+    }
+  };
+
+  // Issues one migration via the kMoveCmd/kInstallCmd sub-protocol and
+  // updates the map; the withheld partition is released when both movers
+  // ack (handle_ack).
+  auto issue_move = [&](PartitionId pid, SlaveIdx sup, SlaveIdx con) {
+    const std::uint64_t seq = next_move_seq++;
+    in_flight[pid] = true;
+    moves.push_back(PendingMove{pid, sup, con, false, false, seq});
+    Writer wm;
+    Encode(wm, MoveCmdMsg{pid, static_cast<Rank>(con) + 1, seq});
+    transport.Send(static_cast<Rank>(sup) + 1,
+                   Make(MsgType::kMoveCmd, std::move(wm)));
+    Writer wi;
+    Encode(wi, MoveCmdMsg{pid, static_cast<Rank>(sup) + 1, seq});
+    transport.Send(static_cast<Rank>(con) + 1,
+                   Make(MsgType::kInstallCmd, std::move(wi)));
+    pmap.SetOwner(pid, con);
+    // The new owner's journal cannot continue the old owner's segment
+    // chain: its first checkpoint must be a full snapshot. The buddy (and
+    // its acked segments) stay valid across the move.
+    if (repl) need_full[pid] = true;
+    return seq;
+  };
+
+  // One migration on behalf of a membership transition.
+  auto issue_drain_move = [&](const RebalanceMove& mv) {
+    const std::uint64_t seq = issue_move(mv.pid, mv.from, mv.to);
+    ++sum.drain_moves;
+    c_drain_moves.Inc();
+    ob.trace.Instant("drain_move", "membership", vt_now,
+                     {{"pid", static_cast<std::int64_t>(mv.pid)},
+                      {"from", static_cast<std::int64_t>(mv.from) + 1},
+                      {"to", static_cast<std::int64_t>(mv.to) + 1},
+                      {"seq", static_cast<std::int64_t>(seq)}});
+  };
+
+  // One epoch's buddy-handover chunk. `target(pid)` names the desired new
+  // buddy (kNoPendingBuddy = leave the group alone). Untouched groups flip
+  // instantly (no state exists to snapshot); for the rest the owner is
+  // commanded to ship a full snapshot to the new buddy, and this call
+  // blocks until each issued handover commits (handle_ckpt_ack) or
+  // dissolves (an eviction re-ringed the group). Returns true while any
+  // group still awaits a handover after this chunk.
+  auto run_handovers = [&](auto&& target, std::uint32_t chunk) -> bool {
+    if (!repl) return false;
+    std::vector<PartitionId> issued;
+    std::size_t remaining = 0;
+    for (PartitionId pid = 0; pid < npart; ++pid) {
+      const SlaveIdx want = target(pid);
+      if (want == kNoPendingBuddy) continue;
+      if (!touched[pid]) {
+        pmap.SetBuddy(pid, want);
+        acked[pid] = 0;
+        need_full[pid] = true;
+        pending_buddy[pid] = kNoPendingBuddy;
+        ++sum.buddy_handovers;
+        c_handovers.Inc();
+        ob.trace.Instant("buddy_handover", "membership", vt_now,
+                         {{"slave", static_cast<std::int64_t>(want) + 1},
+                          {"pid", static_cast<std::int64_t>(pid)},
+                          {"covered_epoch", 0}});
+        continue;
+      }
+      ++remaining;
+      if (issued.size() >= chunk) continue;
+      pending_buddy[pid] = want;
+      CkptCmdMsg cmd;
+      cmd.covered_epoch = sum.epochs;
+      cmd.entries.push_back(
+          CkptCmdMsg::Entry{pid, static_cast<Rank>(want) + 1, true});
+      Writer w;
+      Encode(w, cmd);
+      transport.Send(static_cast<Rank>(pmap.OwnerOf(pid)) + 1,
+                     Make(MsgType::kCkptCmd, std::move(w)));
+      issued.push_back(pid);
+    }
+    std::size_t committed = 0;
+    for (PartitionId pid : issued) {
+      const SlaveIdx want = pending_buddy[pid];
+      if (want == kNoPendingBuddy) {
+        ++committed;  // resolved while waiting on an earlier group
+        continue;
+      }
+      wait_on(
+          want, [&] { return pending_buddy[pid] == kNoPendingBuddy; },
+          /*verdict=*/false);
+      if (pending_buddy[pid] == kNoPendingBuddy) ++committed;
+    }
+    return remaining > committed;
+  };
+
+  // Join/leave handshake (bounded): send the command, wait for the matching
+  // reply; every timeout resends with a doubled per-attempt timeout capped
+  // at handshake_backoff_cap_us, and after handshake_max_retries resends
+  // the peer gets the dead-slave verdict. Returns false when the peer was
+  // evicted instead of replying.
+  auto handshake = [&](SlaveIdx dst, auto&& send_cmd, MsgType want) -> bool {
+    Duration timeout = opts.recv_timeout_us;
+    const Duration cap =
+        std::max<Duration>(opts.recv_timeout_us, ecfg.handshake_backoff_cap_us);
+    std::uint32_t resends = 0;
+    send_cmd();
+    while (true) {
+      RecvResult res =
+          transport.RecvFromTimed(static_cast<Rank>(dst) + 1, timeout);
+      if (res.status == RecvStatus::kClosed) {
+        evict(dst);
+        return false;
+      }
+      if (res.status == RecvStatus::kTimeout) {
+        if (resends >= ecfg.handshake_max_retries) {
+          evict(dst);
+          return false;
+        }
+        ++resends;
+        ++sum.handshake_retries;
+        c_hs_retries.Inc();
+        timeout = std::min<Duration>(timeout * 2, cap);
+        send_cmd();
+        continue;
+      }
+      if (res.msg.type == want) return true;
+      dispatch(dst, res.msg);
+    }
+  };
+
+  auto finish_transition = [&] {
+    sum.membership_us += clock.Now() - trans->started_wall;
+    trans.reset();
+  };
+
+  // ---- membership step (top of epoch, before distribution) ---------------
+  // Runs the elastic state machine one bounded chunk. Everything it issues
+  // this epoch -- drain moves, handover checkpoints, handshakes -- is
+  // driven to completion before distribution starts, so the slave-side
+  // effects land at a deterministic epoch ordinal and same-seed runs agree
+  // byte-for-byte on traces and recorder rows. Every wait is bounded by the
+  // usual timeout/strike verdicts; a peer dying mid-step resolves through
+  // the normal eviction path (which aborts a transition naming it).
+  auto membership_step = [&] {
+    if (!elastic) return;
+    drain_moves();  // membership never overlaps reorg migrations
+    if (!trans) {
+      // Start the next scheduled event (if due), else the oldest policy
+      // proposal.
+      std::optional<MembershipEvent> ev;
+      if (!schedule.empty() && schedule.front().epoch <= sum.epochs) {
+        ev = schedule.front();
+        schedule.pop_front();
+      } else if (!proposals.empty()) {
+        ev = proposals.front();
+        proposals.pop_front();
+      }
+      if (!ev) return;
+      const SlaveIdx t = ev->slave;
+      const bool valid =
+          t < n && (ev->join
+                        ? members.Alive(t) && !members.Member(t)
+                        : members.Active(t) && members.MemberCount() > 1);
+      if (!valid) {
+        ++sum.membership_skipped;
+        c_memb_skipped.Inc();
+        ob.trace.Instant("membership_skip", "membership", vt_now,
+                         {{"slave", static_cast<std::int64_t>(t) + 1},
+                          {"join", ev->join ? 1 : 0}});
+        return;
+      }
+      trans = MembershipTransition{ev->join, t, sum.epochs, clock.Now()};
+      if (ev->join) {
+        // Admission handshake: the joiner resyncs its epoch ordinal to
+        // admit_epoch - 1 and acks; from this epoch on it receives batches.
+        const bool ok = handshake(
+            t,
+            [&] {
+              Writer w;
+              Encode(w, JoinCmdMsg{sum.epochs, npart});
+              transport.Send(static_cast<Rank>(t) + 1,
+                             Make(MsgType::kJoinCmd, std::move(w)));
+            },
+            MsgType::kJoinAck);
+        if (!ok) return;  // evicted; evict() aborted the transition
+        members.Admit(t);
+        ++sum.joins;
+        c_joins.Inc();
+        ob.trace.Instant("member_join", "membership", vt_now,
+                         {{"slave", static_cast<std::int64_t>(t) + 1}});
+      } else {
+        ob.trace.Instant("leave_begin", "membership", vt_now,
+                         {{"slave", static_cast<std::int64_t>(t) + 1}});
+      }
+    }
+    ++sum.membership_epochs;
+    const SlaveIdx t = trans->slave;
+    const std::uint32_t chunk =
+        std::max<std::uint32_t>(1, ecfg.drain_groups_per_epoch);
+    if (trans->join) {
+      // Groups stranded on dead ranks (no survivor existed at their
+      // eviction) are adopted outright -- their state died with the owner.
+      for (PartitionId pid = 0; pid < cfg.join.num_partitions; ++pid) {
+        if (!members.Active(pmap.OwnerOf(pid))) {
+          pmap.SetOwner(pid, t);
+          if (repl) rering_buddy(pid, t);
+        }
+      }
+      // Rebalance toward the joiner's share, `chunk` groups per epoch; the
+      // plan is recomputed from the live map every epoch, so convergence
+      // survives concurrent evictions and reorg history.
+      const std::vector<RebalanceMove> plan =
+          PlanAdmission(pmap, members.Members(), t, repl);
+      bool moved = false;
+      for (std::size_t i = 0; i < plan.size() && i < chunk; ++i) {
+        const RebalanceMove& mv = plan[i];
+        // An eviction inside a previous move's wait can invalidate the
+        // rest of the plan (a failover re-homed the group, or a mover
+        // died); stale entries are dropped, the next epoch re-plans.
+        if (in_flight[mv.pid] || pmap.OwnerOf(mv.pid) != mv.from ||
+            !members.Active(mv.from) || !members.Active(mv.to)) {
+          continue;
+        }
+        issue_drain_move(mv);
+        moved = true;
+        // One move at a time: two in-flight transfers from different
+        // donors would arrive at the joiner in wall-racy order, and the
+        // byte-identity matrix pins the install order.
+        drain_moves();
+        if (!trans) return;  // an eviction aborted the transition
+      }
+      if (moved) return;
+      // Ownership settled: re-home replicas so the joiner serves as buddy
+      // for its ring predecessor's groups. Groups the joiner owns keep
+      // their existing (still valid) buddies.
+      if (repl) {
+        const std::vector<SlaveIdx> ring = members.Members();
+        const bool more = run_handovers(
+            [&](PartitionId pid) -> SlaveIdx {
+              const SlaveIdx owner = pmap.OwnerOf(pid);
+              if (owner == t || pmap.BuddyOf(pid) == t) return kNoPendingBuddy;
+              if (in_flight[pid] || !members.Active(owner)) {
+                return kNoPendingBuddy;
+              }
+              return PartitionMap::RingSuccessor(owner, ring) == t
+                         ? t
+                         : kNoPendingBuddy;
+            },
+            chunk);
+        if (!trans) return;
+        if (more) return;
+      }
+      finish_transition();
+    } else {
+      // Phase 1: drain ownership off the leaver, `chunk` groups per epoch
+      // (re-planned from the live map, like admissions).
+      std::vector<SlaveIdx> remaining;
+      for (SlaveIdx m : members.Members()) {
+        if (m != t) remaining.push_back(m);
+      }
+      if (pmap.CountOf(t) > 0) {
+        const std::vector<RebalanceMove> plan =
+            PlanDrain(pmap, t, remaining, repl);
+        for (std::size_t i = 0; i < plan.size() && i < chunk; ++i) {
+          const RebalanceMove& mv = plan[i];
+          if (in_flight[mv.pid] || pmap.OwnerOf(mv.pid) != mv.from ||
+              !members.Active(mv.from) || !members.Active(mv.to)) {
+            continue;  // invalidated by an eviction mid-chunk; re-plan next
+          }
+          issue_drain_move(mv);
+          // Serialized like admission moves (deterministic install order).
+          drain_moves();
+          if (!trans) break;
+        }
+        if (!trans || pmap.CountOf(t) > 0) return;
+      }
+      // Phase 2: hand the leaver's replicas to the owners' new ring
+      // successors (the ring without the leaver).
+      if (repl) {
+        const bool more = run_handovers(
+            [&](PartitionId pid) -> SlaveIdx {
+              if (pmap.BuddyOf(pid) != t) return kNoPendingBuddy;
+              const SlaveIdx owner = pmap.OwnerOf(pid);
+              if (owner == t || in_flight[pid] || !members.Active(owner) ||
+                  remaining.empty()) {
+                return kNoPendingBuddy;
+              }
+              const SlaveIdx want =
+                  PartitionMap::RingSuccessor(owner, remaining);
+              return want == owner ? kNoPendingBuddy : want;
+            },
+            chunk);
+        if (!trans) return;
+        if (more) return;
+      }
+      // Phase 3: farewell handshake; the leaver drops its (now obsolete)
+      // replica chains and returns to standby. The ack is sent by its join
+      // thread, so it orders after every extract and checkpoint this node
+      // still owed the cluster -- zero-gap by construction.
+      const bool ok = handshake(
+          t,
+          [&] {
+            Writer w;
+            Encode(w, LeaveCmdMsg{sum.epochs});
+            transport.Send(static_cast<Rank>(t) + 1,
+                           Make(MsgType::kLeaveCmd, std::move(w)));
+          },
+          MsgType::kLeaveAck);
+      if (!ok) return;
+      members.Retire(t);
+      ++sum.leaves;
+      c_leaves.Inc();
+      ob.trace.Instant("member_leave", "membership", vt_now,
+                       {{"slave", static_cast<std::int64_t>(t) + 1}});
+      finish_transition();
+    }
+  };
+
   // Clock sync opens every connection (Algorithm 1 line 18 analogue).
   for (Rank s = 1; s <= n; ++s) {
     Writer w;
@@ -324,7 +844,7 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
   for (Time epoch_start = cfg.epoch.t_dist;; epoch_start += cfg.epoch.t_dist) {
     const bool exhausted = trace != nullptr && trace_pos >= trace->size();
     if (exhausted || epoch_start > opts.run_for) break;
-    if (live_count() == 0) break;
+    if (members.LiveCount() == 0) break;
     SleepUntil(clock, epoch_start);
     ++sum.epochs;
     c_epochs.Inc();
@@ -333,6 +853,11 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     ob.trace.Begin("epoch", "epoch", epoch_start,
                    {{"epoch", static_cast<std::int64_t>(sum.epochs)}});
     const std::uint64_t tuples_before = sum.tuples_sent;
+
+    // Membership transitions advance at the top of the epoch, before any
+    // batch of this epoch is distributed: the step blocks until its chunk
+    // completes, so every slave observes the change at the same ordinal.
+    membership_step();
 
     // Buffer all arrivals of this epoch into the per-partition mini-buffers.
     // A trace is drained by virtual epoch time (tuple timestamps against the
@@ -357,7 +882,7 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     {
       obs::ScopedTimer wall_dist(&wall_distribute);
       for (Rank s = 1; s <= n; ++s) {
-        if (!alive[s - 1]) continue;
+        if (!members.Active(s - 1)) continue;
         std::vector<PartitionId> pids;
         for (PartitionId pid : pmap.PartitionsOf(s - 1)) {
           if (!in_flight[pid]) pids.push_back(pid);
@@ -374,6 +899,7 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
             by_pid[PartitionOf(rec.key, npart)].push_back(rec);
           }
           for (auto& [pid, recs] : by_pid) {
+            touched[pid] = true;
             retained[pid].emplace_back(sum.epochs, std::move(recs));
           }
         }
@@ -399,9 +925,9 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     // the epoch moves on -- the master never blocks on a crashed or hung
     // peer. Migration acks ride the same channels and are consumed here.
     for (Rank s = 1; s <= n; ++s) {
-      if (!alive[s - 1]) continue;
+      if (!members.Active(s - 1)) continue;
       std::uint32_t strikes = 0;
-      while (alive[s - 1]) {
+      while (members.Alive(s - 1)) {
         RecvResult res = [&] {
           obs::ScopedTimer wall_rcv(&wall_recv);
           return transport.RecvFromTimed(s, opts.recv_timeout_us);
@@ -419,49 +945,6 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
           continue;
         }
         strikes = 0;
-        if (res.msg.type == MsgType::kAck) {
-          Reader ar(res.msg.payload);
-          const AckMsg ack = DecodeAck(ar);
-          handle_ack(s - 1, ack);
-          continue;
-        }
-        if (res.msg.type == MsgType::kMetrics) {
-          // Fire-and-forget slave snapshot; merged into the cluster view
-          // keyed by the slave's own epoch stamp (see obs/cluster_view.h).
-          Reader mr(res.msg.payload);
-          MetricsMsg mm = DecodeMetrics(mr);
-          ob.cluster.Record(s, static_cast<std::int64_t>(mm.epoch),
-                            std::move(mm.samples));
-          continue;
-        }
-        if (res.msg.type == MsgType::kCheckpointAck) {
-          Reader cr(res.msg.payload);
-          const CheckpointAckMsg ack = DecodeCheckpointAck(cr);
-          // Only the group's *current* buddy advances the watermark: a
-          // stale ack from a replaced buddy must not release retention the
-          // new (still empty) replica does not cover. Duplicated acks fall
-          // out on the covered-epoch comparison.
-          if (repl && ack.partition_id < npart &&
-              pmap.BuddyOf(ack.partition_id) == s - 1 &&
-              ack.covered_epoch > acked[ack.partition_id]) {
-            acked[ack.partition_id] = ack.covered_epoch;
-            auto& q = retained[ack.partition_id];
-            while (!q.empty() && q.front().first <= ack.covered_epoch) {
-              q.pop_front();
-            }
-            ++sum.ckpt_acks;
-            sum.ckpt_bytes += ack.bytes;
-            c_acks.Inc();
-            c_ack_bytes.Add(ack.bytes);
-            ob.trace.Instant(
-                "ckpt_ack", "repl", vt_now,
-                {{"slave", static_cast<std::int64_t>(s)},
-                 {"pid", static_cast<std::int64_t>(ack.partition_id)},
-                 {"covered_epoch",
-                  static_cast<std::int64_t>(ack.covered_epoch)}});
-          }
-          continue;
-        }
         if (res.msg.type == MsgType::kLoadReport) {
           Reader lr(res.msg.payload);
           const LoadReportMsg report = DecodeLoadReport(lr);
@@ -471,6 +954,41 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
           occupancy[s - 1] = report.avg_buffer_occupancy;
           break;
         }
+        // Migration acks, metrics snapshots, and checkpoint acks ride the
+        // same channel and are consumed here (dispatch).
+        dispatch(s - 1, res.msg);
+      }
+    }
+
+    // Elastic policy loop: observe the members' mean buffer occupancy;
+    // proposals queue behind scheduled events and start at a later epoch's
+    // membership step. Quiet while a transition is in progress or a
+    // proposal is already queued -- the policy reacts to the settled
+    // cluster, not to its own transient.
+    if (elastic && ecfg.policy && !trans && proposals.empty()) {
+      double occ = 0.0;
+      std::uint32_t cnt = 0;
+      for (SlaveIdx m : members.Members()) {
+        occ += occupancy[m];
+        ++cnt;
+      }
+      const ScaleDecision d = policy.Observe(
+          cnt > 0 ? occ / cnt : 0.0, members.MemberCount(),
+          static_cast<std::uint32_t>(members.Standbys().size()));
+      if (d == ScaleDecision::kOut) {
+        const SlaveIdx t = members.Standbys().front();
+        proposals.push_back(MembershipEvent{sum.epochs, true, t});
+        ++sum.policy_scale_outs;
+        c_scale_outs.Inc();
+        ob.trace.Instant("policy_scale_out", "membership", vt_now,
+                         {{"slave", static_cast<std::int64_t>(t) + 1}});
+      } else if (d == ScaleDecision::kIn) {
+        const SlaveIdx t = members.Members().back();
+        proposals.push_back(MembershipEvent{sum.epochs, false, t});
+        ++sum.policy_scale_ins;
+        c_scale_ins.Inc();
+        ob.trace.Instant("policy_scale_in", "membership", vt_now,
+                         {{"slave", static_cast<std::int64_t>(t) + 1}});
       }
     }
 
@@ -485,16 +1003,23 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       ob.trace.Instant("ckpt_sweep", "repl", vt_now,
                        {{"epoch", static_cast<std::int64_t>(sum.epochs)}});
       for (Rank s = 1; s <= n; ++s) {
-        if (!alive[s - 1]) continue;
+        if (!members.Active(s - 1)) continue;
         CkptCmdMsg cmd;
         cmd.covered_epoch = sum.epochs;
         for (PartitionId pid : pmap.PartitionsOf(s - 1)) {
           if (in_flight[pid]) continue;
-          const SlaveIdx b = pmap.BuddyOf(pid);
-          if (!alive[b] || b == s - 1) continue;
-          cmd.entries.push_back(
-              CkptCmdMsg::Entry{pid, b + 1, need_full[pid]});
-          need_full[pid] = false;
+          SlaveIdx b = pmap.BuddyOf(pid);
+          bool full = need_full[pid];
+          if (pending_buddy[pid] != kNoPendingBuddy) {
+            // Mid-handover: checkpoints go to the *new* buddy in full; the
+            // ring pointer (and the old replica) stay authoritative until
+            // the new buddy's ack commits the handover.
+            b = pending_buddy[pid];
+            full = true;
+          }
+          if (!members.Active(b) || b == s - 1) continue;
+          cmd.entries.push_back(CkptCmdMsg::Entry{pid, b + 1, full});
+          if (pending_buddy[pid] == kNoPendingBuddy) need_full[pid] = false;
         }
         if (cmd.entries.empty()) continue;
         Writer w;
@@ -503,14 +1028,16 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       }
     }
 
-    // Reorganization: only over live slaves, and only with no migration
-    // still in flight.
-    if (clock.Now() >= next_reorg && moves.empty()) {
+    // Reorganization: only over active members, only with no migration
+    // still in flight, and suppressed while a membership transition runs
+    // (its drain is a rebalance of its own; interleaving the two would
+    // thrash groups).
+    if (clock.Now() >= next_reorg && moves.empty() && !trans) {
       next_reorg += cfg.epoch.t_rep;
       std::vector<SlaveIdx> live_idx;
       std::vector<double> occ_live;
       for (SlaveIdx i = 0; i < n; ++i) {
-        if (!alive[i]) continue;
+        if (!members.Active(i)) continue;
         live_idx.push_back(i);
         occ_live.push_back(occupancy[i]);
       }
@@ -528,20 +1055,7 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
         if (pids.empty()) continue;
         PartitionId pid =
             pids[rng.NextBounded(static_cast<std::uint32_t>(pids.size()))];
-        const std::uint64_t seq = next_move_seq++;
-        in_flight[pid] = true;
-        moves.push_back(PendingMove{pid, sup, con, false, false, seq});
-        Writer wm;
-        Encode(wm, MoveCmdMsg{pid, con + 1, seq});
-        transport.Send(sup + 1, Make(MsgType::kMoveCmd, std::move(wm)));
-        Writer wi;
-        Encode(wi, MoveCmdMsg{pid, sup + 1, seq});
-        transport.Send(con + 1, Make(MsgType::kInstallCmd, std::move(wi)));
-        pmap.SetOwner(pid, con);
-        // The new owner's journal cannot continue the old owner's segment
-        // chain: its first checkpoint must be a full snapshot. The buddy
-        // (and its acked segments) stay valid across the move.
-        if (repl) need_full[pid] = true;
+        const std::uint64_t seq = issue_move(pid, sup, con);
         ++sum.migrations;
         c_migrations.Inc();
         ob.trace.Instant("migrate", "reorg", vt_now,
@@ -564,42 +1078,12 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
   // mid-flight would strand its state transfer (and the buffered tuples it
   // carries). Every wait is still bounded -- an unresponsive mover gets the
   // same dead-slave verdict as in the epoch loop.
-  {
-    std::uint32_t strikes = 0;
-    while (!moves.empty() && live_count() > 0) {
-      const PendingMove& mv = moves.front();
-      const Rank s = (!mv.sup_acked ? mv.sup : mv.con) + 1;
-      RecvResult res = transport.RecvFromTimed(s, opts.recv_timeout_us);
-      if (res.status == RecvStatus::kClosed) {
-        evict(s - 1);
-        strikes = 0;
-        continue;
-      }
-      if (res.status == RecvStatus::kTimeout) {
-        if (++strikes > opts.recv_max_retries) {
-          evict(s - 1);
-          strikes = 0;
-        }
-        continue;
-      }
-      strikes = 0;
-      if (res.msg.type == MsgType::kAck) {
-        Reader ar(res.msg.payload);
-        handle_ack(s - 1, DecodeAck(ar));
-      } else if (res.msg.type == MsgType::kMetrics) {
-        Reader mr(res.msg.payload);
-        MetricsMsg mm = DecodeMetrics(mr);
-        ob.cluster.Record(s, static_cast<std::int64_t>(mm.epoch),
-                          std::move(mm.samples));
-      }
-      // Late load reports / duplicates are discarded.
-    }
-  }
+  drain_moves();
 
   // Final sweep: distribute the tuples that were withheld while their
   // partition was in flight (the drain released every in_flight flag).
   for (Rank s = 1; s <= n; ++s) {
-    if (!alive[s - 1]) continue;
+    if (!members.Active(s - 1)) continue;
     TupleBatchMsg batch;
     batch.recs = buffer.DrainFor(pmap.PartitionsOf(s - 1));
     if (batch.recs.empty()) continue;
@@ -611,20 +1095,33 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     ++batches_sent[s - 1];
   }
 
-  for (Rank s = 1; s <= n; ++s) {
-    if (alive[s - 1]) transport.Send(s, Message{MsgType::kShutdown, 0, {}});
-  }
   // Tell the collector how many slaves are still alive to report; dead
   // slaves will never deliver their kShutdown, and the collector must not
   // wait for them. The run-summary counters ride along for the collector's
-  // observability line.
+  // observability line (the membership mirror is what the graceful-leave
+  // acceptance checks key on). This frame goes out BEFORE the slaves'
+  // shutdowns: every slave kShutdown the collector counts toward its exit
+  // condition is caused by a master send that happens after this one, so
+  // the collector is guaranteed to process the summary payload -- sent
+  // last, it can lose the race against the final slave forward and leave
+  // the collector's relayed counters at zero.
   Writer wc;
-  wc.PutU32(live_count());
+  wc.PutU32(members.LiveCount());
   wc.PutU32(sum.dead_slaves);
   wc.PutU64(sum.groups_failed_over);
   wc.PutU64(sum.ckpt_bytes);
   wc.PutU64(sum.replayed_batches);
+  wc.PutU64(sum.joins);
+  wc.PutU64(sum.leaves);
+  wc.PutU64(sum.drain_moves);
   transport.Send(collector, Make(MsgType::kShutdown, std::move(wc)));
+  // Every alive rank -- members and standbys -- gets the shutdown; a
+  // standby's node loop is parked in Recv and exits on it.
+  for (Rank s = 1; s <= n; ++s) {
+    if (members.Alive(s - 1)) {
+      transport.Send(s, Message{MsgType::kShutdown, 0, {}});
+    }
+  }
   sum.wall_stages = obs::SummarizeWallStages(reg);
   SJOIN_INFO("master: wall stages: "
              << obs::FormatWallStages(sum.wall_stages));
@@ -668,10 +1165,19 @@ struct FailoverWork {
 struct ReplayWork {
   ReplayBatchMsg batch;
 };
+/// kJoinCmd: admitted as a member at `admit_epoch` (epoch-ordinal resync).
+struct JoinWork {
+  std::uint64_t admit_epoch;
+};
+/// kLeaveCmd: gracefully retired to standby after epoch `epoch`.
+struct LeaveWork {
+  std::uint64_t epoch;
+};
 struct StopWork {};
 using SlaveWork =
     std::variant<BatchWork, ExtractWork, ExpectWork, InstallWork, CkptWork,
-                 CkptApplyWork, FailoverWork, ReplayWork, StopWork>;
+                 CkptApplyWork, FailoverWork, ReplayWork, JoinWork, LeaveWork,
+                 StopWork>;
 
 /// One applied replica segment of a partition-group. A buddy's chain is a
 /// full snapshot followed by contiguous incremental deltas (older fulls are
@@ -824,6 +1330,27 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
         case MsgType::kReplayBatch: {
           Reader r(msg->payload);
           push(ReplayWork{DecodeReplayBatch(r, tb)});
+          break;
+        }
+        case MsgType::kJoinCmd: {
+          Reader r(msg->payload);
+          const JoinCmdMsg jc = DecodeJoinCmd(r);
+          // Ack immediately from the comm module (the admission handshake
+          // is latency-bound, like load reports); the epoch resync rides
+          // the FIFO work queue, so it lands before any admitted-epoch
+          // work. A duplicated command (handshake resend) re-acks; the
+          // duplicate JoinWork re-writes the same ordinal harmlessly.
+          Writer w;
+          Encode(w, JoinAckMsg{jc.admit_epoch});
+          transport.Send(0, Make(MsgType::kJoinAck, std::move(w)));
+          push(JoinWork{jc.admit_epoch});
+          break;
+        }
+        case MsgType::kLeaveCmd: {
+          // The farewell ack must order after every queued extract and
+          // checkpoint, so it is sent by the join thread, not from here.
+          Reader r(msg->payload);
+          push(LeaveWork{DecodeLeaveCmd(r).epoch});
           break;
         }
         case MsgType::kShutdown:
@@ -1192,6 +1719,32 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
           {{"epoch", static_cast<std::int64_t>(rp->batch.epoch)},
            {"tuples", static_cast<std::int64_t>(rp->batch.recs.size())}});
       flush_stats();
+    } else if (auto* jn = std::get_if<JoinWork>(&work)) {
+      // Admission: resync the epoch ordinal so the first admitted batch
+      // lands at exactly admit_epoch -- checkpoint stamps and logical
+      // trace timestamps stay a *global* epoch count across the
+      // membership change (the master skipped this rank while standby).
+      epochs_done = jn->admit_epoch > 0 ? jn->admit_epoch - 1 : 0;
+      SetLogVt(static_cast<Time>(epochs_done) * cfg.epoch.t_dist);
+      ob.trace.Instant(
+          "member_admit", "membership",
+          static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
+          {{"admit_epoch", static_cast<std::int64_t>(jn->admit_epoch)}});
+    } else if (auto* lv = std::get_if<LeaveWork>(&work)) {
+      // Graceful retirement: every batch, extract, and handover checkpoint
+      // the master issued before the farewell has drained (FIFO), so the
+      // store owns no groups and the replica chains this node held are
+      // obsolete -- drop them and return to standby. The ack travels after
+      // everything this node still owed the cluster.
+      replica.clear();
+      last_ckpt.clear();
+      ob.trace.Instant("member_retire", "membership",
+                       static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
+                       {{"epoch", static_cast<std::int64_t>(lv->epoch)}});
+      Writer w;
+      Encode(w, LeaveAckMsg{lv->epoch});
+      transport.Send(0, Make(MsgType::kLeaveAck, std::move(w)));
+      flush_stats();
     } else {
       running = false;
     }
@@ -1232,6 +1785,11 @@ CollectorSummary RunCollectorNode(Transport& transport,
             sum.groups_failed_over = r.GetU64();
             sum.ckpt_bytes = r.GetU64();
             sum.replayed_batches = r.GetU64();
+          }
+          if (msg->payload.size() >= 56) {
+            sum.joins = r.GetU64();
+            sum.leaves = r.GetU64();
+            sum.drain_moves = r.GetU64();
           }
         }
       } else {

@@ -64,6 +64,7 @@
 
 #include "common/config.h"
 #include "common/time.h"
+#include "core/membership.h"
 #include "join/sink.h"
 #include "net/transport.h"
 #include "obs/obs.h"
@@ -109,6 +110,13 @@ struct WallOptions {
   /// tags to apply the failover output-voiding rule.
   std::vector<EpochTagSink*> slave_epoch_sinks;
 
+  /// Scheduled membership transitions (cfg.cluster.elastic.enabled only):
+  /// at the first epoch boundary >= event.epoch with no transition already
+  /// in progress, the master admits or drains the named slave. Events are
+  /// processed in schedule order; the policy loop (elastic.policy) appends
+  /// its own proposals behind them. See DESIGN.md "Elastic membership".
+  std::vector<MembershipEvent> membership;
+
   /// Observability bundles (obs/obs.h). The master records its protocol
   /// counters, per-epoch snapshots, trace spans, and the cluster-wide
   /// kMetrics view into `master_obs`; slave rank r uses `slave_obs[r - 1]`
@@ -121,13 +129,18 @@ struct WallOptions {
 };
 
 /// One group's failover, recorded for the output-voiding rule: outputs
-/// tagged (pid, epoch >= replay_from) count only from `target` -- the
-/// replay regenerates exactly those, and any copy another rank produced
-/// before dying (or before being falsely evicted) is void.
+/// tagged (pid, replay_from <= epoch <= replay_to) count only from
+/// `target` -- the replay regenerates exactly those, and any copy another
+/// rank produced before dying (or before being falsely evicted) is void.
+/// The upper bound is the epoch of the verdict: no batch past it was ever
+/// delivered to the dead (or falsely evicted) rank, so later epochs belong
+/// to whoever owns the group then -- possibly a third rank, if an elastic
+/// membership transition migrates the group off the failover target.
 struct FailoverRecord {
   std::uint32_t pid = 0;
   Rank target = 0;  ///< slave rank (1-based) that adopted the group
   std::uint64_t replay_from = 0;  ///< first epoch redelivered to it
+  std::uint64_t replay_to = 0;    ///< verdict epoch: last voidable epoch
 };
 
 struct MasterSummary {
@@ -146,6 +159,26 @@ struct MasterSummary {
   std::uint64_t replayed_batches = 0;     ///< retained epochs redelivered
   std::uint64_t replayed_tuples = 0;
   std::vector<FailoverRecord> failovers;  ///< for the output-voiding rule
+
+  // Elastic membership (all zero with cfg.cluster.elastic disabled).
+  std::uint64_t joins = 0;             ///< standbys admitted as members
+  std::uint64_t leaves = 0;            ///< members gracefully retired
+  std::uint64_t drain_moves = 0;       ///< groups migrated by transitions
+  std::uint64_t buddy_handovers = 0;   ///< replicas re-homed via handover
+  std::uint64_t handshake_retries = 0; ///< join/leave frames resent
+  std::uint64_t stale_ckpt_acks = 0;   ///< checkpoint acks dropped by guard
+  std::uint64_t policy_scale_outs = 0; ///< policy-proposed admissions
+  std::uint64_t policy_scale_ins = 0;  ///< policy-proposed drains
+  std::uint64_t membership_skipped = 0;  ///< invalid scheduled events
+
+  /// Master-observed wall time spent inside membership transitions
+  /// (handshake through farewell), summed. Wall-clock derived, like
+  /// `recovery_us` (bench/ext_elastic_scaling reports it).
+  Duration membership_us = 0;
+
+  /// Epochs during which a membership transition was in progress
+  /// (epochs-to-steady-state; deterministic for scheduled transitions).
+  std::uint64_t membership_epochs = 0;
 
   /// Master-observed recovery time: dead-slave verdict through the last
   /// retained batch redelivered, summed over evictions. Wall-clock derived
@@ -195,6 +228,13 @@ struct CollectorSummary {
   std::uint64_t groups_failed_over = 0;
   std::uint64_t ckpt_bytes = 0;
   std::uint64_t replayed_batches = 0;
+
+  // Elastic membership mirror (zero on older/shorter shutdown payloads).
+  // The graceful-leave acceptance check keys on these: joins/leaves count
+  // completed transitions, drain_moves the groups migrated for them.
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t drain_moves = 0;
 };
 
 /// Runs the master node until `opts.run_for` elapses (or `opts.input_trace`

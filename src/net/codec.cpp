@@ -355,4 +355,40 @@ ResultStatsMsg DecodeResultStats(Reader& r) {
   return m;
 }
 
+void Encode(Writer& w, const JoinCmdMsg& m) {
+  w.PutU64(m.admit_epoch);
+  w.PutU32(m.num_partitions);
+}
+
+JoinCmdMsg DecodeJoinCmd(Reader& r) {
+  JoinCmdMsg m;
+  m.admit_epoch = r.GetU64();
+  m.num_partitions = r.GetU32();
+  return m;
+}
+
+void Encode(Writer& w, const JoinAckMsg& m) { w.PutU64(m.admit_epoch); }
+
+JoinAckMsg DecodeJoinAck(Reader& r) {
+  JoinAckMsg m;
+  m.admit_epoch = r.GetU64();
+  return m;
+}
+
+void Encode(Writer& w, const LeaveCmdMsg& m) { w.PutU64(m.epoch); }
+
+LeaveCmdMsg DecodeLeaveCmd(Reader& r) {
+  LeaveCmdMsg m;
+  m.epoch = r.GetU64();
+  return m;
+}
+
+void Encode(Writer& w, const LeaveAckMsg& m) { w.PutU64(m.epoch); }
+
+LeaveAckMsg DecodeLeaveAck(Reader& r) {
+  LeaveAckMsg m;
+  m.epoch = r.GetU64();
+  return m;
+}
+
 }  // namespace sjoin

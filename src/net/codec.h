@@ -198,4 +198,41 @@ struct ResultStatsMsg {
 void Encode(Writer& w, const ResultStatsMsg& m);
 ResultStatsMsg DecodeResultStats(Reader& r);
 
+/// master -> standby: become a member. `admit_epoch` is the distribution
+/// epoch whose batch will be the first the joiner receives; the joiner
+/// resynchronizes its local epoch ordinal to `admit_epoch - 1` so its
+/// checkpoint stamps keep equalling the global epoch of the last covered
+/// batch. `num_partitions` echoes the cluster's partition count as a
+/// configuration sanity check. Idempotent: a duplicated command re-acks.
+struct JoinCmdMsg {
+  std::uint64_t admit_epoch = 0;
+  std::uint32_t num_partitions = 0;
+};
+void Encode(Writer& w, const JoinCmdMsg& m);
+JoinCmdMsg DecodeJoinCmd(Reader& r);
+
+/// standby -> master: admission acknowledged (echoes the epoch so stale
+/// acks of an aborted earlier admission are identifiable).
+struct JoinAckMsg {
+  std::uint64_t admit_epoch = 0;
+};
+void Encode(Writer& w, const JoinAckMsg& m);
+JoinAckMsg DecodeJoinAck(Reader& r);
+
+/// master -> member: the drain is complete (the addressee owns no groups
+/// and holds no committed replicas); return to standby. Idempotent.
+struct LeaveCmdMsg {
+  std::uint64_t epoch = 0;
+};
+void Encode(Writer& w, const LeaveCmdMsg& m);
+LeaveCmdMsg DecodeLeaveCmd(Reader& r);
+
+/// member -> master: farewell acknowledged (sent by the join thread, so it
+/// orders after every previously queued extract/checkpoint work item).
+struct LeaveAckMsg {
+  std::uint64_t epoch = 0;
+};
+void Encode(Writer& w, const LeaveAckMsg& m);
+LeaveAckMsg DecodeLeaveAck(Reader& r);
+
 }  // namespace sjoin

@@ -19,6 +19,10 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kFailoverCmd: return "failover_cmd";
     case MsgType::kReplayBatch: return "replay_batch";
     case MsgType::kMetrics: return "metrics";
+    case MsgType::kJoinCmd: return "join_cmd";
+    case MsgType::kJoinAck: return "join_ack";
+    case MsgType::kLeaveCmd: return "leave_cmd";
+    case MsgType::kLeaveAck: return "leave_ack";
   }
   return "unknown";
 }

@@ -40,6 +40,15 @@ enum class MsgType : std::uint8_t {
 
   // Observability (src/obs/): fire-and-forget, never awaited by anyone.
   kMetrics = 15,  ///< slave -> master: registry snapshot for one epoch
+
+  // Elastic membership sub-protocol (DESIGN.md "Elastic membership"): a
+  // standby slave is admitted at an epoch boundary, a member is gracefully
+  // drained and dismissed. Both handshakes are master-driven, bounded, and
+  // retried with exponential backoff.
+  kJoinCmd = 16,   ///< master -> standby: become a member at this epoch
+  kJoinAck = 17,   ///< standby -> master: admission acknowledged
+  kLeaveCmd = 18,  ///< master -> drained member: return to standby
+  kLeaveAck = 19,  ///< member -> master: farewell acknowledged
 };
 
 /// Stable lowercase name of a message type, e.g. "tuple_batch". Used as the

@@ -145,6 +145,123 @@ TEST(EvacuationTest, DeadBuddyFallsBackToLeastLoaded) {
   EXPECT_TRUE(saw_pid1);
 }
 
+// ---------------------------------------------------------------------------
+// Elastic-membership rebalance planning (PlanAdmission / PlanDrain).
+
+TEST(AdmissionTest, JoinerReceivesEqualShare) {
+  PartitionMap map(24, 3);  // slaves 0..2 own 8 each; slave 3 joins
+  auto moves = PlanAdmission(map, {0, 1, 2, 3}, 3);
+  EXPECT_EQ(moves.size(), 6u);  // floor(24 / 4)
+  for (const RebalanceMove& m : moves) {
+    EXPECT_EQ(m.to, 3u);
+    EXPECT_NE(m.from, 3u);
+  }
+}
+
+TEST(AdmissionTest, RecomputableAfterPartialExecution) {
+  // Execute a prefix, mutate the map, re-plan: the deficit shrinks
+  // monotonically and the combined effect still reaches the full share.
+  PartitionMap map(24, 3);
+  auto plan = PlanAdmission(map, {0, 1, 2, 3}, 3);
+  ASSERT_GE(plan.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) map.SetOwner(plan[i].pid, plan[i].to);
+  auto replanned = PlanAdmission(map, {0, 1, 2, 3}, 3);
+  EXPECT_EQ(replanned.size(), plan.size() - 2);
+  EXPECT_EQ(map.CountOf(3) + replanned.size(), 6u);
+}
+
+TEST(AdmissionTest, ZeroGroupsYieldsEmptyPlan) {
+  // Degenerate map: fewer partitions than members -- the joiner's share is
+  // floor(1 / 2) = 0, so nothing moves.
+  PartitionMap map(1, 1);
+  EXPECT_TRUE(PlanAdmission(map, {0, 1}, 1).empty());
+}
+
+TEST(AdmissionTest, SatisfiedJoinerPlansNothing) {
+  // Groups the joiner already owns count toward its share.
+  PartitionMap map(24, 4);  // 6 each already
+  EXPECT_TRUE(PlanAdmission(map, {0, 1, 2, 3}, 3).empty());
+}
+
+TEST(AdmissionTest, RespectsBuddyDistinctness) {
+  // With respect_buddies no group may be moved onto its own buddy: the
+  // owner holds live state, the buddy the replica, and they must differ.
+  // Pin the joiner as buddy of every slave-0 group (the first donor the
+  // planner would otherwise pull from) -- those groups must be passed over
+  // and the share filled from slaves 1 and 2 instead.
+  PartitionMap map(24, 3);
+  for (PartitionId pid : map.PartitionsOf(0)) map.SetBuddy(pid, 3);
+  auto moves = PlanAdmission(map, {0, 1, 2, 3}, 3, /*respect_buddies=*/true);
+  ASSERT_FALSE(moves.empty());
+  for (const RebalanceMove& m : moves) {
+    EXPECT_NE(map.BuddyOf(m.pid), m.to) << "pid=" << m.pid;
+    EXPECT_NE(m.from, 0u) << "pid=" << m.pid;
+  }
+}
+
+TEST(DrainTest, AllGroupsLeaveTheLeaver) {
+  PartitionMap map(24, 3);
+  const auto owned = map.PartitionsOf(1);
+  auto moves = PlanDrain(map, 1, {0, 2});
+  ASSERT_EQ(moves.size(), owned.size());
+  for (const RebalanceMove& m : moves) {
+    EXPECT_EQ(m.from, 1u);
+    EXPECT_NE(m.to, 1u);
+  }
+}
+
+TEST(DrainTest, ZeroOwnedGroupsYieldsEmptyPlan) {
+  PartitionMap map(24, 3);
+  for (PartitionId pid : map.PartitionsOf(1)) map.SetOwner(pid, 0);
+  EXPECT_TRUE(PlanDrain(map, 1, {0, 2}).empty());
+}
+
+TEST(DrainTest, EmptyRemainingYieldsEmptyPlan) {
+  PartitionMap map(24, 3);
+  EXPECT_TRUE(PlanDrain(map, 1, {}).empty());
+}
+
+TEST(DrainTest, SingleSurvivorTakesEverything) {
+  // All groups concentrated on the leaver, one member remains: the whole
+  // map moves to it, buddy placement notwithstanding (liveness over
+  // replica placement).
+  PartitionMap map(24, 3);
+  for (PartitionId pid = 0; pid < 24; ++pid) map.SetOwner(pid, 1);
+  auto moves = PlanDrain(map, 1, {2}, /*respect_buddies=*/true);
+  ASSERT_EQ(moves.size(), 24u);
+  for (const RebalanceMove& m : moves) EXPECT_EQ(m.to, 2u);
+}
+
+TEST(DrainTest, AvoidsBuddyWhenAlternativesExist) {
+  PartitionMap map(24, 4);
+  auto moves = PlanDrain(map, 1, {0, 2, 3}, /*respect_buddies=*/true);
+  ASSERT_FALSE(moves.empty());
+  for (const RebalanceMove& m : moves) {
+    EXPECT_NE(map.BuddyOf(m.pid), m.to) << "pid=" << m.pid;
+  }
+}
+
+TEST(DrainTest, BalancesAcrossRemaining) {
+  PartitionMap map(24, 3);  // 8 per slave
+  auto moves = PlanDrain(map, 1, {0, 2});
+  std::size_t to0 = 0;
+  std::size_t to2 = 0;
+  for (const RebalanceMove& m : moves) (m.to == 0 ? to0 : to2)++;
+  EXPECT_EQ(to0, 4u);  // 8 + 4 == 12 each afterwards
+  EXPECT_EQ(to2, 4u);
+}
+
+TEST(DrainTest, DeterministicPlan) {
+  PartitionMap map(24, 4);
+  auto a = PlanDrain(map, 2, {0, 1, 3}, /*respect_buddies=*/true);
+  auto b = PlanDrain(map, 2, {0, 1, 3}, /*respect_buddies=*/true);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pid, b[i].pid);
+    EXPECT_EQ(a[i].to, b[i].to);
+  }
+}
+
 TEST(EvacuationTest, DeterministicPlan) {
   PartitionMap map(24, 4);
   auto a = PlanEvacuation(map, 2, {0, 1, 3}, /*prefer_buddies=*/true);

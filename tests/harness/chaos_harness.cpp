@@ -1,9 +1,11 @@
 #include "harness/chaos_harness.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "common/rng.h"
 #include "join/epoch_tag_sink.h"
@@ -46,6 +48,18 @@ std::string ChaosClusterResult::Summary(bool include_fault_lines) const {
      << " failed_over=" << master.groups_failed_over << "\n";
   os << "outputs=" << outputs.size() << " hash=" << HashPairs(outputs)
      << " missing=" << missing.size() << " extra=" << extra.size() << "\n";
+  // Elastic membership line (omitted when no membership machinery ran, so
+  // pre-elastic scenarios keep their original summaries). All of these are
+  // epoch-boundary deterministic for scheduled transitions.
+  if (master.joins != 0 || master.leaves != 0 || master.drain_moves != 0 ||
+      master.membership_epochs != 0 || master.membership_skipped != 0) {
+    os << "joins=" << master.joins << " leaves=" << master.leaves
+       << " drain_moves=" << master.drain_moves
+       << " handovers=" << master.buddy_handovers
+       << " membership_epochs=" << master.membership_epochs
+       << " skipped=" << master.membership_skipped
+       << " dup_group_epoch=" << dup_group_epoch_ranks << "\n";
+  }
   if (include_fault_lines) {
     for (std::size_t r = 0; r < fault_stats.size(); ++r) {
       const FaultStats& fs = fault_stats[r];
@@ -126,14 +140,19 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
     result.trace_json = obs::ExportChromeJson(obs::MergeTraces(sinks_by_rank));
   }
 
-  // Failover output-voiding rule: outputs tagged (pid, epoch >= replay_from)
-  // count only from the failover target -- the replay regenerates exactly
-  // those (see core/runner.h FailoverRecord).
+  // Failover output-voiding rule: outputs tagged (pid, replay_from <=
+  // epoch <= replay_to) count only from the failover target -- the replay
+  // regenerates exactly those (see core/runner.h FailoverRecord). Epochs
+  // past the verdict belong to whoever owns the group then (an elastic
+  // drain may legitimately move it off the target).
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t>
+      group_epoch_ranks;  // (pid, epoch) -> bitmask of producing ranks
   for (Rank s = 0; s < n; ++s) {
     for (const TaggedOutput& t : sinks[s].Outputs()) {
       bool voided = false;
       for (const FailoverRecord& f : result.master.failovers) {
-        if (t.pid == f.pid && t.epoch >= f.replay_from && s + 1 != f.target) {
+        if (t.pid == f.pid && t.epoch >= f.replay_from &&
+            t.epoch <= f.replay_to && s + 1 != f.target) {
           voided = true;
           break;
         }
@@ -142,8 +161,14 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
         ++result.voided;
         continue;
       }
+      group_epoch_ranks[{t.pid, t.epoch}] |= 1u << s;
       result.outputs.push_back(PairOf(t.out));
     }
+  }
+  // A surviving (group, epoch) tag produced by two ranks is a duplicated
+  // delivery (one epoch's tuples for one group have exactly one owner).
+  for (const auto& [ge, mask] : group_epoch_ranks) {
+    if ((mask & (mask - 1)) != 0) ++result.dup_group_epoch_ranks;
   }
   std::sort(result.outputs.begin(), result.outputs.end());
   result.reference =
@@ -175,6 +200,41 @@ std::vector<Rec> MakeChaosTrace(std::uint64_t seed, std::size_t count,
     trace.push_back(rec);
   }
   return trace;
+}
+
+std::vector<MembershipEvent> MakeMembershipSchedule(
+    std::uint64_t seed, std::size_t count, std::uint32_t num_slaves,
+    std::uint32_t initial_members, std::uint64_t first_epoch,
+    std::uint64_t gap_epochs) {
+  Pcg32 rng(Mix64(seed ^ 0x3E1A57ULL), 11);
+  std::vector<bool> member(num_slaves, false);
+  for (std::uint32_t s = 0; s < initial_members && s < num_slaves; ++s) {
+    member[s] = true;
+  }
+  auto pick = [&](bool want_member) -> std::int64_t {
+    std::vector<std::uint32_t> pool;
+    for (std::uint32_t s = 0; s < num_slaves; ++s) {
+      if (member[s] == want_member) pool.push_back(s);
+    }
+    if (pool.empty()) return -1;
+    return pool[rng.NextBounded(static_cast<std::uint32_t>(pool.size()))];
+  };
+  std::vector<MembershipEvent> schedule;
+  std::uint64_t epoch = first_epoch;
+  std::uint32_t members = std::min(initial_members, num_slaves);
+  for (std::size_t i = 0; i < count; ++i, epoch += gap_epochs) {
+    const bool can_join = members < num_slaves;
+    const bool can_leave = members > 1;
+    if (!can_join && !can_leave) break;
+    bool join = can_join && (!can_leave || rng.NextBounded(2) == 0);
+    const std::int64_t slave = pick(/*want_member=*/!join);
+    if (slave < 0) continue;
+    member[static_cast<std::uint32_t>(slave)] = join;
+    members = join ? members + 1 : members - 1;
+    schedule.push_back(
+        MembershipEvent{epoch, join, static_cast<SlaveIdx>(slave)});
+  }
+  return schedule;
 }
 
 }  // namespace sjoin

@@ -20,12 +20,16 @@
 //
 // Every slave's outputs are materialized through an EpochTagSink, and the
 // harness applies the failover output-voiding rule before the differential
-// check: for each FailoverRecord{pid, target, replay_from} reported by the
-// master, outputs tagged (pid, epoch >= replay_from) count only from
-// `target` -- the replay regenerates exactly those, and any copy another
-// rank produced (the dead slave pre-crash, a falsely-evicted slave
-// post-verdict, or a pre-migration owner) is void. This is the collector's
-// dedup discipline, stated over the test's materialized outputs.
+// check: for each FailoverRecord{pid, target, replay_from, replay_to}
+// reported by the master, outputs tagged (pid, replay_from <= epoch <=
+// replay_to) count only from `target` -- the replay regenerates exactly
+// those, and any copy another rank produced (the dead slave pre-crash, a
+// falsely-evicted slave post-verdict, or a pre-migration owner) is void.
+// Epochs past the verdict (`replay_to`) were never delivered to the dead
+// rank and belong to the group's then-current owner, which an elastic
+// drain may legitimately have moved off the target. This is the
+// collector's dedup discipline, stated over the test's materialized
+// outputs.
 #pragma once
 
 #include <cstdint>
@@ -71,6 +75,13 @@ struct ChaosClusterResult {
   /// lands is thread-timing dependent; the post-voiding output set is not.
   std::uint64_t voided = 0;
 
+  /// Post-voiding (group, epoch) tags produced by MORE than one slave rank.
+  /// One epoch's tuples for one group go to exactly one owner, and the
+  /// voiding rule strips superseded pre-failover copies, so any survivor
+  /// here is a duplicated delivery -- the graceful-leave acceptance check
+  /// asserts 0 across membership transitions.
+  std::uint64_t dup_group_epoch_ranks = 0;
+
   /// Per-rank observability bundles (index = rank, 0 .. num_slaves + 1; the
   /// collector's exists but stays empty -- it has no instrumented runner
   /// state). The master's carries the ClusterMetricsView assembled from
@@ -108,5 +119,18 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts);
 /// dense matches.
 std::vector<Rec> MakeChaosTrace(std::uint64_t seed, std::size_t count,
                                 Time span_us, std::uint64_t key_domain);
+
+/// Builds a seeded, valid-by-construction membership schedule for a cluster
+/// of `num_slaves` ranks of which `initial_members` start as members: the
+/// generator simulates the member/standby sets, so every event joins an
+/// actual standby or drains an actual member while keeping at least one
+/// member -- no event is skippable by the runner's validity check (an
+/// eviction racing the schedule can still invalidate one at run time, which
+/// the runner then skips and counts). Events are spaced `gap_epochs` apart
+/// starting at `first_epoch`.
+std::vector<MembershipEvent> MakeMembershipSchedule(
+    std::uint64_t seed, std::size_t count, std::uint32_t num_slaves,
+    std::uint32_t initial_members, std::uint64_t first_epoch = 4,
+    std::uint64_t gap_epochs = 6);
 
 }  // namespace sjoin

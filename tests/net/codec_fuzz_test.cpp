@@ -314,6 +314,36 @@ TEST(CodecFuzzTest, CheckpointRejectsInconsistentEpochRange) {
   EXPECT_THROW((void)DecodeCheckpoint(r2, 64), DecodeError);
 }
 
+// ---------------------------------------------------------------------------
+// Membership frames (kJoinCmd / kJoinAck / kLeaveCmd / kLeaveAck): fixed
+// layouts, so every proper prefix of an encoded frame must throw.
+// ---------------------------------------------------------------------------
+
+TEST(CodecFuzzTest, MembershipFramesRejectTruncation) {
+  auto check = [](const std::vector<std::uint8_t>& bytes, auto decode) {
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      Reader r(std::span<const std::uint8_t>(bytes.data(), cut));
+      EXPECT_THROW((void)decode(r), DecodeError) << "cut=" << cut;
+    }
+  };
+  Writer w1;
+  Encode(w1, JoinCmdMsg{42, 24});
+  check(std::move(w1).TakeBuffer(),
+        [](Reader& r) { return DecodeJoinCmd(r); });
+  Writer w2;
+  Encode(w2, JoinAckMsg{42});
+  check(std::move(w2).TakeBuffer(),
+        [](Reader& r) { return DecodeJoinAck(r); });
+  Writer w3;
+  Encode(w3, LeaveCmdMsg{99});
+  check(std::move(w3).TakeBuffer(),
+        [](Reader& r) { return DecodeLeaveCmd(r); });
+  Writer w4;
+  Encode(w4, LeaveAckMsg{99});
+  check(std::move(w4).TakeBuffer(),
+        [](Reader& r) { return DecodeLeaveAck(r); });
+}
+
 TEST(CodecFuzzTest, RandomCorruptionNeverCrashesReplicationDecode) {
   CheckpointMsg ck;
   ck.partition_id = 2;

@@ -142,6 +142,30 @@ TEST(PunctuatedCodecTest, TupleBeforePunctuationRejected) {
   EXPECT_THROW(DecodePunctuated(r, 64), DecodeError);
 }
 
+TEST(NetCodecTest, MembershipFramesRoundTrip) {
+  Writer w;
+  Encode(w, JoinCmdMsg{77, 24});
+  Encode(w, JoinAckMsg{77});
+  Encode(w, LeaveCmdMsg{123});
+  Encode(w, LeaveAckMsg{123});
+  Reader r(w.Bytes());
+  JoinCmdMsg jc = DecodeJoinCmd(r);
+  EXPECT_EQ(jc.admit_epoch, 77u);
+  EXPECT_EQ(jc.num_partitions, 24u);
+  EXPECT_EQ(DecodeJoinAck(r).admit_epoch, 77u);
+  EXPECT_EQ(DecodeLeaveCmd(r).epoch, 123u);
+  EXPECT_EQ(DecodeLeaveAck(r).epoch, 123u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(NetCodecTest, MembershipFrameTypeNames) {
+  // The trace/debug name table must cover the membership frames.
+  EXPECT_STREQ(MsgTypeName(MsgType::kJoinCmd), "join_cmd");
+  EXPECT_STREQ(MsgTypeName(MsgType::kJoinAck), "join_ack");
+  EXPECT_STREQ(MsgTypeName(MsgType::kLeaveCmd), "leave_cmd");
+  EXPECT_STREQ(MsgTypeName(MsgType::kLeaveAck), "leave_ack");
+}
+
 TEST(NetCodecTest, MessageWireBytesIncludesHeader) {
   Message m;
   m.payload = {1, 2, 3};

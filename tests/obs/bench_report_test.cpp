@@ -151,10 +151,11 @@ TEST(BenchSuiteTest, RoundTripAndModeConsistency) {
 
 TEST(BenchReportTest, KnownBenchIdsCoverTheSuite) {
   std::vector<std::string> ids = KnownBenchIds();
-  EXPECT_EQ(ids.size(), 22u);
+  EXPECT_EQ(ids.size(), 23u);
   for (const char* expected :
        {"fig05_delay_small", "table1_defaults", "micro_benchmarks",
-        "ext_recovery_overhead", "ext_worker_scaling"}) {
+        "ext_recovery_overhead", "ext_worker_scaling",
+        "ext_elastic_scaling"}) {
     bool found = false;
     for (const std::string& id : ids) found = found || id == expected;
     EXPECT_TRUE(found) << expected;
