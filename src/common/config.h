@@ -154,6 +154,14 @@ struct ElasticConfig {
   std::uint32_t idle_epochs = 8;  ///< consecutive idle epochs => scale-in
   std::uint32_t min_members = 1;  ///< scale-in floor
   std::uint32_t cooldown_epochs = 4;  ///< quiet epochs after any decision
+
+  /// Straggler veto: when > 0, a scale-in proposal is suppressed while the
+  /// master's per-group skew detector (max/median group cost ratio, see
+  /// DESIGN.md "Distributed tracing & flight recorder") reads at or above
+  /// this ratio -- shedding a member under heavy key skew would pile the
+  /// hot groups onto the survivors. 0 disables the veto (default, which
+  /// preserves the pre-skew policy decisions bit for bit).
+  double skew_scale_in_veto = 0.0;
 };
 
 /// Cluster-level (as opposed to per-node) extension knobs.
@@ -216,6 +224,21 @@ struct WorkloadConfig {
 };
 
 /// One struct to rule them all.
+/// Observability knobs (src/obs): tuple-delay sampling and the per-process
+/// flight recorder. Everything here is deterministic -- sampling is a pure
+/// function of tuple contents and the workload seed, never of wall time.
+struct ObsConfig {
+  /// Deterministic end-to-end tuple-delay sampling: a tuple is sampled when
+  /// Mix64(key ^ Mix64(ts) ^ seed) % rate == 0, so master and slaves agree
+  /// on the sample set without any wire tagging. 0 disables sampling;
+  /// 1 samples every tuple.
+  std::uint32_t delay_sample_rate = 16;
+
+  /// Capacity (events) of the per-process flight-recorder ring buffer of
+  /// recent protocol/fault/membership events (src/obs/flight_recorder.h).
+  std::uint32_t flight_ring_events = 256;
+};
+
 struct SystemConfig {
   JoinConfig join;
   BalanceConfig balance;
@@ -225,6 +248,7 @@ struct SystemConfig {
   SlaveConfig slave;              ///< intra-slave worker pool (1 = serial)
   ClusterConfig cluster;          ///< elastic membership (off by default)
   NetConfig net;                  ///< transport domain of socket launchers
+  ObsConfig obs;                  ///< tracing/telemetry knobs
   WorkloadConfig workload;
   CostModel cost;
 

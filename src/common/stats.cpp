@@ -90,6 +90,16 @@ double Histogram::Quantile(double q) const {
   return UpperBound(counts_.size() - 1);
 }
 
+Histogram Histogram::FromCounts(std::vector<double> upper_bounds,
+                                std::vector<std::uint64_t> counts) {
+  Histogram h(std::move(upper_bounds));
+  assert(counts.size() == h.counts_.size());
+  h.counts_ = std::move(counts);
+  h.total_ = 0;
+  for (std::uint64_t c : h.counts_) h.total_ += c;
+  return h;
+}
+
 void Histogram::Merge(const Histogram& other) {
   assert(bounds_ == other.bounds_);
   for (std::size_t i = 0; i < counts_.size(); ++i) {

@@ -63,6 +63,12 @@ class Histogram {
   /// Adds another histogram's counts; both must share identical bounds.
   void Merge(const Histogram& other);
 
+  /// Reconstructs a histogram from externally-carried buckets (a metrics
+  /// snapshot or a decoded kMetrics frame). `counts` must have
+  /// `upper_bounds.size() + 1` entries (the last is the +Inf overflow).
+  static Histogram FromCounts(std::vector<double> upper_bounds,
+                              std::vector<std::uint64_t> counts);
+
  private:
   std::vector<double> bounds_;          // strictly increasing upper edges
   std::vector<std::uint64_t> counts_;   // bounds_.size() + 1 (overflow last)

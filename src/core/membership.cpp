@@ -63,17 +63,20 @@ bool AcceptCheckpointAck(bool src_alive, bool src_is_current_buddy,
 
 ScaleDecision ElasticPolicy::Observe(double mean_occupancy,
                                      std::uint32_t members,
-                                     std::uint32_t standbys) {
+                                     std::uint32_t standbys,
+                                     double skew_ratio) {
   if (cooldown_ > 0) {
     --cooldown_;
     surge_streak_ = 0;
     idle_streak_ = 0;
     return ScaleDecision::kNone;
   }
+  const bool skew_veto =
+      cfg_.skew_scale_in_veto > 0.0 && skew_ratio >= cfg_.skew_scale_in_veto;
   if (mean_occupancy > cfg_.surge_occupancy) {
     ++surge_streak_;
     idle_streak_ = 0;
-  } else if (mean_occupancy < cfg_.idle_occupancy) {
+  } else if (mean_occupancy < cfg_.idle_occupancy && !skew_veto) {
     ++idle_streak_;
     surge_streak_ = 0;
   } else {

@@ -101,15 +101,24 @@ enum class ScaleDecision : std::uint8_t { kNone, kOut, kIn };
 /// scale-in; any proposal (or an epoch that breaks a streak) resets the
 /// counters, and `cooldown_epochs` quiet epochs follow every proposal so
 /// the cluster observes the new membership before the next decision.
+///
+/// Straggler veto: when cfg.skew_scale_in_veto > 0 and the observed
+/// per-group skew ratio (max/median tuples routed per group, from the
+/// master's telemetry) is at or above the threshold, the epoch cannot
+/// count toward the idle streak -- a low *mean* occupancy with one hot
+/// group means the load would concentrate, not disappear, after scale-in.
+/// Scale-out is never vetoed. The default threshold 0.0 disables the veto
+/// entirely, preserving pre-telemetry decisions bit-for-bit.
 class ElasticPolicy {
  public:
   explicit ElasticPolicy(const ElasticConfig& cfg) : cfg_(cfg) {}
 
   /// Feed one epoch's observation. `members` and `standbys` bound the
   /// decision: kOut needs a standby to admit, kIn keeps at least
-  /// cfg.min_members (and never drops below one member).
+  /// cfg.min_members (and never drops below one member). `skew_ratio` is
+  /// the epoch's max/median group-load ratio (0 when unknown).
   ScaleDecision Observe(double mean_occupancy, std::uint32_t members,
-                        std::uint32_t standbys);
+                        std::uint32_t standbys, double skew_ratio = 0.0);
 
  private:
   ElasticConfig cfg_;

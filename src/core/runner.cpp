@@ -10,6 +10,7 @@
 #include <optional>
 #include <set>
 #include <thread>
+#include <tuple>
 #include <variant>
 
 #include "common/clock.h"
@@ -24,6 +25,7 @@
 #include "join/epoch_tag_sink.h"
 #include "join/join_module.h"
 #include "net/codec.h"
+#include "obs/delay_sampler.h"
 #include "window/state_codec.h"
 
 namespace sjoin {
@@ -109,6 +111,13 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
   obs::NodeObs local_obs;
   obs::NodeObs& ob = opts.master_obs != nullptr ? *opts.master_obs : local_obs;
   ob.trace.SetRank(0);
+  ob.flight.SetCapacity(cfg.obs.flight_ring_events);
+  // Every process of a run derives the same 48-bit trace id from the seed
+  // (48 so it survives a round trip through a JSON double); it stamps each
+  // causal wire frame so per-rank trace files stitch into one distributed
+  // trace (tools/trace_check --stitch).
+  const std::uint64_t run_trace_id =
+      Mix64(cfg.workload.seed ^ 0x7472616365ull) & 0xFFFF'FFFF'FFFFull;
   obs::MetricsRegistry& reg = ob.registry;
   obs::Counter& c_tuples = reg.GetCounter("master_tuples_sent");
   obs::Counter& c_epochs = reg.GetCounter("master_epochs");
@@ -141,6 +150,19 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       obs::WallStage(reg, obs::kStageCodecEncode);
   obs::HistogramMetric& wall_send = obs::WallStage(reg, obs::kStageNetSend);
   obs::HistogramMetric& wall_recv = obs::WallStage(reg, obs::kStageNetRecv);
+  // Health telemetry (stable: derived from deterministic protocol state, not
+  // from racy kMetrics arrival). watermark_vt_us is the logical frontier the
+  // master has distributed through; epoch_lag{slave=S} is how many epochs
+  // rank S trails the distribution frontier (standbys accumulate lag, active
+  // members sit at 0); group_skew_ratio is this epoch's max/median tuples
+  // routed per partition-group -- the straggler signal ElasticPolicy reads.
+  obs::Gauge& g_watermark = reg.GetGauge("watermark_vt_us");
+  obs::Gauge& g_skew = reg.GetGauge("group_skew_ratio");
+  std::vector<obs::Gauge*> g_lag;
+  for (Rank s = 1; s <= n; ++s) {
+    g_lag.push_back(
+        &reg.GetGauge("epoch_lag", {{"slave", std::to_string(s)}}));
+  }
   // Logical timestamp of the trace events being emitted: the current epoch's
   // start. Events emitted after the epoch loop (drain-phase evictions) reuse
   // the last epoch's stamp.
@@ -224,6 +246,9 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     c_dead.Inc();
     ob.trace.Instant("dead_slave", "fault", vt_now,
                      {{"slave", static_cast<std::int64_t>(dead) + 1}});
+    ob.flight.Record(vt_now, "dead_slave",
+                     "slave=" + std::to_string(dead + 1) +
+                         " epoch=" + std::to_string(sum.epochs));
     // A membership transition naming the dead rank is aborted: a joiner's
     // groups were already force-evacuated below like any member's, and a
     // leaver's remaining drain is subsumed by the failover.
@@ -286,6 +311,10 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
            {"dead", static_cast<std::int64_t>(dead) + 1},
            {"pid", static_cast<std::int64_t>(pid)},
            {"replay_from", static_cast<std::int64_t>(replay_from)}});
+      ob.flight.Record(vt_now, "failover",
+                       "pid=" + std::to_string(pid) + " target=" +
+                           std::to_string(target + 1) + " replay_from=" +
+                           std::to_string(replay_from));
       rering_buddy(pid, target);
     };
 
@@ -368,6 +397,16 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
                                 << rehosted << " partition-groups onto "
                                 << survivors.size() << " survivors"
                                 << (repl ? " (buddy failover + replay)" : ""));
+    // A crash verdict is exactly the moment post-mortem context matters:
+    // dump the flight ring to the artifact dir (if one is exported) so a
+    // failed chaos/CI run leaves the recent protocol history behind.
+    static const char* const kArtifactEnvs[] = {"SJOIN_CHAOS_ARTIFACT_DIR",
+                                                "SJOIN_MEMBERSHIP_ARTIFACT_DIR",
+                                                nullptr};
+    obs::DumpToArtifactDir(
+        kArtifactEnvs,
+        "flight_master_evict_slave" + std::to_string(dead + 1) + ".txt",
+        ob.flight.Dump());
   };
 
   // Marks one mover's ack on the matching pending move; when both movers
@@ -702,6 +741,8 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
         c_joins.Inc();
         ob.trace.Instant("member_join", "membership", vt_now,
                          {{"slave", static_cast<std::int64_t>(t) + 1}});
+        ob.flight.Record(vt_now, "member_join",
+                         "slave=" + std::to_string(t + 1));
       } else {
         ob.trace.Instant("leave_begin", "membership", vt_now,
                          {{"slave", static_cast<std::int64_t>(t) + 1}});
@@ -826,6 +867,8 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       c_leaves.Inc();
       ob.trace.Instant("member_leave", "membership", vt_now,
                        {{"slave", static_cast<std::int64_t>(t) + 1}});
+      ob.flight.Record(vt_now, "member_leave",
+                       "slave=" + std::to_string(t + 1));
       finish_transition();
     }
   };
@@ -850,9 +893,17 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     c_epochs.Inc();
     vt_now = epoch_start;
     SetLogVt(epoch_start);
+    g_watermark.Set(static_cast<double>(epoch_start));
     ob.trace.Begin("epoch", "epoch", epoch_start,
                    {{"epoch", static_cast<std::int64_t>(sum.epochs)}});
+    ob.flight.Record(vt_now, "epoch",
+                     "epoch=" + std::to_string(sum.epochs) +
+                         " members=" + std::to_string(members.MemberCount()));
     const std::uint64_t tuples_before = sum.tuples_sent;
+    // Per-group tuple routing counts of this epoch: the straggler/skew
+    // signal. Derived from the arrivals being buffered (deterministic for a
+    // trace-driven run), not from slave-reported load.
+    std::vector<std::uint64_t> group_tuples(cfg.join.num_partitions, 0);
 
     // Membership transitions advance at the top of the epoch, before any
     // batch of this epoch is distributed: the step blocks until its chunk
@@ -867,15 +918,39 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       while (trace_pos < trace->size() &&
              (*trace)[trace_pos].ts <= epoch_start) {
         const Rec& rec = (*trace)[trace_pos++];
-        buffer.Add(rec, PartitionOf(rec.key, cfg.join.num_partitions));
+        const PartitionId pid = PartitionOf(rec.key, cfg.join.num_partitions);
+        ++group_tuples[pid];
+        buffer.Add(rec, pid);
       }
     } else {
       std::vector<Rec> arrivals;
       source.DrainUntil(clock.Now(), arrivals);
       for (const Rec& rec : arrivals) {
-        buffer.Add(rec, PartitionOf(rec.key, cfg.join.num_partitions));
+        const PartitionId pid = PartitionOf(rec.key, cfg.join.num_partitions);
+        ++group_tuples[pid];
+        buffer.Add(rec, pid);
       }
     }
+
+    // Skew ratio: max/median tuples per *loaded* group this epoch (1.0 for
+    // a uniform or empty epoch). Exported as a stable gauge and fed to the
+    // elastic policy's scale-in veto below.
+    double skew_ratio = 1.0;
+    {
+      std::vector<std::uint64_t> loaded;
+      for (std::uint64_t c : group_tuples) {
+        if (c > 0) loaded.push_back(c);
+      }
+      if (!loaded.empty()) {
+        std::sort(loaded.begin(), loaded.end());
+        const std::uint64_t median = loaded[loaded.size() / 2];
+        if (median > 0) {
+          skew_ratio =
+              static_cast<double>(loaded.back()) / static_cast<double>(median);
+        }
+      }
+    }
+    g_skew.Set(skew_ratio);
 
     // Distribute serially; each live slave's comm module answers with its
     // load report for exactly this batch (seq-matched below).
@@ -908,9 +983,19 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
           obs::ScopedTimer wall_enc(&wall_encode);
           Encode(w, batch, tb);
         }
+        // Causal trace context rides the frame header: the per-send span id
+        // doubles as the flow id, so the slave's receive-side FlowFinish
+        // binds to exactly this send in the stitched distributed trace.
+        Message msg = Make(MsgType::kTupleBatch, std::move(w));
+        msg.trace_id = run_trace_id;
+        msg.parent_span = ob.trace.NextSpanId();
+        msg.send_vt = epoch_start;
+        ob.trace.FlowStart("batch_flow", "flow", epoch_start, msg.parent_span,
+                           {{"epoch", static_cast<std::int64_t>(sum.epochs)},
+                            {"slave", static_cast<std::int64_t>(s)}});
         {
           obs::ScopedTimer wall_snd(&wall_send);
-          transport.Send(s, Make(MsgType::kTupleBatch, std::move(w)));
+          transport.Send(s, std::move(msg));
         }
         ++batches_sent[s - 1];
       }
@@ -960,6 +1045,14 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       }
     }
 
+    // Epoch-lag gauges: how many distribution epochs each rank trails the
+    // frontier. Active members that just answered sit at 0; standbys (and
+    // draining leavers) accumulate lag. Derived from protocol state, so the
+    // gauge is stable under a seeded run.
+    for (Rank s = 1; s <= n; ++s) {
+      g_lag[s - 1]->Set(static_cast<double>(sum.epochs - batches_sent[s - 1]));
+    }
+
     // Elastic policy loop: observe the members' mean buffer occupancy;
     // proposals queue behind scheduled events and start at a later epoch's
     // membership step. Quiet while a transition is in progress or a
@@ -974,7 +1067,7 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       }
       const ScaleDecision d = policy.Observe(
           cnt > 0 ? occ / cnt : 0.0, members.MemberCount(),
-          static_cast<std::uint32_t>(members.Standbys().size()));
+          static_cast<std::uint32_t>(members.Standbys().size()), skew_ratio);
       if (d == ScaleDecision::kOut) {
         const SlaveIdx t = members.Standbys().front();
         proposals.push_back(MembershipEvent{sum.epochs, true, t});
@@ -982,6 +1075,8 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
         c_scale_outs.Inc();
         ob.trace.Instant("policy_scale_out", "membership", vt_now,
                          {{"slave", static_cast<std::int64_t>(t) + 1}});
+        ob.flight.Record(vt_now, "policy_scale_out",
+                         "slave=" + std::to_string(t + 1));
       } else if (d == ScaleDecision::kIn) {
         const SlaveIdx t = members.Members().back();
         proposals.push_back(MembershipEvent{sum.epochs, false, t});
@@ -989,6 +1084,8 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
         c_scale_ins.Inc();
         ob.trace.Instant("policy_scale_in", "membership", vt_now,
                          {{"slave", static_cast<std::int64_t>(t) + 1}});
+        ob.flight.Record(vt_now, "policy_scale_in",
+                         "slave=" + std::to_string(t + 1));
       }
     }
 
@@ -1002,6 +1099,8 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
       c_sweeps.Inc();
       ob.trace.Instant("ckpt_sweep", "repl", vt_now,
                        {{"epoch", static_cast<std::int64_t>(sum.epochs)}});
+      ob.flight.Record(vt_now, "ckpt_sweep",
+                       "epoch=" + std::to_string(sum.epochs));
       for (Rank s = 1; s <= n; ++s) {
         if (!members.Active(s - 1)) continue;
         CkptCmdMsg cmd;
@@ -1091,7 +1190,14 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     c_tuples.Add(batch.recs.size());
     Writer w(TupleBatchMsg::WireSize(batch.recs.size(), tb));
     Encode(w, batch, tb);
-    transport.Send(s, Make(MsgType::kTupleBatch, std::move(w)));
+    Message msg = Make(MsgType::kTupleBatch, std::move(w));
+    msg.trace_id = run_trace_id;
+    msg.parent_span = ob.trace.NextSpanId();
+    msg.send_vt = vt_now;
+    ob.trace.FlowStart("batch_flow", "flow", vt_now, msg.parent_span,
+                       {{"epoch", static_cast<std::int64_t>(sum.epochs)},
+                        {"slave", static_cast<std::int64_t>(s)}});
+    transport.Send(s, std::move(msg));
     ++batches_sent[s - 1];
   }
 
@@ -1130,9 +1236,15 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
 
 namespace {
 
-/// Work items handed from a slave's comm module to its join module.
+/// Work items handed from a slave's comm module to its join module. The
+/// trace context of the carrying kTupleBatch frame rides along so the join
+/// thread can finish the master's batch_flow at the (deterministic) virtual
+/// timestamp the batch is processed at, not at the racy receive instant.
 struct BatchWork {
   std::vector<Rec> recs;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+  Time send_vt = 0;
 };
 struct ExtractWork {
   PartitionId pid;
@@ -1216,6 +1328,11 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
           ? *opts.slave_obs[self - 1]
           : local_obs;
   ob.trace.SetRank(self);
+  ob.flight.SetCapacity(cfg.obs.flight_ring_events);
+  // Same seed-derived trace id as the master's: stamps the slave's own
+  // causal sends (kResultStats to the collector) for trace stitching.
+  const std::uint64_t run_trace_id =
+      Mix64(cfg.workload.seed ^ 0x7472616365ull) & 0xFFFF'FFFF'FFFFull;
   obs::MetricsRegistry& reg = ob.registry;
   obs::Counter& c_processed = reg.GetCounter("slave_tuples_processed");
   obs::Counter& c_outputs = reg.GetCounter("slave_outputs");
@@ -1236,6 +1353,16 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
       obs::WallStage(reg, obs::kStageCkptSnapshot);
   obs::HistogramMetric& wall_ck_journal =
       obs::WallStage(reg, obs::kStageCkptJournal);
+  // Health gauges. The watermark (logical frontier this slave has fully
+  // processed) is stable: it advances to epochs_done * t_dist at each batch
+  // drain. The queue depths are kVolatile -- *when* a frame lands in the
+  // inbox races against wall scheduling -- so they appear in end-of-run
+  // exports but never in recorder snapshots or kMetrics frames.
+  obs::Gauge& g_watermark = reg.GetGauge("watermark_vt_us");
+  obs::Gauge& g_queue =
+      reg.GetGauge("work_queue_depth", {}, obs::Stability::kVolatile);
+  obs::Gauge& g_inbox =
+      reg.GetGauge("inbox_tuples", {}, obs::Stability::kVolatile);
 
   WallClock clock;
   std::atomic<Time> clock_offset{0};  // master_time - local_time
@@ -1288,7 +1415,11 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
           Writer w;
           Encode(w, report);
           inbox_tuples.fetch_add(batch.recs.size());
-          push(BatchWork{std::move(batch.recs)});
+          // The frame's trace context travels with the work item: the join
+          // thread finishes the master's batch_flow at the deterministic
+          // virtual timestamp it processes the batch, not at receive time.
+          push(BatchWork{std::move(batch.recs), msg->trace_id,
+                         msg->parent_span, msg->send_vt});
           transport.Send(0, Make(MsgType::kLoadReport, std::move(w)));
           break;
         }
@@ -1374,7 +1505,13 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
   wall_cfg.cost.msg_fixed_us = 0;
   wall_cfg.cost.move_ns = 0.0;
   StatsSink sink;
-  std::vector<JoinSink*> fan{&sink};
+  // Seeded tuple-delay sampling (obs/delay_sampler.h): a deterministic
+  // subset of probes lands in per-partition tuple_delay_us histograms that
+  // ride the kMetrics frames into the master's cluster view.
+  obs::DelaySampleSink delay_sink(&reg, cfg.workload.seed,
+                                  cfg.obs.delay_sample_rate,
+                                  cfg.join.num_partitions);
+  std::vector<JoinSink*> fan{&sink, &delay_sink};
   if (self - 1 < opts.slave_extra_sinks.size() &&
       opts.slave_extra_sinks[self - 1] != nullptr) {
     fan.push_back(opts.slave_extra_sinks[self - 1]);
@@ -1431,7 +1568,18 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
     reported_delay_sum = d.Sum();
     Writer w;
     Encode(w, stats);
-    transport.Send(collector, Make(MsgType::kResultStats, std::move(w)));
+    // Causal hop slave -> collector: context in the frame header, flow
+    // started here at the slave's logical timestamp; the collector finishes
+    // it (sorted, at shutdown) so the stitched trace shows the full
+    // master -> slave -> collector chain.
+    Message msg = Make(MsgType::kResultStats, std::move(w));
+    msg.trace_id = run_trace_id;
+    msg.parent_span = ob.trace.NextSpanId();
+    msg.send_vt = static_cast<Time>(epochs_done) * cfg.epoch.t_dist;
+    ob.trace.FlowStart(
+        "stats_flow", "flow", msg.send_vt, msg.parent_span,
+        {{"outputs", static_cast<std::int64_t>(stats.outputs)}});
+    transport.Send(collector, std::move(msg));
   };
 
   // Migration bookkeeping for idempotent installs: a transfer is applied
@@ -1471,8 +1619,10 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
       cv.wait(lock, [&] { return !queue.empty(); });
       SlaveWork w = std::move(queue.front());
       queue.pop_front();
+      g_queue.Set(static_cast<double>(queue.size()));
       return w;
     }();
+    g_inbox.Set(static_cast<double>(inbox_tuples.load()));
 
     const Time master_now = clock.Now() + clock_offset.load();
     if (auto* batch = std::get_if<BatchWork>(&work)) {
@@ -1484,6 +1634,8 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
       ++epochs_done;
       SetLogVt(static_cast<Time>(epochs_done) * cfg.epoch.t_dist);
       if (tag != nullptr) tag->SetEpoch(epochs_done);
+      delay_sink.SetLogicalNow(static_cast<Time>(epochs_done) *
+                               cfg.epoch.t_dist);
       join.EnqueueBatch(batch->recs);
       const std::uint64_t before = join.TuplesProcessed();
       const std::uint64_t out_before = sink.Outputs();
@@ -1499,6 +1651,19 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
       // recorder and ship the stable families to the master as kMetrics.
       const Time vts =
           static_cast<Time>(epochs_done) * cfg.epoch.t_dist;
+      g_watermark.Set(static_cast<double>(vts));
+      // Close the master's batch_flow at this batch's logical processing
+      // instant (vts >= send_vt by construction: the batch was sent at the
+      // epoch's start). Locally crafted batches (tests) carry no context.
+      if (batch->trace_id != 0) {
+        ob.trace.FlowFinish(
+            "batch_flow", "flow", vts, batch->parent_span,
+            {{"send_vt", static_cast<std::int64_t>(batch->send_vt)},
+             {"epoch", static_cast<std::int64_t>(epochs_done)}});
+      }
+      ob.flight.Record(vts, "join_batch",
+                       "epoch=" + std::to_string(epochs_done) +
+                           " tuples=" + std::to_string(done));
       ob.trace.Complete(
           "join_batch", "join", vts, 0,
           {{"epoch", static_cast<std::int64_t>(epochs_done)},
@@ -1702,6 +1867,10 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
             static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
             {{"pid", static_cast<std::int64_t>(e.partition_id)},
              {"replay_from", static_cast<std::int64_t>(e.replay_from)}});
+        ob.flight.Record(static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
+                         "group_adopt",
+                         "pid=" + std::to_string(e.partition_id) +
+                             " replay_from=" + std::to_string(e.replay_from));
       }
     } else if (auto* rp = std::get_if<ReplayWork>(&work)) {
       // Redelivered retained epoch: joined exactly like a tuple batch, but
@@ -1718,6 +1887,10 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
           static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
           {{"epoch", static_cast<std::int64_t>(rp->batch.epoch)},
            {"tuples", static_cast<std::int64_t>(rp->batch.recs.size())}});
+      ob.flight.Record(static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
+                       "replay_processed",
+                       "epoch=" + std::to_string(rp->batch.epoch) + " tuples=" +
+                           std::to_string(rp->batch.recs.size()));
       flush_stats();
     } else if (auto* jn = std::get_if<JoinWork>(&work)) {
       // Admission: resync the epoch ordinal so the first admitted batch
@@ -1730,6 +1903,9 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
           "member_admit", "membership",
           static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
           {{"admit_epoch", static_cast<std::int64_t>(jn->admit_epoch)}});
+      ob.flight.Record(static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
+                       "member_admit",
+                       "admit_epoch=" + std::to_string(jn->admit_epoch));
     } else if (auto* lv = std::get_if<LeaveWork>(&work)) {
       // Graceful retirement: every batch, extract, and handover checkpoint
       // the master issued before the farewell has drained (FIFO), so the
@@ -1741,6 +1917,8 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
       ob.trace.Instant("member_retire", "membership",
                        static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
                        {{"epoch", static_cast<std::int64_t>(lv->epoch)}});
+      ob.flight.Record(static_cast<Time>(epochs_done) * cfg.epoch.t_dist,
+                       "member_retire", "epoch=" + std::to_string(lv->epoch));
       Writer w;
       Encode(w, LeaveAckMsg{lv->epoch});
       transport.Send(0, Make(MsgType::kLeaveAck, std::move(w)));
@@ -1763,11 +1941,30 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
 }
 
 CollectorSummary RunCollectorNode(Transport& transport,
-                                  const SystemConfig& cfg) {
-  SetLogRank(static_cast<std::int32_t>(cfg.num_slaves) + 1);
+                                  const SystemConfig& cfg,
+                                  obs::NodeObs* obs) {
+  const Rank self = cfg.num_slaves + 1;
+  SetLogRank(static_cast<std::int32_t>(self));
+  obs::NodeObs local_obs;
+  obs::NodeObs& ob = obs != nullptr ? *obs : local_obs;
+  ob.trace.SetRank(self);
+  ob.flight.SetCapacity(cfg.obs.flight_ring_events);
+  obs::Counter& c_reports = ob.registry.GetCounter("collector_reports");
+  obs::Counter& c_outputs = ob.registry.GetCounter("collector_outputs");
   CollectorSummary sum;
   double delay_sum = 0.0;
   std::uint32_t slave_shutdowns = 0;
+  // Receive-side ends of the slaves' stats_flow flows. Arrival order is
+  // wall-racy, so the finish events are buffered here and emitted sorted by
+  // (send_vt, sender, flow id) after the loop -- the exported trace stays
+  // byte-identical across same-seed runs. The finish timestamp is the
+  // sender's logical send instant (the earliest causally-valid stamp).
+  struct FlowEnd {
+    Time send_vt;
+    Rank from;
+    std::uint64_t flow;
+  };
+  std::vector<FlowEnd> flow_ends;
   // Until the master says otherwise, expect every slave to report; the
   // master's kShutdown carries the live-slave count, excluding crashed
   // slaves whose final kShutdown will never arrive.
@@ -1804,7 +2001,25 @@ CollectorSummary RunCollectorNode(Transport& transport,
     delay_sum += stats.delay_sum_us;
     sum.max_delay_us = std::max(sum.max_delay_us, stats.delay_max_us);
     ++sum.reports;
+    c_reports.Inc();
+    c_outputs.Add(stats.outputs);
+    if (msg->trace_id != 0) {
+      flow_ends.push_back(FlowEnd{msg->send_vt, msg->from, msg->parent_span});
+    }
   }
+  std::sort(flow_ends.begin(), flow_ends.end(), [](const FlowEnd& a,
+                                                   const FlowEnd& b) {
+    return std::tie(a.send_vt, a.from, a.flow) <
+           std::tie(b.send_vt, b.from, b.flow);
+  });
+  for (const FlowEnd& fe : flow_ends) {
+    ob.trace.FlowFinish("stats_flow", "flow", fe.send_vt, fe.flow,
+                        {{"send_vt", static_cast<std::int64_t>(fe.send_vt)},
+                         {"slave", static_cast<std::int64_t>(fe.from)}});
+  }
+  ob.flight.Record(0, "collector_done",
+                   "reports=" + std::to_string(sum.reports) +
+                       " outputs=" + std::to_string(sum.outputs));
   sum.avg_delay_us =
       sum.outputs > 0 ? delay_sum / static_cast<double>(sum.outputs) : 0.0;
   // Per-run observability line: result totals plus the master's recovery

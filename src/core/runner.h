@@ -247,7 +247,10 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
                           const WallOptions& opts);
 
 /// Runs the collector until shutdown. `transport.Self()` must be N+1.
-CollectorSummary RunCollectorNode(Transport& transport,
-                                  const SystemConfig& cfg);
+/// When `obs` is given, the collector records its registry/flight events
+/// there and finishes the slaves' stats_flow trace flows (sorted by logical
+/// send time, so the export is deterministic under a seeded run).
+CollectorSummary RunCollectorNode(Transport& transport, const SystemConfig& cfg,
+                                  obs::NodeObs* obs = nullptr);
 
 }  // namespace sjoin

@@ -313,6 +313,15 @@ void Encode(Writer& w, const MetricsMsg& m) {
     w.PutU8(static_cast<std::uint8_t>(s.kind));
     w.PutU64(s.counter);
     w.PutDouble(s.gauge);
+    if (s.kind == obs::MetricKind::kHistogram) {
+      // Histogram tail: bound count, upper edges, bounds+1 bucket counts,
+      // total. Only present for histogram samples so counter/gauge frames
+      // keep their original 25-byte floor.
+      w.PutU64(s.hist_bounds.size());
+      for (double b : s.hist_bounds) w.PutDouble(b);
+      for (std::uint64_t c : s.hist_counts) w.PutU64(c);
+      w.PutU64(s.hist_total);
+    }
   }
 }
 
@@ -330,12 +339,28 @@ MetricsMsg DecodeMetrics(Reader& r) {
     s.name = r.GetString();
     s.labels = r.GetString();
     std::uint8_t kind = r.GetU8();
-    if (kind > static_cast<std::uint8_t>(obs::MetricKind::kGauge)) {
+    if (kind > static_cast<std::uint8_t>(obs::MetricKind::kHistogram)) {
       throw DecodeError("metrics sample kind is not wire-able");
     }
     s.kind = static_cast<obs::MetricKind>(kind);
     s.counter = r.GetU64();
     s.gauge = r.GetDouble();
+    if (s.kind == obs::MetricKind::kHistogram) {
+      std::uint64_t nb = r.GetU64();
+      // nb upper edges (8B each) + nb+1 counts (8B) + total (8B) remain.
+      if (nb > r.Remaining() / 16) {
+        throw DecodeError("metrics histogram bound count exceeds payload");
+      }
+      s.hist_bounds.reserve(nb);
+      for (std::uint64_t b = 0; b < nb; ++b) {
+        s.hist_bounds.push_back(r.GetDouble());
+      }
+      s.hist_counts.reserve(nb + 1);
+      for (std::uint64_t b = 0; b < nb + 1; ++b) {
+        s.hist_counts.push_back(r.GetU64());
+      }
+      s.hist_total = r.GetU64();
+    }
     m.samples.push_back(std::move(s));
   }
   return m;

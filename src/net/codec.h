@@ -176,8 +176,8 @@ struct ReplayBatchMsg {
 void Encode(Writer& w, const ReplayBatchMsg& m, std::size_t tuple_bytes);
 ReplayBatchMsg DecodeReplayBatch(Reader& r, std::size_t tuple_bytes);
 
-/// slave -> master: a compact registry snapshot (counters + gauges) for one
-/// distribution epoch. Sent fire-and-forget by the slave's *join thread*
+/// slave -> master: a compact registry snapshot (counters, gauges, and
+/// histogram buckets) for one distribution epoch. Sent fire-and-forget by the slave's *join thread*
 /// after it fully drains the epoch's batch, stamped with the slave's own
 /// epoch ordinal -- so the master's ClusterMetricsView is keyed by what the
 /// values mean, not by when they happened to arrive. The master consumes

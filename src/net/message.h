@@ -56,15 +56,48 @@ enum class MsgType : std::uint8_t {
 /// "unknown" for out-of-range values.
 const char* MsgTypeName(MsgType type);
 
+/// Compact causal trace context carried in every frame header (DESIGN.md
+/// "Distributed tracing & flight recorder"). The sender stamps the run's
+/// trace id, the span that caused the send, and the logical (virtual) time
+/// of the send; the receiver opens child spans / flow finishes against it.
+/// Zero values mean "no context" -- control paths that predate tracing, and
+/// transports under test, keep working unchanged.
 struct Message {
   MsgType type = MsgType::kShutdown;
   Rank from = 0;
+  std::uint64_t trace_id = 0;     ///< run-level trace identity
+  std::uint64_t parent_span = 0;  ///< causing span at the sender
+  Time send_vt = 0;               ///< logical send instant (virtual us)
   std::vector<std::uint8_t> payload;
 
-  std::size_t WireBytes() const {
-    // type(1) + from(4) + len(4) + payload
-    return 9 + payload.size();
-  }
+  std::size_t WireBytes() const { return kFrameHeaderBytes + payload.size(); }
+
+  /// from(4) + type(1) + len(4) + trace_id(8) + parent_span(8) + send_vt(8).
+  static constexpr std::size_t kFrameHeaderBytes = 33;
 };
+
+/// Encodes the 33-byte frame header (everything but the payload bytes) in
+/// the exact order the socket transport puts it on the wire. Shared between
+/// SocketEndpoint::Send and the codec tests so the layout cannot drift.
+inline void EncodeFrameHeader(Writer& w, const Message& msg) {
+  w.PutU32(msg.from);
+  w.PutU8(static_cast<std::uint8_t>(msg.type));
+  w.PutU32(static_cast<std::uint32_t>(msg.payload.size()));
+  w.PutU64(msg.trace_id);
+  w.PutU64(msg.parent_span);
+  w.PutI64(msg.send_vt);
+}
+
+/// Decodes a frame header into `msg` (payload left untouched) and returns
+/// the payload length the sender promised. Throws DecodeError on truncation.
+inline std::uint32_t DecodeFrameHeader(Reader& r, Message& msg) {
+  msg.from = r.GetU32();
+  msg.type = static_cast<MsgType>(r.GetU8());
+  const std::uint32_t len = r.GetU32();
+  msg.trace_id = r.GetU64();
+  msg.parent_span = r.GetU64();
+  msg.send_vt = r.GetI64();
+  return len;
+}
 
 }  // namespace sjoin

@@ -138,10 +138,8 @@ void SocketEndpoint::Send(Rank to, Message msg) {
   if (fd < 0) return;  // dead peer: drop (protocol recovers via timeouts)
   msg.from = self_;
 
-  Writer header(9);
-  header.PutU32(msg.from);
-  header.PutU8(static_cast<std::uint8_t>(msg.type));
-  header.PutU32(static_cast<std::uint32_t>(msg.payload.size()));
+  Writer header(Message::kFrameHeaderBytes);
+  EncodeFrameHeader(header, msg);
 
   std::lock_guard<std::mutex> lock(send_mu_);
   if (!SendAll(fd, header.Bytes().data(), header.Size()) ||
@@ -155,13 +153,11 @@ void SocketEndpoint::Send(Rank to, Message msg) {
 }
 
 std::optional<Message> SocketEndpoint::ReadFrame(int fd) {
-  std::uint8_t head[9];
+  std::uint8_t head[Message::kFrameHeaderBytes];
   if (!ReadAll(fd, head, sizeof(head))) return std::nullopt;
   Reader r(std::span<const std::uint8_t>(head, sizeof(head)));
   Message msg;
-  msg.from = r.GetU32();
-  msg.type = static_cast<MsgType>(r.GetU8());
-  std::uint32_t len = r.GetU32();
+  const std::uint32_t len = DecodeFrameHeader(r, msg);
   msg.payload.resize(len);
   if (len > 0 && !ReadAll(fd, msg.payload.data(), len)) {
     return std::nullopt;  // peer died mid-frame: the partial frame is lost

@@ -377,6 +377,7 @@ std::vector<std::string> KnownBenchIds() {
       "ext_beta_sweep",
       "ext_bursty_load",
       "ext_delay_distribution",
+      "ext_delay_telemetry",
       "ext_elastic_scaling",
       "ext_recovery_overhead",
       "ext_subgroup_buffer",

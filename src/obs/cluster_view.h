@@ -1,7 +1,7 @@
 // ClusterMetricsView: the master's live, cluster-wide metrics table.
 //
-// Each slave ships a compact snapshot of its registry (counters + gauges;
-// histograms stay node-local) inside the epoch protocol as a kMetrics frame,
+// Each slave ships a compact snapshot of its registry (counters, gauges, and
+// histograms with buckets) inside the epoch protocol as a kMetrics frame,
 // stamped with the *slave's* epoch ordinal -- the number of distribution
 // epochs its join thread has fully drained. The master merges frames into
 // this per-(rank, epoch) table keyed by the stamp, NOT by arrival epoch:
@@ -27,17 +27,22 @@
 
 namespace sjoin::obs {
 
-/// One metric value as shipped over the wire (counters + gauges only).
+/// One metric value as shipped over the wire. Histogram samples carry their
+/// full bucket vectors so the master's cluster view can answer delay
+/// quantiles per (rank, epoch) -- the end-to-end tuple-delay telemetry.
 struct MetricSample {
   std::string name;
   std::string labels;  ///< canonical "k=v,..." form
   MetricKind kind = MetricKind::kCounter;
   std::uint64_t counter = 0;
   double gauge = 0.0;
+  std::vector<double> hist_bounds;          ///< kHistogram only: upper edges
+  std::vector<std::uint64_t> hist_counts;   ///< bounds.size() + 1 buckets
+  std::uint64_t hist_total = 0;
 };
 
-/// Flattens a registry into wire-able samples (histograms are skipped; their
-/// bucket vectors are node-local diagnostics, not cluster state).
+/// Flattens a registry into wire-able samples (counters, gauges, and
+/// histograms with their buckets).
 std::vector<MetricSample> CollectSamples(const MetricsRegistry& reg,
                                          bool include_volatile);
 
@@ -53,6 +58,12 @@ class ClusterMetricsView {
                           std::string_view labels = "") const;
   double GaugeAt(Rank rank, std::int64_t epoch, std::string_view name,
                  std::string_view labels = "") const;
+
+  /// The (rank, epoch) frame's histogram sample, or nullptr when the frame
+  /// or the sample is absent.
+  const MetricSample* HistogramAt(Rank rank, std::int64_t epoch,
+                                  std::string_view name,
+                                  std::string_view labels = "") const;
 
   /// Highest epoch recorded for `rank`, or -1.
   std::int64_t LatestEpoch(Rank rank) const;

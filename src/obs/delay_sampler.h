@@ -1,0 +1,88 @@
+// DelaySampleSink: seeded deterministic sampling of join outputs into
+// per-partition end-to-end tuple-delay histograms.
+//
+// The sink rides the slave's result fan (a JoinSink next to the stats /
+// epoch-tag sinks) and, for a deterministic subset of probe tuples, records
+// how far behind the logical timeline the tuple's results landed:
+//
+//   delay = logical_now - probe.ts
+//
+// where `logical_now` is the virtual timestamp of the epoch being processed
+// (epochs_done * t_dist, set by the join thread before each batch). Using
+// the logical timeline -- not the wall `produced_at` instant -- keeps the
+// histograms byte-identical under a same-seed run, which is what makes them
+// shippable inside kMetrics frames and comparable across worker counts.
+//
+// Sampling is a pure function of (key, ts, seed): Mix64-hash the tuple and
+// keep every `rate`-th. Worker threads can therefore race over batches in
+// any order -- the *set* of sampled tuples never changes, and histogram
+// bucket counts are order-independent -- so the same tuples land in the
+// same buckets whether the join runs on 1 worker or 8.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "join/join_module.h"
+#include "join/sink.h"
+#include "obs/metrics.h"
+
+namespace sjoin::obs {
+
+class DelaySampleSink final : public JoinSink {
+ public:
+  /// `rate` keeps one probe in `rate` (0 disables sampling entirely);
+  /// histograms register lazily in `reg` as tuple_delay_us{pid=K}, kStable.
+  DelaySampleSink(MetricsRegistry* reg, std::uint64_t seed, std::uint32_t rate,
+                  std::uint32_t num_partitions)
+      : reg_(reg),
+        seed_(Mix64(seed ^ 0x64656C61795F7573ull)),  // "delay_us"
+        rate_(rate),
+        hists_(num_partitions) {}
+
+  /// Join thread, before each batch: the virtual timestamp of the epoch
+  /// whose tuples are about to be processed. Workers read it racily but the
+  /// value only changes between batches, never during one.
+  void SetLogicalNow(Time vt) {
+    logical_now_.store(vt, std::memory_order_relaxed);
+  }
+
+  void OnMatches(const Rec& probe, std::span<const Time> partner_ts,
+                 Time produced_at) override {
+    (void)partner_ts;
+    (void)produced_at;  // wall instant: deliberately unused (determinism)
+    if (rate_ == 0) return;
+    const std::uint64_t h =
+        Mix64(probe.key ^ Mix64(static_cast<std::uint64_t>(probe.ts)) ^ seed_);
+    if (h % rate_ != 0) return;
+    const PartitionId pid =
+        PartitionOf(probe.key, static_cast<std::uint32_t>(hists_.size()));
+    HistogramMetric* hist = hists_[pid].load(std::memory_order_acquire);
+    if (hist == nullptr) {
+      // GetHistogram is idempotent and returns a stable reference, so a
+      // racing first-touch from two workers just does a duplicate lookup.
+      hist = &reg_->GetHistogram("tuple_delay_us", DelayHistogramBounds(),
+                                 {{"pid", std::to_string(pid)}});
+      hists_[pid].store(hist, std::memory_order_release);
+    }
+    const Time now = logical_now_.load(std::memory_order_relaxed);
+    const double delay =
+        now > probe.ts ? static_cast<double>(now - probe.ts) : 0.0;
+    hist->Observe(delay);
+  }
+
+ private:
+  MetricsRegistry* reg_;
+  std::uint64_t seed_;
+  std::uint32_t rate_;
+  std::atomic<Time> logical_now_{0};
+  std::vector<std::atomic<HistogramMetric*>> hists_;
+};
+
+}  // namespace sjoin::obs

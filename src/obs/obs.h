@@ -8,6 +8,7 @@
 #pragma once
 
 #include "obs/cluster_view.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
@@ -19,6 +20,7 @@ struct NodeObs {
   TraceSink trace;        ///< disabled unless the owner enables it
   EpochRecorder recorder;
   ClusterMetricsView cluster;  ///< populated on the master only
+  FlightRecorder flight;  ///< always-on ring of recent protocol events
 };
 
 }  // namespace sjoin::obs

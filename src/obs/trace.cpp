@@ -61,6 +61,39 @@ void TraceSink::Instant(std::string name, std::string cat, Time ts,
   Emit(std::move(ev));
 }
 
+void TraceSink::FlowStart(std::string name, std::string cat, Time ts,
+                          std::uint64_t id, TraceArgs args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ph = 's';
+  ev.ts = ts;
+  ev.pid = rank_;
+  ev.id = id;
+  ev.args = std::move(args);
+  Emit(std::move(ev));
+}
+
+void TraceSink::FlowFinish(std::string name, std::string cat, Time ts,
+                           std::uint64_t id, TraceArgs args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ph = 'f';
+  ev.ts = ts;
+  ev.pid = rank_;
+  ev.id = id;
+  ev.args = std::move(args);
+  Emit(std::move(ev));
+}
+
+std::uint64_t TraceSink::NextSpanId() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return (static_cast<std::uint64_t>(rank_) << 32) | ++next_span_;
+}
+
 std::vector<TraceEvent> TraceSink::Events() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_;
@@ -150,6 +183,16 @@ std::string ExportChromeJson(std::span<const TraceEvent> events) {
     if (ev.ph == 'i') {
       // Instant scope: per-process (shows as a vertical tick on the rank row).
       out += ",\"s\":\"p\"";
+    }
+    if (ev.ph == 's' || ev.ph == 'f') {
+      out += ",\"id\":";
+      out += std::to_string(ev.id);
+      if (ev.ph == 'f') {
+        // Bind the flow finish to the *enclosing* slice (the child span the
+        // receiver opened), not the next one -- Perfetto then draws the
+        // arrow sender-span -> receiver-span.
+        out += ",\"bp\":\"e\"";
+      }
     }
     if (!ev.args.empty()) {
       out += ",\"args\":{";

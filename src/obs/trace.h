@@ -41,12 +41,13 @@ using TraceArgs = std::vector<std::pair<std::string, std::int64_t>>;
 struct TraceEvent {
   std::string name;
   std::string cat;
-  char ph = 'i';   ///< 'X' complete, 'B'/'E' span, 'i' instant
+  char ph = 'i';   ///< 'X' complete, 'B'/'E' span, 'i' instant, 's'/'f' flow
   Time ts = 0;     ///< virtual microseconds
   Duration dur = 0;  ///< 'X' only
   Rank pid = 0;    ///< rank
   std::uint32_t tid = 0;
   std::uint64_t seq = 0;  ///< per-sink emission ordinal (stable tiebreak)
+  std::uint64_t id = 0;   ///< flow binding id ('s'/'f' only)
   TraceArgs args;
 };
 
@@ -68,6 +69,21 @@ class TraceSink {
   void Instant(std::string name, std::string cat, Time ts,
                TraceArgs args = {});
 
+  /// Flow start ('s'): emitted inside the span that causes a cross-rank
+  /// send; `id` binds it to the matching FlowFinish at the receiver.
+  void FlowStart(std::string name, std::string cat, Time ts, std::uint64_t id,
+                 TraceArgs args = {});
+
+  /// Flow finish ('f', bp="e"): emitted inside the child span the receiver
+  /// opened for the message whose sender stamped flow `id`.
+  void FlowFinish(std::string name, std::string cat, Time ts, std::uint64_t id,
+                  TraceArgs args = {});
+
+  /// Deterministic span/flow id: (rank << 32) | per-sink ordinal, so ids are
+  /// unique across ranks and byte-identical across same-seed runs. Never
+  /// returns 0 (0 means "no context" in the wire frame header).
+  std::uint64_t NextSpanId();
+
   std::vector<TraceEvent> Events() const;
   std::size_t EventCount() const;
 
@@ -78,6 +94,7 @@ class TraceSink {
   Rank rank_ = 0;
   mutable std::mutex mu_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t next_span_ = 0;
   std::vector<TraceEvent> events_;
 };
 

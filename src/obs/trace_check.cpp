@@ -8,6 +8,7 @@
 
 #include "obs/json.h"
 #include "obs/quantiles.h"
+#include "obs/trace.h"
 
 namespace sjoin::obs {
 
@@ -55,6 +56,14 @@ TraceCheckResult ValidateChromeTrace(std::string_view json) {
   std::map<std::pair<std::int64_t, std::int64_t>, std::vector<std::string>>
       open_spans;
   std::int64_t prev_ts = std::numeric_limits<std::int64_t>::min();
+  // Flow-causality state: id -> (start ts, finish seen). A start without a
+  // finish is legal (the receiver may have crashed before processing), a
+  // finish without a start is not -- effects cannot precede causes.
+  struct FlowState {
+    std::int64_t start_ts = 0;
+    bool finished = false;
+  };
+  std::map<std::int64_t, FlowState> flows;
   // Protocol-invariant state.
   std::map<std::int64_t, bool> dead_seen;          // slave -> verdict emitted
   std::map<std::int64_t, std::int64_t> replay_from;  // slave -> min epoch
@@ -114,8 +123,52 @@ TraceCheckResult ValidateChromeTrace(std::string_view json) {
       case 'i':
         ++res.instants;
         break;
+      case 's': {
+        std::int64_t id = 0;
+        if (!GetInt(ev, "id", &id)) {
+          return fail_at(idx, "'s' flow start without numeric 'id'");
+        }
+        auto [it, inserted] = flows.emplace(id, FlowState{ts, false});
+        if (!inserted) {
+          return fail_at(idx, "duplicate flow start id " + std::to_string(id));
+        }
+        break;
+      }
+      case 'f': {
+        std::int64_t id = 0;
+        if (!GetInt(ev, "id", &id)) {
+          return fail_at(idx, "'f' flow finish without numeric 'id'");
+        }
+        auto it = flows.find(id);
+        if (it == flows.end()) {
+          // Causal-ordering invariant: a receive-side child event cannot
+          // exist without the send that caused it appearing earlier.
+          return fail_at(idx, "flow finish id " + std::to_string(id) +
+                                  " without preceding flow start");
+        }
+        if (ts < it->second.start_ts) {
+          return fail_at(idx, "flow finish at ts " + std::to_string(ts) +
+                                  " precedes its start at ts " +
+                                  std::to_string(it->second.start_ts));
+        }
+        if (!it->second.finished) {
+          it->second.finished = true;
+          ++res.flows;
+        }
+        break;
+      }
       default:
         return fail_at(idx, std::string("unsupported phase '") + p + "'");
+    }
+
+    // Causal-ordering invariant carried via the wire trace context: any
+    // receive-side event stamped with its parent's logical send instant
+    // (args.send_vt) must not start before that send.
+    std::int64_t send_vt = 0;
+    if (GetArgInt(ev, "send_vt", &send_vt) && ts < send_vt) {
+      return fail_at(idx, "child event at ts " + std::to_string(ts) +
+                              " starts before its parent's send at vt " +
+                              std::to_string(send_vt));
     }
 
     // Protocol invariants (recognized names only).
@@ -270,6 +323,105 @@ bool SummarizeTraceSpans(std::string_view json,
     out->push_back(std::move(s));
   }
   return true;
+}
+
+namespace {
+
+/// Parses one trace document back into TraceEvent structs (the inverse of
+/// ExportChromeJson, for the fields that exporter writes). Strict: any
+/// event missing a required field fails the whole parse, because a stitched
+/// trace silently dropping events would hide exactly the evidence the
+/// artifact exists to preserve.
+bool ParseTraceEvents(std::string_view json, std::vector<TraceEvent>* out,
+                      std::string* err) {
+  JsonValue root;
+  if (!ParseJson(json, &root, err)) return false;
+  const JsonValue* events = &root;
+  if (root.IsObject()) {
+    events = root.Find("traceEvents");
+    if (events == nullptr) {
+      *err = "object trace without traceEvents key";
+      return false;
+    }
+  }
+  if (!events->IsArray()) {
+    *err = "trace is not a JSON array of events";
+    return false;
+  }
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    auto fail = [&](const std::string& why) {
+      *err = "event " + std::to_string(i) + ": " + why;
+      return false;
+    };
+    if (!ev.IsObject()) return fail("not an object");
+    const JsonValue* name = ev.Find("name");
+    const JsonValue* ph = ev.Find("ph");
+    if (name == nullptr || !name->IsString()) {
+      return fail("missing string 'name'");
+    }
+    if (ph == nullptr || !ph->IsString() || ph->str.size() != 1) {
+      return fail("missing one-char 'ph'");
+    }
+    TraceEvent t;
+    t.name = name->str;
+    if (const JsonValue* cat = ev.Find("cat"); cat && cat->IsString()) {
+      t.cat = cat->str;
+    }
+    t.ph = ph->str[0];
+    std::int64_t ts = 0, pid = 0, tid = 0, dur = 0, id = 0;
+    if (!GetInt(ev, "ts", &ts)) return fail("missing numeric 'ts'");
+    if (!GetInt(ev, "pid", &pid)) return fail("missing numeric 'pid'");
+    if (!GetInt(ev, "tid", &tid)) return fail("missing numeric 'tid'");
+    t.ts = ts;
+    t.pid = static_cast<Rank>(pid);
+    t.tid = static_cast<std::uint32_t>(tid);
+    if (GetInt(ev, "dur", &dur)) t.dur = dur;
+    if (GetInt(ev, "id", &id)) t.id = static_cast<std::uint64_t>(id);
+    if (const JsonValue* args = ev.Find("args"); args && args->IsObject()) {
+      for (const auto& [k, v] : args->object) {
+        if (v.IsNumber()) {
+          t.args.emplace_back(k, static_cast<std::int64_t>(v.number));
+        }
+      }
+    }
+    out->push_back(std::move(t));
+  }
+  return true;
+}
+
+}  // namespace
+
+StitchResult StitchTraces(const std::vector<std::string>& docs) {
+  StitchResult res;
+  std::vector<TraceEvent> all;
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    std::vector<TraceEvent> evs;
+    std::string err;
+    if (!ParseTraceEvents(docs[d], &evs, &err)) {
+      res.error = "input " + std::to_string(d) + ": " + err;
+      return res;
+    }
+    // seq preserves the per-file emission order as the merge tiebreak,
+    // exactly like MergeTraces does for live sinks.
+    for (std::size_t i = 0; i < evs.size(); ++i) evs[i].seq = i;
+    all.insert(all.end(), std::make_move_iterator(evs.begin()),
+               std::make_move_iterator(evs.end()));
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     return a.seq < b.seq;
+                   });
+  res.json = ExportChromeJson(all);
+  res.check = ValidateChromeTrace(res.json);
+  if (!res.check.ok) {
+    res.error = "stitched trace failed validation: " + res.check.error;
+    return res;
+  }
+  res.ok = true;
+  return res;
 }
 
 }  // namespace sjoin::obs

@@ -39,9 +39,27 @@ struct TraceCheckResult {
   std::int64_t events = 0;      ///< events parsed
   std::int64_t spans = 0;       ///< completed spans ('X' plus matched B/E)
   std::int64_t instants = 0;    ///< 'i' events
+  std::int64_t flows = 0;       ///< matched flow pairs ('s' with its 'f')
 };
 
 TraceCheckResult ValidateChromeTrace(std::string_view json);
+
+/// Merges N per-rank trace documents into one distributed trace: events are
+/// parsed, stable-sorted by (ts, pid, input order), and re-exported through
+/// the canonical ExportChromeJson writer, so the stitched bytes are
+/// deterministic for deterministic inputs. The merged trace is then run
+/// through ValidateChromeTrace (including the flow causal-ordering checks
+/// that only make sense across ranks). On parse failure `ok` is false and
+/// `json` is empty; on a validation failure the stitched JSON is still
+/// returned so it can be shipped as a triage artifact.
+struct StitchResult {
+  bool ok = false;
+  std::string error;    ///< parse or validation failure ("" if ok)
+  std::string json;     ///< the stitched Chrome trace document
+  TraceCheckResult check;  ///< validation verdict over the stitched trace
+};
+
+StitchResult StitchTraces(const std::vector<std::string>& docs);
 
 /// Per-phase span-duration digest of a trace (for `trace_check --summary`).
 /// Durations are the trace's native timestamp unit (logical-time traces

@@ -184,6 +184,41 @@ TEST(ElasticPolicyTest, CooldownQuietsTheLoopAfterADecision) {
   EXPECT_EQ(p.Observe(0.9, 3, 1), ScaleDecision::kOut);
 }
 
+TEST(ElasticPolicyTest, SkewVetoSuppressesScaleIn) {
+  // A straggler group (max/median load ratio at or above the threshold)
+  // must keep the idle streak from accumulating: scaling in would
+  // concentrate the hot group, not shed idle capacity.
+  ElasticConfig cfg = PolicyCfg();
+  cfg.skew_scale_in_veto = 4.0;
+  ElasticPolicy p(cfg);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(p.Observe(0.0, 3, 0, /*skew_ratio=*/5.0), ScaleDecision::kNone)
+        << i;
+  }
+  // Skew subsides: the streak starts from zero, so idle_epochs = 4 more
+  // observations are needed before the proposal fires.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(p.Observe(0.0, 3, 0, /*skew_ratio=*/1.0), ScaleDecision::kNone)
+        << i;
+  }
+  EXPECT_EQ(p.Observe(0.0, 3, 0, /*skew_ratio=*/1.0), ScaleDecision::kIn);
+}
+
+TEST(ElasticPolicyTest, SkewVetoDisabledByDefaultAndNeverBlocksScaleOut) {
+  // Threshold 0.0 (the default) disables the veto even under extreme skew,
+  // and an enabled veto never touches the surge path.
+  ElasticPolicy off(PolicyCfg());
+  for (int i = 0; i < 3; ++i) off.Observe(0.0, 3, 0, /*skew_ratio=*/100.0);
+  EXPECT_EQ(off.Observe(0.0, 3, 0, /*skew_ratio=*/100.0), ScaleDecision::kIn);
+
+  ElasticConfig cfg = PolicyCfg();
+  cfg.skew_scale_in_veto = 2.0;
+  ElasticPolicy p(cfg);
+  p.Observe(0.9, 2, 1, /*skew_ratio=*/50.0);
+  p.Observe(0.9, 2, 1, /*skew_ratio=*/50.0);
+  EXPECT_EQ(p.Observe(0.9, 2, 1, /*skew_ratio=*/50.0), ScaleDecision::kOut);
+}
+
 TEST(ElasticPolicyTest, StandbyAppearingAfterSurgeStreakProposesAtOnce) {
   // The streak keeps counting while no standby exists; the moment one
   // appears (e.g. a graceful leave completed) the overdue proposal fires.

@@ -11,6 +11,7 @@
 #include "join/epoch_tag_sink.h"
 #include "join/sink.h"
 #include "net/inproc_transport.h"
+#include "obs/trace_check.h"
 
 namespace sjoin {
 
@@ -117,7 +118,8 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
     });
   }
   std::thread collector_thread([&] {
-    result.collector = RunCollectorNode(*endpoints[n + 1], opts.cfg);
+    result.collector =
+        RunCollectorNode(*endpoints[n + 1], opts.cfg, result.obs[n + 1].get());
   });
 
   result.master = RunMasterNode(*endpoints[0], opts.cfg, wall);
@@ -138,6 +140,13 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
       sinks_by_rank.push_back(&result.obs[r]->trace);
     }
     result.trace_json = obs::ExportChromeJson(obs::MergeTraces(sinks_by_rank));
+    // Per-rank trace files, as a real deployment would write them -- the
+    // inputs of trace_check --stitch (and of the stitch tests).
+    for (Rank r = 0; r < n + 2; ++r) {
+      const obs::TraceSink* one[] = {sinks_by_rank[r]};
+      result.rank_traces.push_back(
+          obs::ExportChromeJson(obs::MergeTraces(one)));
+    }
   }
 
   // Failover output-voiding rule: outputs tagged (pid, replay_from <=
@@ -180,6 +189,23 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
                       result.reference.begin(), result.reference.end(),
                       std::back_inserter(result.extra));
   result.exact = result.missing.empty() && result.extra.empty();
+  // Output-diff failure: leave a post-mortem behind. Every rank's flight
+  // ring plus the stitched distributed trace (when tracing was on) land in
+  // the artifact directory CI uploads; a no-op when neither env var is set.
+  if (!result.exact) {
+    static const char* const kEnvs[] = {"SJOIN_CHAOS_ARTIFACT_DIR",
+                                        "SJOIN_MEMBERSHIP_ARTIFACT_DIR",
+                                        nullptr};
+    for (Rank r = 0; r < n + 2; ++r) {
+      obs::DumpToArtifactDir(kEnvs,
+                             "flight_rank" + std::to_string(r) + ".txt",
+                             result.obs[r]->flight.Dump());
+    }
+    if (!result.rank_traces.empty()) {
+      obs::DumpToArtifactDir(kEnvs, "stitched_trace.json",
+                             obs::StitchTraces(result.rank_traces).json);
+    }
+  }
   return result;
 }
 

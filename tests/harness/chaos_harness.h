@@ -94,6 +94,12 @@ struct ChaosClusterResult {
   /// wall runners stamp logical epoch time, never wall time.
   std::string trace_json;
 
+  /// One Chrome trace document per rank (0..n+1; empty unless
+  /// ChaosClusterOptions::trace_events) -- the per-process files a real
+  /// deployment writes, and the inputs of obs::StitchTraces /
+  /// `trace_check --stitch`.
+  std::vector<std::string> rank_traces;
+
   /// Deterministic digest of the run: every counter that depends only on
   /// the trace, the config, and the fault seed (no wall-clock-derived
   /// quantity). Two runs with identical options must produce identical

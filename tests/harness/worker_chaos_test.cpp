@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "harness/chaos_harness.h"
+#include "obs/cluster_view.h"
 
 namespace sjoin {
 namespace {
@@ -181,6 +182,67 @@ TEST(WorkerChaosTest, SameSeedSameArtifactsAtFourWorkers) {
   }
   EXPECT_EQ(a.Summary(/*include_fault_lines=*/true),
             b.Summary(/*include_fault_lines=*/true));
+}
+
+/// Serializes every tuple_delay_us histogram of a rank's end-of-run
+/// registry: labels, bucket bounds, bucket counts, total. Uses the registry
+/// (deterministic at shutdown), not the cluster view -- the last in-flight
+/// kMetrics frames race shutdown, so the view's tail is not comparable.
+std::string DelayHistogramDigest(const obs::MetricsRegistry& reg) {
+  std::ostringstream out;
+  for (const obs::MetricSample& s :
+       obs::CollectSamples(reg, /*include_volatile=*/false)) {
+    if (s.name != "tuple_delay_us") continue;
+    out << s.name << '{' << s.labels << "} total=" << s.hist_total << " [";
+    for (double b : s.hist_bounds) out << b << ' ';
+    out << "] (";
+    for (std::uint64_t c : s.hist_counts) out << c << ' ';
+    out << ")\n";
+  }
+  return out.str();
+}
+
+// The sampling decision is a pure function of (tuple, seed), and the delay
+// is measured on the logical timeline -- so the per-group delay histograms
+// must be byte-identical no matter how many worker threads raced over the
+// groups. This is the worker-count-identity half of the telemetry
+// acceptance criterion (the recorder-CSV half rides the matrix test above,
+// whose rows now include the tuple_delay_us{...}.count cells).
+TEST(WorkerChaosTest, TupleDelayHistogramsByteIdenticalAcrossWorkerCounts) {
+  ChaosClusterOptions opts = BaseOptions(79);
+  opts.cfg.balance.th_sup = 2.0;  // suppress wall-timing-dependent moves
+
+  std::vector<std::string> digests;
+  for (std::uint32_t workers : {1u, 4u}) {
+    opts.cfg.slave.workers = workers;
+    ChaosClusterResult r = RunChaosCluster(opts);
+    ASSERT_TRUE(r.exact) << "workers=" << workers;
+    std::string digest;
+    for (Rank rank = 1; rank <= opts.cfg.num_slaves; ++rank) {
+      digest += "rank" + std::to_string(rank) + ":\n";
+      digest += DelayHistogramDigest(r.obs[rank]->registry);
+    }
+    digests.push_back(std::move(digest));
+    // The histograms also ship into the master's cluster view (presence
+    // only: the view's tail is arrival-order dependent).
+    bool in_view = false;
+    for (Rank rank = 1; rank <= opts.cfg.num_slaves && !in_view; ++rank) {
+      for (std::int64_t epoch : r.obs[0]->cluster.Epochs(rank)) {
+        const auto* samples = r.obs[0]->cluster.Get(rank, epoch);
+        if (samples == nullptr) continue;
+        for (const obs::MetricSample& s : *samples) {
+          if (s.name == "tuple_delay_us" && s.hist_total > 0) {
+            in_view = true;
+            break;
+          }
+        }
+        if (in_view) break;
+      }
+    }
+    EXPECT_TRUE(in_view) << "workers=" << workers;
+  }
+  ASSERT_NE(digests[0].find("tuple_delay_us"), std::string::npos);
+  EXPECT_EQ(digests[0], digests[1]);
 }
 
 // Crash + buddy failover + replay with a 4-worker pool: the quiesced-pool

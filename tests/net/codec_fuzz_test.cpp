@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "net/codec.h"
+#include "net/message.h"
 #include "testutil/fuzz_env.h"
 #include "window/state_codec.h"
 
@@ -342,6 +343,81 @@ TEST(CodecFuzzTest, MembershipFramesRejectTruncation) {
   Encode(w4, LeaveAckMsg{99});
   check(std::move(w4).TakeBuffer(),
         [](Reader& r) { return DecodeLeaveAck(r); });
+}
+
+TEST(CodecFuzzTest, MetricsHistogramRejectsTruncation) {
+  // A kMetrics frame carrying histogram buckets has a variable tail (bounds,
+  // counts, total); every proper prefix must throw, never under-read.
+  MetricsMsg m;
+  m.epoch = 3;
+  obs::MetricSample h;
+  h.name = "tuple_delay_us";
+  h.labels = "pid=1";
+  h.kind = obs::MetricKind::kHistogram;
+  h.hist_bounds = {10.0, 100.0, 1000.0};
+  h.hist_counts = {1, 2, 3, 4};
+  h.hist_total = 10;
+  m.samples.push_back(h);
+  Writer w;
+  Encode(w, m);
+  auto bytes = std::move(w).TakeBuffer();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    Reader r(std::span<const std::uint8_t>(bytes.data(), cut));
+    EXPECT_THROW((void)DecodeMetrics(r), DecodeError) << "cut=" << cut;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Frame header (from + type + len + trace context): the 33-byte wire header
+// the socket transport reads before every payload. Every proper prefix must
+// throw, and random corruption must never crash the decoder.
+// ---------------------------------------------------------------------------
+
+TEST(CodecFuzzTest, FrameHeaderRejectsTruncation) {
+  Message m;
+  m.type = MsgType::kCheckpoint;
+  m.from = 7;
+  m.trace_id = 0x1234'5678'9ABC'DEF0ull;
+  m.parent_span = (3ull << 32) | 11u;
+  m.send_vt = 5'000'000;
+  m.payload.resize(19);
+  Writer w;
+  EncodeFrameHeader(w, m);
+  auto bytes = std::move(w).TakeBuffer();
+  ASSERT_EQ(bytes.size(), Message::kFrameHeaderBytes);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    Reader r(std::span<const std::uint8_t>(bytes.data(), cut));
+    Message out;
+    EXPECT_THROW((void)DecodeFrameHeader(r, out), DecodeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(CodecFuzzTest, FrameHeaderRandomCorruptionRoundTripsStructurally) {
+  // Header fields are fixed-width, so any 33-byte buffer decodes to *some*
+  // header -- corruption must surface as a wrong length/type caught by the
+  // framing layer, never as a Reader crash. Also: encode(decode(x)) over
+  // random headers must be the identity on all 33 bytes.
+  Pcg32 rng(41, 9);
+  const int trials = FuzzIters(200);
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::uint8_t> bytes(Message::kFrameHeaderBytes);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+    Reader r(bytes);
+    Message decoded;
+    const std::uint32_t len = DecodeFrameHeader(r, decoded);
+    EXPECT_TRUE(r.AtEnd());
+    // Re-encode field by field (EncodeFrameHeader derives the length field
+    // from the payload, which a bare header round-trip does not carry).
+    Writer w;
+    w.PutU32(decoded.from);
+    w.PutU8(static_cast<std::uint8_t>(decoded.type));
+    w.PutU32(len);
+    w.PutU64(decoded.trace_id);
+    w.PutU64(decoded.parent_span);
+    w.PutI64(decoded.send_vt);
+    EXPECT_EQ(std::move(w).TakeBuffer(), bytes);
+  }
 }
 
 TEST(CodecFuzzTest, RandomCorruptionNeverCrashesReplicationDecode) {

@@ -166,10 +166,101 @@ TEST(NetCodecTest, MembershipFrameTypeNames) {
   EXPECT_STREQ(MsgTypeName(MsgType::kLeaveAck), "leave_ack");
 }
 
+TEST(NetCodecTest, MetricsHistogramRoundTrip) {
+  MetricsMsg m;
+  m.epoch = 12;
+  obs::MetricSample c;
+  c.name = "tuples";
+  c.kind = obs::MetricKind::kCounter;
+  c.counter = 99;
+  m.samples.push_back(c);
+  obs::MetricSample h;
+  h.name = "tuple_delay_us";
+  h.labels = "pid=3";
+  h.kind = obs::MetricKind::kHistogram;
+  h.hist_bounds = {1000.0, 10000.0};
+  h.hist_counts = {4, 2, 1};  // bounds + overflow bucket
+  h.hist_total = 7;
+  m.samples.push_back(h);
+  Writer w;
+  Encode(w, m);
+  Reader r(w.Bytes());
+  MetricsMsg back = DecodeMetrics(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back.epoch, 12u);
+  ASSERT_EQ(back.samples.size(), 2u);
+  EXPECT_EQ(back.samples[0].counter, 99u);
+  const obs::MetricSample& hb = back.samples[1];
+  EXPECT_EQ(hb.kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(hb.labels, "pid=3");
+  EXPECT_EQ(hb.hist_bounds, h.hist_bounds);
+  EXPECT_EQ(hb.hist_counts, h.hist_counts);
+  EXPECT_EQ(hb.hist_total, 7u);
+}
+
+TEST(NetCodecTest, MetricsHistogramBoundCountGuarded) {
+  // A hostile bound count must be rejected before any allocation: claim
+  // 2^40 bounds with a near-empty payload.
+  Writer w;
+  w.PutU64(1);   // epoch
+  w.PutU64(1);   // one sample
+  w.PutString("h");
+  w.PutString("");
+  w.PutU8(static_cast<std::uint8_t>(obs::MetricKind::kHistogram));
+  w.PutU64(0);          // counter
+  w.PutDouble(0.0);     // gauge
+  w.PutU64(1ull << 40); // absurd bound count
+  Reader r(w.Bytes());
+  EXPECT_THROW(DecodeMetrics(r), DecodeError);
+}
+
 TEST(NetCodecTest, MessageWireBytesIncludesHeader) {
   Message m;
   m.payload = {1, 2, 3};
-  EXPECT_EQ(m.WireBytes(), 12u);
+  EXPECT_EQ(m.WireBytes(), Message::kFrameHeaderBytes + 3u);
+  EXPECT_EQ(Message::kFrameHeaderBytes, 33u);
+}
+
+TEST(NetCodecTest, FrameHeaderRoundTripsTraceContext) {
+  // The causal trace context must survive the wire byte-for-byte: a child
+  // span opened on receive inherits exactly what the sender stamped.
+  Message m;
+  m.type = MsgType::kTupleBatch;
+  m.from = 3;
+  m.trace_id = 0xFEEDFACECAFEBEEFull;
+  m.parent_span = (5ull << 32) | 42u;
+  m.send_vt = 123'456'789;
+  m.payload = {9, 8, 7, 6};
+
+  Writer w(Message::kFrameHeaderBytes);
+  EncodeFrameHeader(w, m);
+  ASSERT_EQ(w.Size(), Message::kFrameHeaderBytes);
+
+  Reader r(w.Bytes());
+  Message out;
+  const std::uint32_t len = DecodeFrameHeader(r, out);
+  EXPECT_EQ(len, 4u);
+  EXPECT_EQ(out.from, 3u);
+  EXPECT_EQ(out.type, MsgType::kTupleBatch);
+  EXPECT_EQ(out.trace_id, m.trace_id);
+  EXPECT_EQ(out.parent_span, m.parent_span);
+  EXPECT_EQ(out.send_vt, m.send_vt);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(NetCodecTest, FrameHeaderDefaultsToNoContext) {
+  // Legacy senders (zeroed context) must decode back to "no context" so
+  // receivers can gate child-span creation on trace_id != 0.
+  Message m;
+  m.type = MsgType::kAck;
+  Writer w;
+  EncodeFrameHeader(w, m);
+  Reader r(w.Bytes());
+  Message out;
+  (void)DecodeFrameHeader(r, out);
+  EXPECT_EQ(out.trace_id, 0u);
+  EXPECT_EQ(out.parent_span, 0u);
+  EXPECT_EQ(out.send_vt, 0);
 }
 
 }  // namespace

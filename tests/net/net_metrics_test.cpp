@@ -61,11 +61,11 @@ TEST(NetMetricsTest, CountersMatchWireBytesExactly) {
       reg_a.CounterValue("net_sent_bytes", PeerKind(1, MsgType::kTupleBatch)),
       batch_bytes);
   EXPECT_EQ(reg_a.CounterValue("net_sent_bytes", PeerKind(1, MsgType::kLoadReport)),
-            9u + 16u);
+            33u + 16u);
   EXPECT_EQ(reg_a.CounterValue("net_sent_bytes", PeerKind(1, MsgType::kMetrics)),
-            9u + 300u);
+            33u + 300u);
   EXPECT_EQ(reg_a.CounterValue("net_sent_bytes", PeerKind(1, MsgType::kShutdown)),
-            9u);
+            33u);
 
   // Receiver side mirrors the sender byte for byte (lossless transport).
   EXPECT_EQ(
@@ -74,7 +74,7 @@ TEST(NetMetricsTest, CountersMatchWireBytesExactly) {
   EXPECT_EQ(reg_b.CounterValue("net_recv_msgs", PeerKind(0, MsgType::kMetrics)),
             1u);
   EXPECT_EQ(reg_b.CounterValue("net_recv_bytes", PeerKind(0, MsgType::kMetrics)),
-            9u + 300u);
+            33u + 300u);
 
   // Totals across kinds: every sent frame was received and counted once.
   std::uint64_t sent_total = 0;
@@ -141,7 +141,7 @@ TEST(NetMetricsTest, DuplicatedDeliveriesAreCountedAsDelivered) {
   // The node saw two frames; the recv counters say so (counts post-fault).
   EXPECT_EQ(reg_b.CounterValue("net_recv_msgs", PeerKind(0, MsgType::kAck)), 2u);
   EXPECT_EQ(reg_b.CounterValue("net_recv_bytes", PeerKind(0, MsgType::kAck)),
-            2u * (9u + 8u));
+            2u * (33u + 8u));
   hub.Shutdown();
 }
 

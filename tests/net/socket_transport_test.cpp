@@ -66,10 +66,11 @@ TEST(SocketTransportTest, LargePayloadCrossesBufferBoundaries) {
 TEST(SocketTransportTest, ByteCountersTrackTraffic) {
   auto [a, b] = MakePair();
   a->Send(1, Msg(MsgType::kAck, {1, 2, 3}));
-  EXPECT_EQ(a->BytesSent(), 12u);  // 9-byte header + 3 payload
+  const std::uint64_t want = Message::kFrameHeaderBytes + 3;
+  EXPECT_EQ(a->BytesSent(), want);
   auto got = b->Recv();
   ASSERT_TRUE(got.has_value());
-  EXPECT_EQ(b->BytesReceived(), 12u);
+  EXPECT_EQ(b->BytesReceived(), want);
 }
 
 TEST(SocketTransportTest, PeerCloseYieldsNullopt) {

@@ -1,0 +1,101 @@
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+namespace sjoin::obs {
+namespace {
+
+TEST(FlightRecorderTest, KeepsEverythingBelowCapacity) {
+  FlightRecorder fr(8);
+  EXPECT_EQ(fr.Capacity(), 8u);
+  fr.Record(10, "epoch", "epoch=1");
+  fr.Record(20, "epoch", "epoch=2");
+  ASSERT_EQ(fr.Events().size(), 2u);
+  EXPECT_EQ(fr.TotalRecorded(), 2u);
+  const std::vector<FlightEvent> ev = fr.Events();
+  EXPECT_EQ(ev[0].vt, 10);
+  EXPECT_EQ(ev[0].seq, 0u);
+  EXPECT_EQ(ev[0].kind, "epoch");
+  EXPECT_EQ(ev[0].detail, "epoch=1");
+  EXPECT_EQ(ev[1].seq, 1u);
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingNewestOldestFirst) {
+  FlightRecorder fr(4);
+  for (int i = 0; i < 11; ++i) {
+    fr.Record(Time(i) * 100, "ev", "n=" + std::to_string(i));
+  }
+  EXPECT_EQ(fr.TotalRecorded(), 11u);
+  const std::vector<FlightEvent> ev = fr.Events();
+  ASSERT_EQ(ev.size(), 4u);
+  // The four newest survive, oldest of them first, seq preserved.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ev[i].seq, 7u + i);
+    EXPECT_EQ(ev[i].detail, "n=" + std::to_string(7 + i));
+    EXPECT_EQ(ev[i].vt, Time(7 + i) * 100);
+  }
+}
+
+TEST(FlightRecorderTest, SetCapacityResetsTheRing) {
+  FlightRecorder fr(2);
+  fr.Record(1, "a");
+  fr.Record(2, "b");
+  fr.SetCapacity(16);
+  EXPECT_EQ(fr.Capacity(), 16u);
+  EXPECT_TRUE(fr.Events().empty());
+  fr.Record(3, "c");
+  ASSERT_EQ(fr.Events().size(), 1u);
+  EXPECT_EQ(fr.Events()[0].kind, "c");
+}
+
+TEST(FlightRecorderTest, DumpFormatsEventsAndDropCount) {
+  FlightRecorder fr(2);
+  fr.Record(5, "member_join", "slave=3");
+  fr.Record(7, "failover", "pid=4 target=2");
+  fr.Record(9, "epoch", "epoch=12");  // evicts the oldest
+  const std::string dump = fr.Dump();
+  // Header names the drop count; the dropped event's line is gone.
+  EXPECT_NE(dump.find("2 events retained, 1 dropped"), std::string::npos);
+  EXPECT_EQ(dump.find("member_join"), std::string::npos);
+  EXPECT_NE(dump.find("vt=7 seq=1 failover pid=4 target=2"),
+            std::string::npos);
+  EXPECT_NE(dump.find("vt=9 seq=2 epoch epoch=12"), std::string::npos);
+  // Oldest first: the failover line precedes the epoch line.
+  EXPECT_LT(dump.find("failover"), dump.find("epoch epoch=12"));
+}
+
+TEST(FlightRecorderTest, DumpToArtifactDirWritesFirstSetEnvVar) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() /
+                       ("sjoin_flight_ut_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  static const char* const kEnvs[] = {"SJOIN_TEST_UNSET_ARTIFACT_DIR",
+                                      "SJOIN_TEST_ARTIFACT_DIR", nullptr};
+  ::unsetenv("SJOIN_TEST_UNSET_ARTIFACT_DIR");
+
+  // No variable set: silently refuses, writes nothing.
+  ::unsetenv("SJOIN_TEST_ARTIFACT_DIR");
+  EXPECT_FALSE(DumpToArtifactDir(kEnvs, "ring.txt", "boom\n"));
+  EXPECT_FALSE(fs::exists(dir / "ring.txt"));
+
+  // Second variable set (first unset): the file lands there.
+  ASSERT_EQ(::setenv("SJOIN_TEST_ARTIFACT_DIR", dir.c_str(), 1), 0);
+  EXPECT_TRUE(DumpToArtifactDir(kEnvs, "ring.txt", "boom\n"));
+  std::ifstream in(dir / "ring.txt", std::ios::binary);
+  std::ostringstream got;
+  got << in.rdbuf();
+  EXPECT_EQ(got.str(), "boom\n");
+  ::unsetenv("SJOIN_TEST_ARTIFACT_DIR");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sjoin::obs

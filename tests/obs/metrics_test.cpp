@@ -92,13 +92,25 @@ TEST(MetricsRegistryTest, VolatileFamiliesAreFilterable) {
   EXPECT_EQ(samples[0].counter, 1u);
 }
 
-TEST(MetricsRegistryTest, CollectSamplesSkipsHistograms) {
+TEST(MetricsRegistryTest, CollectSamplesCarriesHistogramBuckets) {
   MetricsRegistry reg;
   reg.GetCounter("c").Inc();
-  reg.GetHistogram("h", {1.0}).Observe(0.5);
+  HistogramMetric& h = reg.GetHistogram("h", {1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(99.0);
   std::vector<MetricSample> samples = CollectSamples(reg, true);
-  ASSERT_EQ(samples.size(), 1u);
+  ASSERT_EQ(samples.size(), 2u);
   EXPECT_EQ(samples[0].name, "c");
+  const MetricSample& hs = samples[1];
+  EXPECT_EQ(hs.name, "h");
+  EXPECT_EQ(hs.kind, MetricKind::kHistogram);
+  ASSERT_EQ(hs.hist_bounds.size(), 2u);
+  ASSERT_EQ(hs.hist_counts.size(), 3u);  // bounds + overflow bucket
+  EXPECT_EQ(hs.hist_counts[0], 1u);
+  EXPECT_EQ(hs.hist_counts[1], 1u);
+  EXPECT_EQ(hs.hist_counts[2], 1u);
+  EXPECT_EQ(hs.hist_total, 3u);
 }
 
 TEST(MetricsRegistryTest, ConcurrentBumpsAreLossless) {

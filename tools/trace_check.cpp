@@ -1,13 +1,23 @@
 // trace_check: validate an exported Chrome trace_event JSON file.
 //
 // Usage: trace_check [--summary] <trace.json> [more.json ...]
+//        trace_check --stitch [--out merged.json] <rank0.json> <rank1.json> ...
 //
-// Runs the same structural and protocol-invariant checks the chaos tests
-// apply (see src/obs/trace_check.h) and prints a one-line verdict per file.
-// With --summary it additionally prints per-phase span-duration quantiles
-// (count, p50, p95, max, total; microseconds) for every span name in the
-// trace. Exit status is 0 iff every file validates; CI runs this on the
-// trace artifact produced by the traced chaos scenario.
+// Default mode runs the same structural and protocol-invariant checks the
+// chaos tests apply (see src/obs/trace_check.h) and prints a one-line
+// verdict per file. With --summary it additionally prints per-phase
+// span-duration quantiles (count, p50, p95, max, total; microseconds) for
+// every span name in the trace.
+//
+// --stitch merges N per-rank trace files into one distributed trace
+// (stable-sorted by timestamp, re-exported through the canonical writer so
+// the bytes are deterministic), validates it -- including the cross-rank
+// flow causal-ordering invariants -- and writes the merged document to the
+// --out path (default "stitched_trace.json"). The merged file loads
+// directly in Perfetto with flow arrows master -> slave -> collector.
+//
+// Exit status is 0 iff every file (or the stitched trace) validates; CI
+// runs both modes on the artifacts produced by the traced chaos scenario.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,7 +29,7 @@
 
 namespace {
 
-bool CheckFile(const char* path, bool summary) {
+bool ReadFile(const char* path, std::string* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "trace_check: cannot open %s\n", path);
@@ -27,17 +37,25 @@ bool CheckFile(const char* path, bool summary) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-  const std::string json = buf.str();
+  *out = buf.str();
+  return true;
+}
+
+bool CheckFile(const char* path, bool summary) {
+  std::string json;
+  if (!ReadFile(path, &json)) return false;
   sjoin::obs::TraceCheckResult res = sjoin::obs::ValidateChromeTrace(json);
   if (!res.ok) {
     std::fprintf(stderr, "trace_check: %s: FAIL: %s\n", path,
                  res.error.c_str());
     return false;
   }
-  std::printf("trace_check: %s: OK (%lld events, %lld spans, %lld instants)\n",
-              path, static_cast<long long>(res.events),
-              static_cast<long long>(res.spans),
-              static_cast<long long>(res.instants));
+  std::printf(
+      "trace_check: %s: OK (%lld events, %lld spans, %lld instants, "
+      "%lld flows)\n",
+      path, static_cast<long long>(res.events),
+      static_cast<long long>(res.spans), static_cast<long long>(res.instants),
+      static_cast<long long>(res.flows));
   if (!summary) return true;
 
   std::vector<sjoin::obs::TraceSpanSummary> spans;
@@ -57,24 +75,62 @@ bool CheckFile(const char* path, bool summary) {
   return true;
 }
 
+int Stitch(const std::vector<const char*>& files, const char* out_path) {
+  std::vector<std::string> docs;
+  for (const char* f : files) {
+    std::string json;
+    if (!ReadFile(f, &json)) return 1;
+    docs.push_back(std::move(json));
+  }
+  sjoin::obs::StitchResult res = sjoin::obs::StitchTraces(docs);
+  if (!res.json.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "trace_check: cannot write %s\n", out_path);
+      return 1;
+    }
+    out << res.json;
+  }
+  if (!res.ok) {
+    std::fprintf(stderr, "trace_check: stitch FAIL: %s\n", res.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "trace_check: stitched %zu files -> %s (%lld events, %lld spans, "
+      "%lld instants, %lld flows)\n",
+      files.size(), out_path, static_cast<long long>(res.check.events),
+      static_cast<long long>(res.check.spans),
+      static_cast<long long>(res.check.instants),
+      static_cast<long long>(res.check.flows));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool summary = false;
+  bool stitch = false;
+  const char* out_path = "stitched_trace.json";
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--summary") == 0) {
       summary = true;
+    } else if (std::strcmp(argv[i], "--stitch") == 0) {
+      stitch = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
     } else {
       files.push_back(argv[i]);
     }
   }
   if (files.empty()) {
     std::fprintf(stderr,
-                 "usage: trace_check [--summary] <trace.json> [more.json "
-                 "...]\n");
+                 "usage: trace_check [--summary] <trace.json> [more.json ...]\n"
+                 "       trace_check --stitch [--out merged.json] "
+                 "<rank0.json> <rank1.json> ...\n");
     return 2;
   }
+  if (stitch) return Stitch(files, out_path);
   bool ok = true;
   for (const char* f : files) ok = CheckFile(f, summary) && ok;
   return ok ? 0 : 1;
