@@ -237,6 +237,12 @@ struct ObsConfig {
   /// Capacity (events) of the per-process flight-recorder ring buffer of
   /// recent protocol/fault/membership events (src/obs/flight_recorder.h).
   std::uint32_t flight_ring_events = 256;
+
+  /// When non-empty, every node wraps its transport in a RecordingTap and
+  /// streams its inbound frames (and recv timeouts/closures) to
+  /// `<record_dir>/rank<R>.sjrec` for offline deterministic replay
+  /// (src/obs/recording.h, tools/sjoin_replay.cpp). Empty = off.
+  std::string record_dir;
 };
 
 struct SystemConfig {

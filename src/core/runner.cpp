@@ -25,6 +25,7 @@
 #include "join/epoch_tag_sink.h"
 #include "join/join_module.h"
 #include "net/codec.h"
+#include "obs/artifact.h"
 #include "obs/delay_sampler.h"
 #include "window/state_codec.h"
 
@@ -400,13 +401,10 @@ MasterSummary RunMasterNode(Transport& transport, const SystemConfig& cfg,
     // A crash verdict is exactly the moment post-mortem context matters:
     // dump the flight ring to the artifact dir (if one is exported) so a
     // failed chaos/CI run leaves the recent protocol history behind.
-    static const char* const kArtifactEnvs[] = {"SJOIN_CHAOS_ARTIFACT_DIR",
-                                                "SJOIN_MEMBERSHIP_ARTIFACT_DIR",
-                                                nullptr};
-    obs::DumpToArtifactDir(
-        kArtifactEnvs,
+    obs::WriteArtifact(
+        obs::ArtifactKind::kChaos,
         "flight_master_evict_slave" + std::to_string(dead + 1) + ".txt",
-        ob.flight.Dump());
+        ob.flight.Dump(), Summarize(cfg));
   };
 
   // Marks one mover's ack on the matching pending move; when both movers
@@ -1930,6 +1928,9 @@ SlaveSummary RunSlaveNode(Transport& transport, const SystemConfig& cfg,
 
   flush_stats();
   sync_join_counters();  // registry mirrors equal the summary at exit
+  if (opts.slave_inspect) {
+    opts.slave_inspect(self, join, epochs_done);
+  }
   transport.Send(collector, Message{MsgType::kShutdown, 0, {}});
   sum.outputs = sink.Outputs();
   sum.worker_busy_cost_us = join.WorkerBusyUs();

@@ -60,6 +60,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/config.h"
@@ -74,6 +75,7 @@
 namespace sjoin {
 
 class EpochTagSink;
+class JoinModule;
 
 struct WallOptions {
   /// Wall-clock duration of the run (master stops distributing after this).
@@ -126,6 +128,14 @@ struct WallOptions {
   /// cfg.epoch.t_dist, so same-seed runs produce byte-identical traces.
   obs::NodeObs* master_obs = nullptr;
   std::vector<obs::NodeObs*> slave_obs;
+
+  /// Offline-replay inspection seam (core/replayer.h): invoked by
+  /// RunSlaveNode after its work loop exits, while the JoinModule (and its
+  /// window state) is still alive, with the number of distribution epochs
+  /// the slave completed. Live runs leave it unset; the replayer uses it to
+  /// dump window/checkpoint state and per-group digests at a breakpoint.
+  std::function<void(Rank self, JoinModule& join, std::uint64_t epochs_done)>
+      slave_inspect;
 };
 
 /// One group's failover, recorded for the output-voiding rule: outputs

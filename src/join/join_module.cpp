@@ -381,4 +381,24 @@ std::uint64_t JoinModule::Merges() const {
   return n;
 }
 
+std::vector<JoinModule::GroupDigest> JoinModule::DigestGroups() const {
+  std::vector<GroupDigest> out;
+  out.reserve(store_.GroupCount());
+  store_.ForEachGroup([&](PartitionId pid, const PartitionGroup& g) {
+    GroupDigest d;
+    d.pid = pid;
+    d.digest = DigestGroupRecords(g);
+    d.records = g.TotalCount();
+    d.bytes = g.TotalBytes();
+    d.mini_groups = static_cast<std::uint32_t>(g.MiniGroupCount());
+    d.journal = g.JournalSize();
+    out.push_back(d);
+  });
+  std::sort(out.begin(), out.end(),
+            [](const GroupDigest& a, const GroupDigest& b) {
+              return a.pid < b.pid;
+            });
+  return out;
+}
+
 }  // namespace sjoin

@@ -124,6 +124,23 @@ class JoinModule {
   WindowStore& Store() { return store_; }
   const WindowStore& Store() const { return store_; }
 
+  /// Deterministic snapshot of one owned partition-group's window state:
+  /// shape-independent content digest (window/state_codec.h
+  /// DigestGroupRecords) plus counts for human-readable state dumps.
+  struct GroupDigest {
+    PartitionId pid = 0;
+    std::uint64_t digest = 0;      ///< FNV-1a over sorted (ts, key, stream)
+    std::uint64_t records = 0;     ///< sealed records across both streams
+    std::uint64_t bytes = 0;       ///< wire bytes of those records
+    std::uint32_t mini_groups = 0; ///< fine-tuning mini-partition-groups
+    std::uint64_t journal = 0;     ///< untaken checkpoint-journal records
+  };
+
+  /// Digests every owned group, sorted by pid. Requires the groups flushed
+  /// (no fresh records) -- true at every epoch boundary after ProcessFor
+  /// drained the buffer, which is where the replayer calls it.
+  std::vector<GroupDigest> DigestGroups() const;
+
   std::uint64_t Comparisons() const { return comparisons_; }
   std::uint64_t Outputs() const { return outputs_; }
   std::uint64_t TuplesProcessed() const { return processed_; }

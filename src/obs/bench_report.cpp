@@ -379,6 +379,7 @@ std::vector<std::string> KnownBenchIds() {
       "ext_delay_distribution",
       "ext_delay_telemetry",
       "ext_elastic_scaling",
+      "ext_record_replay",
       "ext_recovery_overhead",
       "ext_subgroup_buffer",
       "ext_theta_sweep",

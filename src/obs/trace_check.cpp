@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -414,6 +415,46 @@ StitchResult StitchTraces(const std::vector<std::string>& docs) {
                      if (a.pid != b.pid) return a.pid < b.pid;
                      return a.seq < b.seq;
                    });
+
+  // Success report: ranks covered and per-name counts, mirroring the
+  // validator's counting rules (completed spans = 'X' + matched 'B'/'E';
+  // flows = matched 's'/'f' pairs, attributed to the start's name).
+  {
+    std::set<std::uint32_t> ranks;
+    std::map<std::string, StitchKindCount> kinds;
+    std::map<std::uint64_t, std::string> flow_start_name;
+    for (const TraceEvent& ev : all) {
+      ranks.insert(static_cast<std::uint32_t>(ev.pid));
+      switch (ev.ph) {
+        case 'X':
+        case 'E':
+          ++kinds[ev.name].spans;
+          break;
+        case 'i':
+          ++kinds[ev.name].instants;
+          break;
+        case 's':
+          flow_start_name.emplace(ev.id, ev.name);
+          break;
+        case 'f': {
+          auto it = flow_start_name.find(ev.id);
+          if (it != flow_start_name.end()) {
+            ++kinds[it->second].flows;
+            flow_start_name.erase(it);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    res.ranks.assign(ranks.begin(), ranks.end());
+    for (auto& [name, count] : kinds) {
+      count.name = name;
+      res.kinds.push_back(std::move(count));
+    }
+  }
+
   res.json = ExportChromeJson(all);
   res.check = ValidateChromeTrace(res.json);
   if (!res.check.ok) {

@@ -52,11 +52,28 @@ TraceCheckResult ValidateChromeTrace(std::string_view json);
 /// that only make sense across ranks). On parse failure `ok` is false and
 /// `json` is empty; on a validation failure the stitched JSON is still
 /// returned so it can be shipped as a triage artifact.
+/// Per-event-name counts in the stitched trace, for the `--stitch` success
+/// report: `spans` counts completed spans ('X' plus matched 'B'/'E' pairs),
+/// `instants` 'i' events, `flows` matched start/finish pairs (attributed to
+/// the start event's name).
+struct StitchKindCount {
+  std::string name;
+  std::int64_t spans = 0;
+  std::int64_t instants = 0;
+  std::int64_t flows = 0;
+};
+
 struct StitchResult {
   bool ok = false;
   std::string error;    ///< parse or validation failure ("" if ok)
   std::string json;     ///< the stitched Chrome trace document
   TraceCheckResult check;  ///< validation verdict over the stitched trace
+
+  // Success report (filled whenever the inputs parsed, even if validation
+  // failed): which ranks the merge covered and what it contained, so a CI
+  // log shows at a glance that every node actually contributed events.
+  std::vector<std::uint32_t> ranks;   ///< distinct pids, ascending
+  std::vector<StitchKindCount> kinds;  ///< per-name counts, sorted by name
 };
 
 StitchResult StitchTraces(const std::vector<std::string>& docs);

@@ -143,6 +143,8 @@ class PartitionGroup {
     journal_.clear();
     journal_.shrink_to_fit();
   }
+  /// Records currently journaled and not yet taken (state-dump reporting).
+  std::size_t JournalSize() const { return journal_.size(); }
 
  private:
   std::size_t SplitOnce(std::uint64_t hash);

@@ -86,6 +86,31 @@ std::vector<Rec> CollectGroupRecords(const PartitionGroup& group) {
   return out;
 }
 
+std::uint64_t DigestGroupRecords(const PartitionGroup& group) {
+  std::vector<Rec> recs = CollectGroupRecords(group);
+  // Total order: CollectGroupRecords sorts by ts only, leaving ts-ties in
+  // directory-iteration order, which split/merge history can permute.
+  std::sort(recs.begin(), recs.end(), [](const Rec& a, const Rec& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    if (a.key != b.key) return a.key < b.key;
+    return a.stream < b.stream;
+  });
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(recs.size());
+  for (const Rec& rec : recs) {
+    mix(static_cast<std::uint64_t>(rec.ts));
+    mix(rec.key);
+    mix(rec.stream);
+  }
+  return h;
+}
+
 std::unique_ptr<PartitionGroup> BuildGroupFromRecords(
     std::vector<Rec> recs, const JoinConfig& cfg, std::size_t tuple_bytes) {
   std::stable_sort(recs.begin(), recs.end(),

@@ -30,6 +30,15 @@ std::unique_ptr<PartitionGroup> DecodeGroupState(Reader& r,
 /// and the buddy re-tunes from scratch after a failover anyway.
 std::vector<Rec> CollectGroupRecords(const PartitionGroup& group);
 
+/// Deterministic FNV-1a digest over a (flushed) group's sealed records in
+/// timestamp order -- (ts, key, stream) per record, independent of the
+/// directory shape for the same reason CollectGroupRecords drops it. Two
+/// groups holding the same window contents digest identically regardless of
+/// split/merge history; the record/replay divergence pinpointer
+/// (core/replayer.h) compares these per partition-group at epoch
+/// boundaries.
+std::uint64_t DigestGroupRecords(const PartitionGroup& group);
+
 /// Rebuilds a group purely from records (failover recovery path): the
 /// records -- any concatenation of replica segments, in any order -- are
 /// stable-sorted by timestamp and installed as sealed state into a fresh

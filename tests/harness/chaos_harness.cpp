@@ -1,6 +1,11 @@
 #include "harness/chaos_harness.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -8,14 +13,48 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "core/replayer.h"
 #include "join/epoch_tag_sink.h"
 #include "join/sink.h"
 #include "net/inproc_transport.h"
+#include "net/recording_tap.h"
+#include "obs/artifact.h"
 #include "obs/trace_check.h"
 
 namespace sjoin {
 
 namespace {
+
+/// Fresh per-run directory for auto-recorded bundles (cfg.obs.record_dir
+/// empty): unique under the system temp dir, deleted again unless the run
+/// fails its differential check.
+std::string MakeTempRecordDir() {
+  static std::atomic<std::uint64_t> counter{0};
+  std::error_code ec;
+  const std::filesystem::path base =
+      std::filesystem::temp_directory_path(ec);
+  if (ec) return {};
+  const std::string name =
+      "sjrec_" + std::to_string(::getpid()) + "_" +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  const std::filesystem::path dir = base / name;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return {};
+  return dir.string();
+}
+
+void WriteFileRaw(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+std::string ReadFileRaw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
 
 JoinPair PairOf(const JoinOutput& out) {
   return JoinPair{out.left.ts, out.right.ts, out.left.key};
@@ -89,11 +128,29 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
     result.obs[r]->trace.SetEnabled(opts.trace_events);
   }
 
+  // Every run records: to cfg.obs.record_dir when set, else to a temp dir
+  // kept only on differential failure. The tap is outermost (around the
+  // fault endpoint) so bundles hold frames exactly as the node saw them,
+  // after injection.
+  const bool explicit_record_dir = !opts.cfg.obs.record_dir.empty();
+  const std::string record_dir =
+      explicit_record_dir ? opts.cfg.obs.record_dir : MakeTempRecordDir();
+
   std::vector<std::unique_ptr<FaultEndpoint>> endpoints(n + 2);
+  std::vector<std::unique_ptr<RecordingTap>> taps(n + 2);
   for (Rank r = 0; r < n + 2; ++r) {
     endpoints[r] =
         std::make_unique<FaultEndpoint>(hub.Endpoint(r), opts.faults);
     endpoints[r]->AttachMetrics(&result.obs[r]->registry);
+    taps[r] = std::make_unique<RecordingTap>(*endpoints[r]);
+    if (!record_dir.empty()) {
+      RecordingTap::Info info;
+      info.input_trace = r == 0 ? &opts.trace : nullptr;
+      info.wall_run_for = opts.wall.run_for;
+      info.wall_recv_timeout_us = opts.wall.recv_timeout_us;
+      info.wall_recv_max_retries = opts.wall.recv_max_retries;
+      taps[r]->Open(record_dir, opts.cfg, info);
+    }
   }
 
   std::vector<EpochTagSink> sinks;
@@ -114,15 +171,15 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
   slave_threads.reserve(n);
   for (Rank s = 1; s <= n; ++s) {
     slave_threads.emplace_back([&, s] {
-      result.slaves[s - 1] = RunSlaveNode(*endpoints[s], opts.cfg, wall);
+      result.slaves[s - 1] = RunSlaveNode(*taps[s], opts.cfg, wall);
     });
   }
   std::thread collector_thread([&] {
     result.collector =
-        RunCollectorNode(*endpoints[n + 1], opts.cfg, result.obs[n + 1].get());
+        RunCollectorNode(*taps[n + 1], opts.cfg, result.obs[n + 1].get());
   });
 
-  result.master = RunMasterNode(*endpoints[0], opts.cfg, wall);
+  result.master = RunMasterNode(*taps[0], opts.cfg, wall);
   // The collector exits once every live slave delivered its final stats and
   // shutdown; a crashed-hanging slave never will, so tear the hub down only
   // after the collector is done, to unblock that slave's threads.
@@ -189,22 +246,58 @@ ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
                       result.reference.begin(), result.reference.end(),
                       std::back_inserter(result.extra));
   result.exact = result.missing.empty() && result.extra.empty();
+
+  // Close the bundles, then pair them with the live deterministic artifacts
+  // (per-rank tagged outputs, epoch CSV/JSONL, traces): the directory is a
+  // self-contained repro that `sjoin_replay --verify` can gate byte-for-byte.
+  for (Rank r = 0; r < n + 2; ++r) taps[r]->Finish();
+  if (!record_dir.empty() && (explicit_record_dir || !result.exact)) {
+    for (Rank s = 1; s <= n; ++s) {
+      const std::string rs = std::to_string(s);
+      WriteFileRaw(record_dir + "/outputs_rank" + rs + ".csv",
+                   FormatTaggedOutputs(sinks[s - 1].Outputs()));
+      WriteFileRaw(record_dir + "/epochs_rank" + rs + ".csv",
+                   result.obs[s]->recorder.ExportCsv());
+      WriteFileRaw(record_dir + "/epochs_rank" + rs + ".jsonl",
+                   result.obs[s]->recorder.ExportJsonl());
+    }
+    WriteFileRaw(record_dir + "/epochs_rank0.csv",
+                 result.obs[0]->recorder.ExportCsv());
+    for (Rank r = 0; r < result.rank_traces.size(); ++r) {
+      WriteFileRaw(record_dir + "/trace_rank" + std::to_string(r) + ".json",
+                   result.rank_traces[r]);
+    }
+    result.recording.dir = record_dir;
+    result.recording.kept = true;
+  }
+
   // Output-diff failure: leave a post-mortem behind. Every rank's flight
-  // ring plus the stitched distributed trace (when tracing was on) land in
-  // the artifact directory CI uploads; a no-op when neither env var is set.
+  // ring, the stitched distributed trace (when tracing was on), and the
+  // record/replay bundles land in the artifact directory CI uploads; a
+  // no-op when no artifact env var is set.
   if (!result.exact) {
-    static const char* const kEnvs[] = {"SJOIN_CHAOS_ARTIFACT_DIR",
-                                        "SJOIN_MEMBERSHIP_ARTIFACT_DIR",
-                                        nullptr};
+    const std::string summary = Summarize(opts.cfg);
     for (Rank r = 0; r < n + 2; ++r) {
-      obs::DumpToArtifactDir(kEnvs,
-                             "flight_rank" + std::to_string(r) + ".txt",
-                             result.obs[r]->flight.Dump());
+      obs::WriteArtifact(obs::ArtifactKind::kChaos,
+                         "flight_rank" + std::to_string(r) + ".txt",
+                         result.obs[r]->flight.Dump(), summary);
     }
     if (!result.rank_traces.empty()) {
-      obs::DumpToArtifactDir(kEnvs, "stitched_trace.json",
-                             obs::StitchTraces(result.rank_traces).json);
+      obs::WriteArtifact(obs::ArtifactKind::kChaos, "stitched_trace.json",
+                         obs::StitchTraces(result.rank_traces).json, summary);
     }
+    for (Rank r = 0; r < n + 2; ++r) {
+      const std::string bundle =
+          ReadFileRaw(obs::RecordingBundlePath(record_dir, r));
+      if (!bundle.empty()) {
+        obs::WriteArtifact(obs::ArtifactKind::kChaos,
+                           "rank" + std::to_string(r) + ".sjrec", bundle,
+                           summary);
+      }
+    }
+  } else if (!explicit_record_dir && !record_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(record_dir, ec);
   }
   return result;
 }

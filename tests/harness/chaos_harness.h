@@ -58,6 +58,16 @@ struct ChaosClusterOptions {
   bool trace_events = false;
 };
 
+/// Where a run's record/replay bundles ended up (see RunChaosCluster).
+struct ChaosRecordingInfo {
+  /// Directory holding `rank<R>.sjrec` bundles plus the live deterministic
+  /// artifacts (outputs_rank<R>.csv, epochs_rank<R>.csv/.jsonl, per-rank
+  /// traces) -- a self-contained repro for tools/sjoin_replay. Empty when
+  /// the recording was discarded (run passed under an auto-record temp dir).
+  std::string dir;
+  bool kept = false;  ///< false = temp recording was deleted after a pass
+};
+
 struct ChaosClusterResult {
   MasterSummary master;
   std::vector<SlaveSummary> slaves;
@@ -99,6 +109,13 @@ struct ChaosClusterResult {
   /// deployment writes, and the inputs of obs::StitchTraces /
   /// `trace_check --stitch`.
   std::vector<std::string> rank_traces;
+
+  /// Record/replay bundles of this run. Every chaos run is recorded: to
+  /// cfg.obs.record_dir when set (always kept), else to a temp directory
+  /// that is kept -- and copied into the CI artifact dir -- only when the
+  /// differential check fails, so any red run ships a one-command repro
+  /// (`sjoin_replay --bundle <dir>/rank<R>.sjrec`).
+  ChaosRecordingInfo recording;
 
   /// Deterministic digest of the run: every counter that depends only on
   /// the trace, the config, and the fault seed (no wall-clock-derived

@@ -19,7 +19,8 @@
 //   * invalid scheduled events are skipped and counted, never executed.
 //
 // On failure, each test dumps its artifacts (summary, recorder exports,
-// trace) under $SJOIN_MEMBERSHIP_ARTIFACT_DIR when set -- the CI chaos job
+// trace) under $SJOIN_ARTIFACT_DIR (or the legacy
+// $SJOIN_MEMBERSHIP_ARTIFACT_DIR alias) when set -- the CI chaos job
 // uploads that directory.
 #include <gtest/gtest.h>
 
@@ -30,6 +31,7 @@
 #include <vector>
 
 #include "harness/chaos_harness.h"
+#include "obs/artifact.h"
 
 namespace sjoin {
 namespace {
@@ -110,26 +112,29 @@ std::string StripWorkerCell(const std::string& text) {
   return out.str();
 }
 
-/// Writes the run's deterministic artifacts under
-/// $SJOIN_MEMBERSHIP_ARTIFACT_DIR/<tag>.* for the CI upload-on-failure
-/// path; silently a no-op when the variable is unset (local runs).
+/// Writes the run's deterministic artifacts under the membership artifact
+/// dir ($SJOIN_ARTIFACT_DIR or the legacy $SJOIN_MEMBERSHIP_ARTIFACT_DIR;
+/// see obs::ArtifactDir) as <tag>.* for the CI upload-on-failure path,
+/// schema-stamped by obs::WriteArtifact; silently a no-op when neither
+/// variable is set (local runs).
 void DumpArtifacts(const std::string& tag, const ChaosClusterResult& r) {
-  const char* dir = std::getenv("SJOIN_MEMBERSHIP_ARTIFACT_DIR");
-  if (dir == nullptr || *dir == '\0') return;
-  const std::string base = std::string(dir) + "/" + tag;
+  if (obs::ArtifactDir(obs::ArtifactKind::kMembership).empty()) return;
   {
-    std::ofstream f(base + ".summary.txt");
-    f << r.Summary(/*include_fault_lines=*/true);
-    f << "missing=" << r.missing.size() << " extra=" << r.extra.size()
-      << " voided=" << r.voided << '\n';
+    std::ostringstream summary;
+    summary << r.Summary(/*include_fault_lines=*/true);
+    summary << "missing=" << r.missing.size() << " extra=" << r.extra.size()
+            << " voided=" << r.voided << '\n';
+    obs::WriteArtifact(obs::ArtifactKind::kMembership, tag + ".summary.txt",
+                       summary.str());
   }
   for (std::size_t rank = 0; rank < r.obs.size(); ++rank) {
-    std::ofstream f(base + ".rank" + std::to_string(rank) + ".csv");
-    f << r.obs[rank]->recorder.ExportCsv();
+    obs::WriteArtifact(obs::ArtifactKind::kMembership,
+                       tag + ".rank" + std::to_string(rank) + ".csv",
+                       r.obs[rank]->recorder.ExportCsv());
   }
   if (!r.trace_json.empty()) {
-    std::ofstream f(base + ".trace.json");
-    f << r.trace_json;
+    obs::WriteArtifact(obs::ArtifactKind::kMembership, tag + ".trace.json",
+                       r.trace_json);
   }
 }
 

@@ -299,6 +299,21 @@ TEST(ObsChaosTest, StitchedCrashTraceIsCausallyValid) {
   EXPECT_NE(sa.json.find("batch_flow"), std::string::npos);
   EXPECT_NE(sa.json.find("stats_flow"), std::string::npos);
 
+  // The stitch success report covers every rank and attributes the matched
+  // flows to their start-event names.
+  ASSERT_EQ(sa.ranks.size(), a.rank_traces.size());
+  for (std::size_t r = 0; r < sa.ranks.size(); ++r) {
+    EXPECT_EQ(sa.ranks[r], static_cast<std::uint32_t>(r));
+  }
+  std::int64_t report_flows = 0;
+  bool saw_batch_flow = false;
+  for (const obs::StitchKindCount& k : sa.kinds) {
+    report_flows += k.flows;
+    if (k.name == "batch_flow") saw_batch_flow = k.flows > 0;
+  }
+  EXPECT_EQ(report_flows, sa.check.flows);
+  EXPECT_TRUE(saw_batch_flow);
+
   // SJOIN_RANK_TRACE_DIR=<dir>: dump the per-rank inputs as files, so CI
   // can re-stitch them with the standalone `trace_check --stitch` CLI as a
   // gating step (and upload them on failure).

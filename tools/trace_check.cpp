@@ -14,10 +14,13 @@
 // the bytes are deterministic), validates it -- including the cross-rank
 // flow causal-ordering invariants -- and writes the merged document to the
 // --out path (default "stitched_trace.json"). The merged file loads
-// directly in Perfetto with flow arrows master -> slave -> collector.
+// directly in Perfetto with flow arrows master -> slave -> collector. On
+// success it also prints a report of the ranks merged and per-event-name
+// span/instant/flow counts, so CI logs show every node contributed.
 //
 // Exit status is 0 iff every file (or the stitched trace) validates; CI
 // runs both modes on the artifacts produced by the traced chaos scenario.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -102,6 +105,18 @@ int Stitch(const std::vector<const char*>& files, const char* out_path) {
       static_cast<long long>(res.check.spans),
       static_cast<long long>(res.check.instants),
       static_cast<long long>(res.check.flows));
+  // Success report: which ranks contributed and what the merge contained --
+  // a rank missing from this line means its trace file held no events.
+  std::printf("ranks merged:");
+  for (std::uint32_t r : res.ranks) std::printf(" %u", r);
+  std::printf("\n");
+  std::printf("%-24s %8s %10s %8s\n", "event", "spans", "instants", "flows");
+  for (const sjoin::obs::StitchKindCount& k : res.kinds) {
+    std::printf("%-24s %8lld %10lld %8lld\n", k.name.c_str(),
+                static_cast<long long>(k.spans),
+                static_cast<long long>(k.instants),
+                static_cast<long long>(k.flows));
+  }
   return 0;
 }
 
