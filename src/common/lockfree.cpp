@@ -1,0 +1,56 @@
+#include "common/lockfree.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace sjoin {
+
+bool PinThreadToCpu(std::uint32_t cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+std::vector<std::uint32_t> ResolvePinCpus() {
+  const char* env = std::getenv("SJOIN_PIN_CPUS");
+  if (env == nullptr || *env == '\0') {
+    const unsigned n = std::thread::hardware_concurrency();
+    std::vector<std::uint32_t> cpus;
+    cpus.reserve(n);
+    for (unsigned i = 0; i < n; ++i) cpus.push_back(i);
+    return cpus;
+  }
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) {
+    return {};
+  }
+  std::vector<std::uint32_t> cpus;
+  const std::string s(env);
+  std::size_t start = 0;
+  while (start < s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string tok = s.substr(start, comma - start);
+    if (!tok.empty()) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0') {
+        cpus.push_back(static_cast<std::uint32_t>(v));
+      }
+    }
+    start = comma + 1;
+  }
+  return cpus;
+}
+
+bool PinWorkerCpu(std::uint32_t worker_index) {
+  const std::vector<std::uint32_t> cpus = ResolvePinCpus();
+  if (cpus.empty()) return false;
+  return PinThreadToCpu(cpus[worker_index % cpus.size()]);
+}
+
+}  // namespace sjoin

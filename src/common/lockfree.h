@@ -1,0 +1,391 @@
+// Lock-free execution substrate (DESIGN.md "Wall-clock execution mode").
+//
+// The paper's shared-nothing argument assumes each node keeps up with its
+// share of the stream; on a modern multicore that means the *intra-node*
+// handoffs must not serialize on mutex/condvar machinery. This header
+// provides the three concurrently-updatable structures the hot paths need:
+//
+//   * SpscRing<T>   -- bounded single-producer/single-consumer ring. Wait-
+//     free push/pop (one atomic store each on the fast path); the producer
+//     and consumer each keep a cached copy of the other side's index so the
+//     common case touches only its own cache line.
+//   * MpmcRing<T>   -- Vyukov's bounded multi-producer/multi-consumer ring.
+//     Each cell carries a sequence number, which makes the CAS loop ABA-safe
+//     without tagged pointers. Used standalone and as the node pool of
+//     MpscQueue.
+//   * MpscQueue<T>  -- Vyukov-style intrusive multi-producer/single-consumer
+//     queue: producers link nodes with one exchange + one store (wait-free),
+//     the consumer pops without any CAS. Nodes are recycled through an
+//     MpmcRing pool so steady-state operation allocates nothing. FIFO per
+//     producer (the per-channel order the fault schedule and the epoch
+//     protocol rely on).
+//
+// Blocking is layered *on top* as spin-then-yield wrappers (SpinWait,
+// BlockingMpscQueue): the queues themselves never block, and a waiter backs
+// off from busy-spin to yield to a short sleep, so an oversubscribed or
+// single-core host (CI) degrades to polite polling instead of livelock.
+//
+// Memory-order notes (the TSan contract):
+//   * every publication crosses exactly one release store / acquire load
+//     pair (ring: the cell sequence or index; queue: the `next` pointer);
+//   * consumer-/producer-local fields (cached indices, `tail_`) are written
+//     by one thread only and need no atomics;
+//   * node recycling is ordered by the pool ring's own release/acquire, so
+//     a producer never observes a node before the consumer finished it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/time.h"
+
+namespace sjoin {
+
+/// The alignment that keeps two hot atomics off one cache line.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Emits the architecture's spin-loop hint (pause/yield); compiler barrier
+/// only on other targets.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Spin-then-yield-then-nap backoff for blocking wrappers: a short burst of
+/// pause instructions (win when the counterpart is mid-operation on another
+/// core), then scheduler yields (win when cores are oversubscribed -- the
+/// 1-core CI case), then 50 us naps (bounds the burn of a long wait without
+/// giving up the lock-free fast path).
+class SpinWait {
+ public:
+  void Pause() {
+    ++waits_;
+    if (waits_ <= kSpins) {
+      CpuRelax();
+    } else if (waits_ <= kSpins + kYields) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(kNapUs));
+    }
+  }
+
+  void Reset() { waits_ = 0; }
+
+  /// True once the wait has left the pure-spin phase (used by callers that
+  /// want to re-check cheap conditions only occasionally).
+  bool Yielding() const { return waits_ > kSpins; }
+
+ private:
+  static constexpr std::uint32_t kSpins = 128;
+  static constexpr std::uint32_t kYields = 64;
+  static constexpr std::int64_t kNapUs = 50;
+  std::uint32_t waits_ = 0;
+};
+
+namespace detail {
+/// Smallest power of two >= n (and >= 2), for ring index masking.
+constexpr std::size_t RingCapacityFor(std::size_t n) {
+  std::size_t cap = 2;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+}  // namespace detail
+
+/// Bounded single-producer/single-consumer ring. Exactly one thread may
+/// push and exactly one may pop (they may be the same thread). Capacity is
+/// rounded up to a power of two.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity)
+      : cap_(detail::RingCapacityFor(min_capacity)),
+        mask_(cap_ - 1),
+        slots_(cap_) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t Capacity() const { return cap_; }
+
+  /// Producer side. False when the ring is full.
+  bool TryPush(T v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == cap_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == cap_) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: spin-then-yield until the push lands.
+  void Push(T v) {
+    SpinWait spin;
+    while (!TryPush(std::move(v))) spin.Pause();
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool TryPop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side view; racy from anywhere else.
+  bool Empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::size_t cap_;
+  const std::size_t mask_;
+  std::vector<T> slots_;
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};  ///< next pop
+  alignas(kCacheLine) std::uint64_t cached_tail_ = 0;       ///< consumer-local
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};  ///< next push
+  alignas(kCacheLine) std::uint64_t cached_head_ = 0;       ///< producer-local
+};
+
+/// Vyukov's bounded MPMC ring: any number of producers and consumers, one
+/// CAS per operation, ABA-safe through per-cell sequence numbers (a cell is
+/// pushable only when its sequence equals the claim position, so a stale
+/// claimant can never overwrite a live cell). Capacity rounds up to a power
+/// of two.
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(std::size_t min_capacity)
+      : mask_(detail::RingCapacityFor(min_capacity) - 1),
+        cells_(mask_ + 1) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  std::size_t Capacity() const { return mask_ + 1; }
+
+  bool TryPush(T v) {
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          cell.value = std::move(v);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool TryPop(T& out) {
+    std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  const std::size_t mask_;
+  std::vector<Cell> cells_;
+  alignas(kCacheLine) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> dequeue_pos_{0};
+};
+
+/// Vyukov-style intrusive MPSC queue: wait-free push from any thread,
+/// lock-free pop from exactly one consumer thread, FIFO per producer.
+/// Consumed nodes are recycled through a bounded MpmcRing pool, so pushes
+/// allocate only while the live node count exceeds the pool capacity.
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(std::size_t pool_capacity = 1024) : pool_(pool_capacity) {
+    Node* stub = new Node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    // Single-threaded by contract at destruction: drain the chain (stub
+    // included), then the pool.
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+    Node* pooled = nullptr;
+    while (pool_.TryPop(pooled)) delete pooled;
+  }
+
+  /// Any thread. Wait-free: one exchange + one store.
+  void Push(T v) {
+    Node* n = nullptr;
+    if (!pool_.TryPop(n)) n = new Node();
+    n->value = std::move(v);
+    n->next.store(nullptr, std::memory_order_relaxed);
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  /// Consumer thread only. False when no *completed* push is visible --
+  /// including the instant between a producer's exchange and its next-store;
+  /// callers that saw InFlight() retry (the producer finishes in a bounded
+  /// number of its own instructions).
+  bool TryPop(T& out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    next->value = T{};  // drop payload resources before the node idles
+    tail_ = next;
+    if (!pool_.TryPush(tail)) delete tail;
+    return true;
+  }
+
+  /// Consumer thread only: true when a push has started somewhere (its
+  /// next-link may not be visible yet). `!InFlight()` after TryPop failed
+  /// means genuinely empty -- the drained-on-close test.
+  bool InFlight() const {
+    return head_.load(std::memory_order_acquire) != tail_;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  MpmcRing<Node*> pool_;
+  alignas(kCacheLine) std::atomic<Node*> head_;  ///< producers exchange here
+  alignas(kCacheLine) Node* tail_;               ///< consumer-local
+};
+
+/// Result space of a blocking/timed pop, mirroring net/transport.h RecvStatus
+/// (kOk / kTimeout / kClosed) without depending on the net layer.
+enum class PopStatus : std::uint8_t { kOk, kTimeout, kClosed };
+
+/// MpscQueue + spin-then-yield blocking wrappers and a close flag: the
+/// shape a transport mailbox needs. Push never blocks; PopTimed honors the
+/// transport timeout contract (<0 wait forever, 0 non-blocking poll, >0
+/// wait at least that long) and reports kClosed only once the queue is
+/// closed *and* drained.
+template <typename T>
+class BlockingMpscQueue {
+ public:
+  explicit BlockingMpscQueue(std::size_t pool_capacity = 1024)
+      : q_(pool_capacity) {}
+
+  void Push(T v) { q_.Push(std::move(v)); }
+
+  bool TryPop(T& out) { return q_.TryPop(out); }
+
+  /// Any thread. Wakes every blocked pop with kClosed once the queue
+  /// drains; pushes after Close still deliver (shutdown is a drain, not a
+  /// guillotine -- matching the mutex mailbox semantics).
+  void Close() { closed_.store(true, std::memory_order_release); }
+
+  bool Closed() const { return closed_.load(std::memory_order_acquire); }
+
+  PopStatus Pop(T& out) { return PopTimed(out, -1); }
+
+  PopStatus PopTimed(T& out, Duration timeout_us) {
+    if (q_.TryPop(out)) return PopStatus::kOk;
+    if (timeout_us == 0) {
+      if (Drained()) return PopStatus::kClosed;
+      return PopStatus::kTimeout;
+    }
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(timeout_us);
+    SpinWait spin;
+    for (;;) {
+      if (q_.TryPop(out)) return PopStatus::kOk;
+      if (Drained()) return PopStatus::kClosed;
+      // Deadline checks are clock reads; once the wait leaves the pure-spin
+      // phase each Pause is already micro-seconds long, so checking every
+      // iteration is cheap relative to the backoff itself.
+      if (timeout_us > 0 && std::chrono::steady_clock::now() >= deadline) {
+        return PopStatus::kTimeout;
+      }
+      spin.Pause();
+    }
+  }
+
+ private:
+  /// Closed with nothing pending, not even a mid-insert push.
+  bool Drained() { return Closed() && !q_.InFlight(); }
+
+  MpscQueue<T> q_;
+  std::atomic<bool> closed_{false};
+};
+
+// -- CPU pinning (wall-clock throughput mode) -------------------------------
+
+/// Pins the calling thread to `cpu` (pthread_setaffinity_np). Returns false
+/// when the syscall fails (cpu offline / cpuset-restricted); the caller
+/// proceeds unpinned.
+bool PinThreadToCpu(std::uint32_t cpu);
+
+/// The CPU list wall mode pins worker k to (cpu = list[k % size]).
+/// Resolution order:
+///   * SJOIN_PIN_CPUS unset or empty  -> 0..hardware_concurrency-1
+///   * SJOIN_PIN_CPUS=off|0           -> empty list: pinning disabled
+///   * SJOIN_PIN_CPUS=a,b,c           -> exactly those CPUs
+std::vector<std::uint32_t> ResolvePinCpus();
+
+/// Pins the calling thread to the k-th resolved pin CPU; no-op (returns
+/// false) when pinning is disabled. The caller thread of a pinned pool is
+/// worker 0, so launchers call PinWorkerCpu(0) on the join thread.
+bool PinWorkerCpu(std::uint32_t worker_index);
+
+}  // namespace sjoin

@@ -32,6 +32,18 @@ void JoinModule::AttachMetrics(obs::MetricsRegistry* reg) {
 
 void JoinModule::SetWorkerPool(WorkerPool* pool) {
   pool_ = pool;
+  if (pool_ != nullptr && pool_->WorkerCount() > 1 && !pass_job_) {
+    // Built once: RunOnAll takes the job by reference, and a fresh lambda
+    // per batch would re-allocate its capture block on every pass. The
+    // per-pass parameters travel through pass_* members instead.
+    pass_job_ = [this](std::uint32_t w) {
+      RunWorker(w, pass_workers_, pass_from_, pass_budget_);
+      if (pass_gather_) {
+        lane_done_.Push(w);
+        if (w == 0) GatherLaneRefs(pass_workers_);
+      }
+    };
+  }
   EnsureWorkerObs();
 }
 
@@ -105,7 +117,17 @@ Duration JoinModule::ProcessParallel(Time from, Duration budget) {
   }
   buffer_.clear();
 
-  pool_->RunOnAll([&](std::uint32_t w) { RunWorker(w, k, from, budget); });
+  // Fan out through the pre-built pass job (no per-batch allocation). Spin
+  // pools additionally overlap the merge-ref gather with lane execution:
+  // each lane announces completion on the lock-free lane_done_ queue and
+  // worker 0 (this thread) stages finished lanes while slower ones still
+  // run, so by the time the barrier opens the refs are already gathered.
+  pass_from_ = from;
+  pass_budget_ = budget;
+  pass_workers_ = k;
+  pass_gather_ = pool_->Options().spin;
+  merge_refs_.clear();
+  pool_->RunOnAll(pass_job_);
 
   // Re-queue unprocessed leftovers in arrival order: budget exhaustion left
   // each lane with a suffix; merging by arrival index reconstitutes the
@@ -125,27 +147,18 @@ Duration JoinModule::ProcessParallel(Time from, Duration budget) {
 
   // Deterministic merge: emissions ordered by (group-id, seq). Entries of
   // one pid all live in one lane (disjoint sharding) already in seq order,
-  // so a stable sort by pid alone realizes the full key.
-  struct Ref {
-    const StagingSink* sink;
-    const StagingSink::Entry* entry;
-  };
-  std::size_t total_entries = 0;
-  for (const WorkerLane& lane : lanes_) {
-    total_entries += lane.staging.Entries().size();
+  // so a stable sort by pid alone realizes the full key -- and makes the
+  // merged output independent of the gather order (lane order below,
+  // completion order in GatherLaneRefs).
+  if (!pass_gather_) {
+    for (const WorkerLane& lane : lanes_) AppendLaneRefs(lane);
   }
-  std::vector<Ref> refs;
-  refs.reserve(total_entries);
-  for (const WorkerLane& lane : lanes_) {
-    for (const StagingSink::Entry& e : lane.staging.Entries()) {
-      refs.push_back(Ref{&lane.staging, &e});
-    }
-  }
-  std::stable_sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
-    return a.entry->pid < b.entry->pid;
-  });
+  std::stable_sort(merge_refs_.begin(), merge_refs_.end(),
+                   [](const MergeRef& a, const MergeRef& b) {
+                     return a.entry->pid < b.entry->pid;
+                   });
   std::uint64_t merged_outputs = 0;
-  for (const Ref& r : refs) {
+  for (const MergeRef& r : merge_refs_) {
     merged_outputs += r.entry->count;
     sink_->OnMatches(r.entry->probe, r.sink->Partners(*r.entry),
                      r.entry->produced_at);
@@ -200,6 +213,32 @@ void JoinModule::RunWorker(std::uint32_t w, std::uint32_t workers, Time from,
     });
   }
   lane.used = used;
+}
+
+void JoinModule::AppendLaneRefs(const WorkerLane& lane) {
+  for (const StagingSink::Entry& e : lane.staging.Entries()) {
+    merge_refs_.push_back(MergeRef{&lane.staging, &e});
+  }
+}
+
+void JoinModule::GatherLaneRefs(std::uint32_t workers) {
+  // Runs on worker 0 (the RunOnAll caller) after its own lane finished.
+  // Every lane -- including 0 -- pushed its index onto lane_done_; popping
+  // `workers` indices therefore consumes exactly this pass's announcements.
+  // The MPSC push/pop pair is the release/acquire edge making the finished
+  // lane's staging buffers visible here before the pool barrier opens.
+  std::uint32_t gathered = 0;
+  SpinWait waiter;
+  while (gathered < workers) {
+    std::uint32_t w;
+    if (!lane_done_.TryPop(w)) {
+      waiter.Pause();
+      continue;
+    }
+    waiter.Reset();
+    AppendLaneRefs(lanes_[w]);
+    ++gathered;
+  }
 }
 
 Duration JoinModule::FlushMiniGroup(PartitionGroup& group, MiniGroup& mg,

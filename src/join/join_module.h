@@ -29,10 +29,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/config.h"
+#include "common/lockfree.h"
 #include "join/sink.h"
 #include "window/state_codec.h"
 #include "window/window_store.h"
@@ -246,6 +248,22 @@ class JoinModule {
   void RunWorker(std::uint32_t w, std::uint32_t workers, Time from,
                  Duration budget);
 
+  /// A staged emission awaiting the deterministic merge.
+  struct MergeRef {
+    const StagingSink* sink;
+    const StagingSink::Entry* entry;
+  };
+
+  /// Appends every staged entry of `lane` to merge_refs_.
+  void AppendLaneRefs(const WorkerLane& lane);
+
+  /// Worker 0's overlap gather (spin pools): pops lane indices off
+  /// lane_done_ as lanes finish and stages their refs while slower lanes
+  /// are still joining. Gather order is completion order, but entries of
+  /// one pid all live in one lane, so the stable sort by pid in
+  /// ProcessParallel makes the merged output independent of it.
+  void GatherLaneRefs(std::uint32_t workers);
+
   /// Runs the batch join pass on one mini-group (probe fresh of each stream
   /// against the opposite sealed records, seal, expire, re-tune). Returns the
   /// charged cost; `work_start` stamps the produced outputs. Re-entrant:
@@ -305,6 +323,21 @@ class JoinModule {
   WorkerPool* pool_ = nullptr;
   std::vector<WorkerLane> lanes_;
   std::vector<Routed> leftover_scratch_;
+
+  // Parallel-pass plumbing, hoisted out of the per-batch hot path: the pass
+  // job closure is built once in SetWorkerPool (RunOnAll takes it by
+  // reference, so a per-batch lambda would heap-allocate its captures every
+  // batch), with the per-pass parameters passed through these members --
+  // written before RunOnAll, published to workers by the pool's start
+  // barrier.
+  std::function<void(std::uint32_t)> pass_job_;
+  Time pass_from_ = 0;
+  Duration pass_budget_ = 0;
+  std::uint32_t pass_workers_ = 0;
+  bool pass_gather_ = false;  ///< lock-free overlap gather this pass?
+  MpscQueue<std::uint32_t> lane_done_;  ///< lanes announce completion
+  std::vector<MergeRef> merge_refs_;    ///< reused merge staging
+
   std::uint64_t worker_busy_us_ = 0;
   obs::Counter* c_worker_busy_ = nullptr;
   std::vector<obs::HistogramMetric*> wall_workers_;

@@ -117,6 +117,27 @@ Duration FaultEndpoint::NextReleaseDelay() const {
   return std::max<Duration>(0, earliest - clock_.Now());
 }
 
+RecvResult FaultEndpoint::TakeReady(bool any, Rank from) {
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    if (!any && it->from != from) continue;
+    RecvResult res{RecvStatus::kOk, std::move(*it)};
+    ready_.erase(it);
+    // kMetrics stays out of the legacy fault counters (see Ingest); it is
+    // still visible to the registry-backed NetInstrument below. Checkpoint
+    // acks are counted separately: whether a late ack beats the shutdown
+    // barrier is a wall race, so folding them into `delivered` would make
+    // same-seed summaries diverge.
+    if (res.msg.type == MsgType::kCheckpointAck) {
+      ++stats_.delivered_acks;
+    } else if (res.msg.type != MsgType::kMetrics) {
+      ++stats_.delivered;
+    }
+    instr_.OnRecv(res.msg.from, res.msg);
+    return res;
+  }
+  return RecvResult{RecvStatus::kTimeout, {}};
+}
+
 RecvResult FaultEndpoint::Pump(bool any, Rank from, Duration timeout_us) {
   const Time deadline = timeout_us < 0 ? -1 : clock_.Now() + timeout_us;
   while (true) {
@@ -130,37 +151,41 @@ RecvResult FaultEndpoint::Pump(bool any, Rank from, Duration timeout_us) {
     }
 
     ReleaseDue();
-    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
-      if (!any && it->from != from) continue;
-      RecvResult res{RecvStatus::kOk, std::move(*it)};
-      ready_.erase(it);
-      // kMetrics stays out of the legacy fault counters (see Ingest); it is
-      // still visible to the registry-backed NetInstrument below. Checkpoint
-      // acks are counted separately: whether a late ack beats the shutdown
-      // barrier is a wall race, so folding them into `delivered` would make
-      // same-seed summaries diverge.
-      if (res.msg.type == MsgType::kCheckpointAck) {
-        ++stats_.delivered_acks;
-      } else if (res.msg.type != MsgType::kMetrics) {
-        ++stats_.delivered;
-      }
-      instr_.OnRecv(res.msg.from, res.msg);
-      return res;
-    }
+    if (RecvResult hit = TakeReady(any, from); hit.Ok()) return hit;
 
     Duration left = -1;
-    if (deadline >= 0) {
+    if (timeout_us == 0) {
+      // Zero timeout: non-blocking poll -- drain whatever the inner
+      // transport already holds (plus holds already due), never wait.
+      left = 0;
+    } else if (deadline >= 0) {
       left = deadline - clock_.Now();
       if (left < 0) return RecvResult{RecvStatus::kTimeout, {}};
     }
     Duration slice = kMaxSliceUs;
-    if (left >= 0) slice = std::min(slice, left + 1);
-    const Duration next_release = NextReleaseDelay();
-    if (next_release >= 0) slice = std::min(slice, next_release + 1);
+    if (left == 0) {
+      slice = 0;
+    } else {
+      if (left > 0) slice = std::min(slice, left + 1);
+      const Duration next_release = NextReleaseDelay();
+      if (next_release >= 0) slice = std::min(slice, next_release + 1);
+    }
 
     RecvResult res = inner_->RecvTimed(slice);
     if (res.status == RecvStatus::kClosed) return res;
-    if (res.Ok()) Ingest(std::move(res.msg));
+    if (res.Ok()) {
+      Ingest(std::move(res.msg));
+      continue;
+    }
+    // Inner slice expired. An exhausted poll (left == 0) must not loop: the
+    // clock need not advance between non-blocking polls, so looping could
+    // never terminate. Release anything due right now, scan once more, and
+    // report the timeout.
+    if (left == 0) {
+      ReleaseDue();
+      if (RecvResult hit = TakeReady(any, from); hit.Ok()) return hit;
+      return RecvResult{RecvStatus::kTimeout, {}};
+    }
     // On slice timeout: loop to release due messages / re-check deadline.
   }
 }

@@ -152,6 +152,10 @@ class FaultEndpoint final : public Transport {
   /// waits forever; `any` ignores `from`.
   RecvResult Pump(bool any, Rank from, Duration timeout_us);
 
+  /// Pops the first ready_ message matching the (any, from) filter, doing
+  /// the delivery bookkeeping. kTimeout status when none is eligible.
+  RecvResult TakeReady(bool any, Rank from);
+
   std::unique_ptr<Transport> inner_;
   const FaultConfig cfg_;
   WallClock clock_;

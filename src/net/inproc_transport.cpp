@@ -5,7 +5,7 @@
 
 namespace sjoin {
 
-InProcHub::InProcHub(Rank num_ranks) {
+InProcHub::InProcHub(Rank num_ranks, MailboxMode mode) : mode_(mode) {
   boxes_.reserve(num_ranks);
   for (Rank i = 0; i < num_ranks; ++i) {
     boxes_.push_back(std::make_unique<Mailbox>());
@@ -18,24 +18,26 @@ std::unique_ptr<InProcEndpoint> InProcHub::Endpoint(Rank self) {
 }
 
 void InProcHub::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(down_mu_);
-    down_ = true;
-  }
+  down_.store(true, std::memory_order_release);
   for (auto& box : boxes_) {
-    std::lock_guard<std::mutex> lock(box->mu);
-    box->cv.notify_all();
+    if (mode_ == MailboxMode::kLockFree) {
+      box->lf.Close();
+    } else {
+      // Lock before notifying so a waiter between its predicate check and
+      // its sleep cannot miss the wakeup.
+      std::lock_guard<std::mutex> lock(box->mu);
+      box->cv.notify_all();
+    }
   }
-}
-
-bool InProcHub::Down() {
-  std::lock_guard<std::mutex> lock(down_mu_);
-  return down_;
 }
 
 void InProcHub::Push(Rank to, Message msg) {
   assert(to < boxes_.size());
   Mailbox& box = *boxes_[to];
+  if (mode_ == MailboxMode::kLockFree) {
+    box.lf.Push(std::move(msg));
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(box.mu);
     box.queue.push_back(std::move(msg));
@@ -45,6 +47,11 @@ void InProcHub::Push(Rank to, Message msg) {
 
 std::optional<Message> InProcHub::Pop(Rank self) {
   Mailbox& box = *boxes_[self];
+  if (mode_ == MailboxMode::kLockFree) {
+    Message msg;
+    if (box.lf.Pop(msg) != PopStatus::kOk) return std::nullopt;  // shutdown
+    return msg;
+  }
   std::unique_lock<std::mutex> lock(box.mu);
   box.cv.wait(lock, [&] { return !box.queue.empty() || Down(); });
   if (box.queue.empty()) return std::nullopt;  // shutdown
@@ -55,15 +62,31 @@ std::optional<Message> InProcHub::Pop(Rank self) {
 
 RecvResult InProcHub::PopTimed(Rank self, Duration timeout_us) {
   Mailbox& box = *boxes_[self];
+  RecvResult res;
+  if (mode_ == MailboxMode::kLockFree) {
+    switch (box.lf.PopTimed(res.msg, timeout_us)) {
+      case PopStatus::kOk:
+        res.status = RecvStatus::kOk;
+        break;
+      case PopStatus::kTimeout:
+        res.status = RecvStatus::kTimeout;
+        break;
+      case PopStatus::kClosed:
+        res.status = RecvStatus::kClosed;
+        break;
+    }
+    return res;
+  }
   std::unique_lock<std::mutex> lock(box.mu);
   const auto ready = [&] { return !box.queue.empty() || Down(); };
   bool got = true;
   if (timeout_us < 0) {
     box.cv.wait(lock, ready);  // negative timeout: wait forever
   } else {
+    // timeout 0: wait_for(0) evaluates the predicate once -- the
+    // non-blocking poll of the timeout contract (net/transport.h).
     got = box.cv.wait_for(lock, std::chrono::microseconds(timeout_us), ready);
   }
-  RecvResult res;
   if (!box.queue.empty()) {
     res.status = RecvStatus::kOk;
     res.msg = std::move(box.queue.front());
@@ -141,15 +164,19 @@ RecvResult InProcEndpoint::RecvFromTimed(Rank from, Duration timeout_us) {
       std::chrono::steady_clock::now() + std::chrono::microseconds(timeout_us);
   while (true) {
     Duration left = -1;
-    if (timeout_us >= 0) {
+    if (timeout_us == 0) {
+      // Zero timeout: poll -- drain whatever is already in the mailbox
+      // looking for an eligible message, but never wait.
+      left = 0;
+    } else if (timeout_us > 0) {
       const auto now = std::chrono::steady_clock::now();
       left = std::chrono::duration_cast<std::chrono::microseconds>(deadline -
                                                                    now)
                  .count();
-      if (left <= 0) return RecvResult{RecvStatus::kTimeout, {}};
+      if (left < 0) return RecvResult{RecvStatus::kTimeout, {}};
     }
     RecvResult res = hub_->PopTimed(self_, left);
-    if (!res.Ok()) return res;
+    if (!res.Ok()) return res;  // kTimeout (incl. exhausted poll) or kClosed
     if (res.msg.from == from) {
       instr_.OnRecv(res.msg.from, res.msg);
       return res;

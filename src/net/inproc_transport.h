@@ -1,22 +1,43 @@
-// In-process transport: one mailbox per rank, protected by mutex/condvar.
-// Endpoints are handed to node threads; Send never blocks for long (the
-// mailbox is unbounded; the epoch protocol itself bounds outstanding data),
-// Recv blocks until a message or hub shutdown. The timed variants wait at
-// most the given number of microseconds.
+// In-process transport: one mailbox per rank. Endpoints are handed to node
+// threads; Send never blocks for long (the mailbox is unbounded; the epoch
+// protocol itself bounds outstanding data), Recv blocks until a message or
+// hub shutdown. The timed variants wait at most the given number of
+// microseconds (0 = non-blocking poll, negative = forever).
+//
+// Two mailbox implementations, chosen per hub (MailboxMode):
+//   * kMutex (default) -- mutex+condvar deque. Waiters sleep in the kernel;
+//     the right trade for the deterministic virtual-clock runs, where nodes
+//     spend most of their wall time blocked on protocol receives.
+//   * kLockFree -- MpscQueue (common/lockfree.h): wait-free Send from any
+//     peer thread, lock-free consume, spin-then-yield blocking. The wall
+//     throughput mode (cfg.slave.wall_mode) selects this: at full core
+//     utilization the condvar sleep/wake pair on every message is the
+//     bottleneck, not the copy.
+// Both modes keep per-sender FIFO order and identical shutdown semantics
+// (drain, then kClosed), so the mode cannot affect protocol outcomes --
+// worker_chaos_test asserts byte-identical cluster output across modes.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/lockfree.h"
 #include "net/net_instrument.h"
 #include "net/transport.h"
 
 namespace sjoin {
 
 class InProcHub;
+
+/// Mailbox implementation of an InProcHub (see file comment).
+enum class MailboxMode : std::uint8_t {
+  kMutex,     ///< mutex+condvar deque (deterministic virtual-clock default)
+  kLockFree,  ///< MPSC queue + spin-then-yield blocking (wall mode)
+};
 
 class InProcEndpoint final : public Transport {
  public:
@@ -43,34 +64,39 @@ class InProcEndpoint final : public Transport {
 /// endpoint per node thread. Thread-safe.
 class InProcHub {
  public:
-  explicit InProcHub(Rank num_ranks);
+  explicit InProcHub(Rank num_ranks, MailboxMode mode = MailboxMode::kMutex);
 
   std::unique_ptr<InProcEndpoint> Endpoint(Rank self);
 
-  /// Wakes every blocked Recv with "shut down".
+  MailboxMode Mode() const { return mode_; }
+
+  /// Wakes every blocked Recv with "shut down" (after draining).
   void Shutdown();
 
  private:
   friend class InProcEndpoint;
 
   struct Mailbox {
+    // kMutex members.
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Message> queue;
+    // kLockFree member.
+    BlockingMpscQueue<Message> lf;
   };
 
   void Push(Rank to, Message msg);
   std::optional<Message> Pop(Rank self);
 
-  /// Timed pop: kTimeout after `timeout_us` with an empty mailbox, kClosed
-  /// after Shutdown() drained the queue.
+  /// Timed pop: kTimeout after `timeout_us` with an empty mailbox (0 polls,
+  /// negative waits forever), kClosed after Shutdown() drained the queue.
   RecvResult PopTimed(Rank self, Duration timeout_us);
 
-  bool Down();
+  bool Down() const { return down_.load(std::memory_order_acquire); }
 
+  const MailboxMode mode_;
   std::vector<std::unique_ptr<Mailbox>> boxes_;
-  bool down_ = false;
-  std::mutex down_mu_;
+  std::atomic<bool> down_{false};
 };
 
 }  // namespace sjoin

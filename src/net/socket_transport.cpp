@@ -197,7 +197,11 @@ RecvResult SocketEndpoint::RecvFromWire(Duration timeout_us) {
     if (pfds.empty()) return RecvResult{RecvStatus::kClosed, {}};
 
     int wait_ms = -1;
-    if (timeout_us >= 0) {
+    if (timeout_us == 0) {
+      // Zero timeout: a true non-blocking poll -- deliver a frame that is
+      // already readable, never sleep (the timeout contract, transport.h).
+      wait_ms = 0;
+    } else if (timeout_us > 0) {
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
                             deadline - std::chrono::steady_clock::now())
                             .count();
@@ -256,7 +260,11 @@ RecvResult SocketEndpoint::RecvFromTimed(Rank from, Duration timeout_us) {
   while (true) {
     if (FdOf(from) < 0) return RecvResult{RecvStatus::kClosed, {}};
     Duration left = -1;
-    if (timeout_us >= 0) {
+    if (timeout_us == 0) {
+      // Zero timeout: drain already-readable frames hunting for the
+      // eligible sender (stashing the rest), but never wait.
+      left = 0;
+    } else if (timeout_us > 0) {
       left = std::chrono::duration_cast<std::chrono::microseconds>(
                  deadline - std::chrono::steady_clock::now())
                  .count();

@@ -65,14 +65,25 @@ class Transport {
   /// relies on.
   virtual std::optional<Message> RecvFrom(Rank from) = 0;
 
-  /// Timed receive from any peer. Returns kTimeout when `timeout_us`
-  /// microseconds elapse without a message; kClosed on shutdown.
+  // Timed receives. Every implementation honors one timeout contract
+  // (asserted across all transports by tests/net/transport_conformance_test):
+  //   * timeout_us < 0  -- wait forever (equivalent to Recv/RecvFrom);
+  //   * timeout_us == 0 -- non-blocking poll: deliver a message that is
+  //     already queued/readable (RecvFromTimed drains and stashes ineligible
+  //     senders while hunting), otherwise return kTimeout without waiting;
+  //   * timeout_us > 0  -- wait at least `timeout_us` microseconds before
+  //     giving up (implementations may round up, never down); a spuriously
+  //     woken wait resumes for the remainder.
+  // kClosed is returned only once the transport is shut down (or the
+  // requested peer is gone for good) AND no eligible message remains --
+  // shutdown never discards deliverable messages.
+
+  /// Timed receive from any peer (contract above).
   virtual RecvResult RecvTimed(Duration timeout_us) = 0;
 
-  /// Timed receive from a specific peer. Messages from other peers arriving
-  /// meanwhile are stashed for later delivery (they do not reset the
-  /// timeout). Returns kClosed when the transport is shut down or the peer's
-  /// connection is gone for good.
+  /// Timed receive from a specific peer (contract above). Messages from
+  /// other peers arriving meanwhile are stashed for later delivery (they do
+  /// not reset the timeout).
   virtual RecvResult RecvFromTimed(Rank from, Duration timeout_us) = 0;
 
   /// Starts counting per-peer, per-kind traffic into `registry` (see

@@ -44,6 +44,7 @@ void EncodeSystemConfig(Writer& w, const SystemConfig& cfg) {
   w.PutU32(cfg.replication.ckpt_interval_epochs);
 
   w.PutU32(cfg.slave.workers);
+  w.PutU8(cfg.slave.wall_mode ? 1 : 0);
 
   const ElasticConfig& el = cfg.cluster.elastic;
   w.PutU8(el.enabled ? 1 : 0);
@@ -122,6 +123,7 @@ SystemConfig DecodeSystemConfig(Reader& r) {
   cfg.replication.ckpt_interval_epochs = r.GetU32();
 
   cfg.slave.workers = r.GetU32();
+  cfg.slave.wall_mode = r.GetU8() != 0;
 
   ElasticConfig& el = cfg.cluster.elastic;
   el.enabled = r.GetU8() != 0;

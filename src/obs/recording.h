@@ -43,7 +43,8 @@
 
 namespace sjoin::obs {
 
-inline constexpr std::uint32_t kRecordingSchemaVersion = 1;
+// v2: SystemConfig gained slave.wall_mode (u8 after slave.workers).
+inline constexpr std::uint32_t kRecordingSchemaVersion = 2;
 inline constexpr char kRecordingMagic[6] = {'S', 'J', 'R', 'E', 'C', '\n'};
 
 /// Peer value recorded for an untargeted Recv()/RecvTimed() timeout or

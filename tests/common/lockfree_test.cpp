@@ -1,0 +1,281 @@
+// Tests for the lock-free substrate (common/lockfree.h): ring/queue
+// correctness single-threaded, then multi-producer stress asserting the
+// properties the transports and the worker pool rely on -- per-producer
+// FIFO, no loss, no duplication -- plus the blocking wrapper's timeout and
+// close-drain semantics. The stress bodies are the CI TSan job's main diet.
+#include "common/lockfree.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace sjoin {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).Capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).Capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).Capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).Capacity(), 1024u);
+}
+
+TEST(SpscRingTest, FifoAndFullEmptySingleThread) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.Empty());
+  int v = -1;
+  EXPECT_FALSE(ring.TryPop(v));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryPop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.TryPop(v));
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRingTest, WrapsManyTimes) {
+  SpscRing<std::uint64_t> ring(8);
+  std::uint64_t v = 0;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(ring.TryPush(i));
+    ASSERT_TRUE(ring.TryPop(v));
+    ASSERT_EQ(v, i);
+  }
+}
+
+TEST(SpscRingTest, ThreadedOrderPreserved) {
+  constexpr std::uint64_t kItems = 50'000;
+  SpscRing<std::uint64_t> ring(64);
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kItems; ++i) ring.Push(i);
+  });
+  std::uint64_t expect = 0;
+  SpinWait spin;
+  while (expect < kItems) {
+    std::uint64_t v = 0;
+    if (ring.TryPop(v)) {
+      ASSERT_EQ(v, expect);
+      ++expect;
+      spin.Reset();
+    } else {
+      spin.Pause();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(MpmcRingTest, FifoSingleThread) {
+  MpmcRing<int> ring(4);
+  int v = -1;
+  EXPECT_FALSE(ring.TryPop(v));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryPop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.TryPop(v));
+}
+
+TEST(MpmcRingTest, StressNoLossNoDup) {
+  // 4 producers push disjoint tagged values through a small ring while 2
+  // consumers drain; every value must come out exactly once.
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint32_t kConsumers = 2;
+  constexpr std::uint64_t kPerProducer = 10'000;
+  MpmcRing<std::uint64_t> ring(32);
+  std::atomic<std::uint64_t> popped{0};
+  std::vector<std::atomic<std::uint32_t>> seen(kProducers * kPerProducer);
+
+  std::vector<std::thread> threads;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      SpinWait spin;
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t tagged = p * kPerProducer + i;
+        while (!ring.TryPush(tagged)) spin.Pause();
+        spin.Reset();
+      }
+    });
+  }
+  for (std::uint32_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      SpinWait spin;
+      while (popped.load(std::memory_order_relaxed) <
+             kProducers * kPerProducer) {
+        std::uint64_t v = 0;
+        if (ring.TryPop(v)) {
+          seen[v].fetch_add(1, std::memory_order_relaxed);
+          popped.fetch_add(1, std::memory_order_relaxed);
+          spin.Reset();
+        } else {
+          spin.Pause();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    ASSERT_EQ(seen[i].load(), 1u) << "value " << i;
+  }
+}
+
+TEST(MpscQueueTest, FifoSingleThreadAndRecycling) {
+  // Pool capacity 2 forces the recycle path and the allocate-on-empty path.
+  MpscQueue<int> q(2);
+  int v = -1;
+  EXPECT_FALSE(q.TryPop(v));
+  EXPECT_FALSE(q.InFlight());
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 8; ++i) q.Push(round * 8 + i);
+    EXPECT_TRUE(q.InFlight());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(q.TryPop(v));
+      ASSERT_EQ(v, round * 8 + i);
+    }
+    EXPECT_FALSE(q.TryPop(v));
+    EXPECT_FALSE(q.InFlight());
+  }
+}
+
+struct Tagged {
+  std::uint32_t producer = 0;
+  std::uint64_t seq = 0;
+};
+
+TEST(MpscQueueTest, EightProducerStressPerProducerFifoNoLossNoDup) {
+  constexpr std::uint32_t kProducers = 8;
+  constexpr std::uint64_t kPerProducer = 5'000;
+  MpscQueue<Tagged> q(64);
+
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        q.Push(Tagged{p, i});
+      }
+    });
+  }
+
+  // Consumer on this thread: every producer's sequence must arrive in
+  // order with no gaps (FIFO per producer, no loss, no duplication).
+  std::vector<std::uint64_t> next_seq(kProducers, 0);
+  std::uint64_t total = 0;
+  SpinWait spin;
+  while (total < kProducers * kPerProducer) {
+    Tagged t;
+    if (q.TryPop(t)) {
+      ASSERT_LT(t.producer, kProducers);
+      ASSERT_EQ(t.seq, next_seq[t.producer])
+          << "producer " << t.producer << " out of order";
+      ++next_seq[t.producer];
+      ++total;
+      spin.Reset();
+    } else {
+      spin.Pause();
+    }
+  }
+  for (std::thread& t : producers) t.join();
+  Tagged t;
+  EXPECT_FALSE(q.TryPop(t));
+  EXPECT_FALSE(q.InFlight());
+}
+
+TEST(BlockingMpscQueueTest, ZeroTimeoutPollsWithoutWaiting) {
+  BlockingMpscQueue<int> q;
+  int v = -1;
+  EXPECT_EQ(q.PopTimed(v, 0), PopStatus::kTimeout);
+  q.Push(7);
+  EXPECT_EQ(q.PopTimed(v, 0), PopStatus::kOk);
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(q.PopTimed(v, 0), PopStatus::kTimeout);
+}
+
+TEST(BlockingMpscQueueTest, PositiveTimeoutWaitsAtLeastThatLong) {
+  BlockingMpscQueue<int> q;
+  int v = -1;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.PopTimed(v, 20'000), PopStatus::kTimeout);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_GE(elapsed, 20'000);
+}
+
+TEST(BlockingMpscQueueTest, CloseDrainsBeforeReportingClosed) {
+  BlockingMpscQueue<int> q;
+  q.Push(1);
+  q.Close();
+  q.Push(2);  // late push: shutdown is a drain, not a guillotine
+  int v = -1;
+  EXPECT_EQ(q.PopTimed(v, 0), PopStatus::kOk);
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(q.Pop(v), PopStatus::kOk);
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(q.PopTimed(v, 0), PopStatus::kClosed);
+  EXPECT_EQ(q.Pop(v), PopStatus::kClosed);
+}
+
+TEST(BlockingMpscQueueTest, BlockedPopWokenByPush) {
+  BlockingMpscQueue<int> q;
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.Push(42);
+  });
+  int v = -1;
+  EXPECT_EQ(q.Pop(v), PopStatus::kOk);
+  EXPECT_EQ(v, 42);
+  waker.join();
+}
+
+TEST(BlockingMpscQueueTest, BlockedPopWokenByClose) {
+  BlockingMpscQueue<int> q;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.Close();
+  });
+  int v = -1;
+  EXPECT_EQ(q.Pop(v), PopStatus::kClosed);
+  closer.join();
+}
+
+TEST(SpinWaitTest, LeavesPureSpinPhaseAfterBudget) {
+  SpinWait spin;
+  EXPECT_FALSE(spin.Yielding());
+  for (int i = 0; i < 128; ++i) spin.Pause();
+  EXPECT_FALSE(spin.Yielding());
+  spin.Pause();
+  EXPECT_TRUE(spin.Yielding());
+  spin.Reset();
+  EXPECT_FALSE(spin.Yielding());
+}
+
+TEST(PinCpusTest, ResolvesEnvListOffAndDefault) {
+  ::setenv("SJOIN_PIN_CPUS", "off", 1);
+  EXPECT_TRUE(ResolvePinCpus().empty());
+  EXPECT_FALSE(PinWorkerCpu(0));  // disabled: no-op, reports false
+
+  ::setenv("SJOIN_PIN_CPUS", "0", 1);
+  EXPECT_TRUE(ResolvePinCpus().empty());
+
+  ::setenv("SJOIN_PIN_CPUS", "2,5,7", 1);
+  const std::vector<std::uint32_t> cpus = ResolvePinCpus();
+  ASSERT_EQ(cpus.size(), 3u);
+  EXPECT_EQ(cpus[0], 2u);
+  EXPECT_EQ(cpus[1], 5u);
+  EXPECT_EQ(cpus[2], 7u);
+
+  ::unsetenv("SJOIN_PIN_CPUS");
+  EXPECT_EQ(ResolvePinCpus().size(), std::thread::hardware_concurrency());
+  // Pinning to CPU 0 exists on every host; worker index wraps the list.
+  EXPECT_TRUE(PinThreadToCpu(0));
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -118,7 +118,10 @@ std::string ChaosClusterResult::Summary(bool include_fault_lines) const {
 
 ChaosClusterResult RunChaosCluster(const ChaosClusterOptions& opts) {
   const Rank n = opts.cfg.num_slaves;
-  InProcHub hub(n + 2);
+  // Wall mode also selects the lock-free mailbox, so the chaos matrix can
+  // pin the byte-identity of both hot-path swaps at once.
+  InProcHub hub(n + 2, opts.cfg.slave.wall_mode ? MailboxMode::kLockFree
+                                                : MailboxMode::kMutex);
 
   ChaosClusterResult result;
   result.slaves.resize(n);

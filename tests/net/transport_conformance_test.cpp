@@ -1,0 +1,219 @@
+// Transport-conformance suite: one timeout contract, every implementation
+// (net/transport.h "Timed receives"). The same cases run against the
+// in-process hub in both mailbox modes, real AF_UNIX sockets, and the fault
+// decorator (zero fault probability over inproc), pinning down:
+//   * timeout 0  -- non-blocking poll: delivers already-queued/readable
+//     messages (RecvFromTimed hunts past ineligible senders, stashing
+//     them), else kTimeout without waiting;
+//   * timeout > 0 -- waits at least the requested time before kTimeout
+//     (spurious wakeups resume the wait, never shorten it);
+//   * kClosed only after shutdown *and* drain -- no deliverable message is
+//     ever discarded by closing.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/fault_transport.h"
+#include "net/inproc_transport.h"
+#include "net/socket_transport.h"
+#include "net/transport.h"
+
+namespace sjoin {
+namespace {
+
+Message Msg(MsgType type, std::vector<std::uint8_t> payload = {}) {
+  Message m;
+  m.type = type;
+  m.payload = std::move(payload);
+  return m;
+}
+
+/// A connected 3-rank world: rank 0 receives, ranks 1 and 2 send.
+class World {
+ public:
+  virtual ~World() = default;
+  virtual Transport& At(Rank r) = 0;
+  /// Tears the senders down; rank 0 must observe kClosed after draining.
+  virtual void Shutdown() = 0;
+};
+
+class InProcWorld final : public World {
+ public:
+  explicit InProcWorld(MailboxMode mode) : hub_(3, mode) {
+    for (Rank r = 0; r < 3; ++r) eps_.push_back(hub_.Endpoint(r));
+  }
+  Transport& At(Rank r) override { return *eps_[r]; }
+  void Shutdown() override { hub_.Shutdown(); }
+
+ private:
+  InProcHub hub_;
+  std::vector<std::unique_ptr<InProcEndpoint>> eps_;
+};
+
+class SocketWorld final : public World {
+ public:
+  SocketWorld() {
+    int p01[2], p02[2], p12[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, p01), 0);
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, p02), 0);
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, p12), 0);
+    eps_.push_back(std::make_unique<SocketEndpoint>(
+        0, std::map<Rank, int>{{1, p01[0]}, {2, p02[0]}}));
+    eps_.push_back(std::make_unique<SocketEndpoint>(
+        1, std::map<Rank, int>{{0, p01[1]}, {2, p12[0]}}));
+    eps_.push_back(std::make_unique<SocketEndpoint>(
+        2, std::map<Rank, int>{{0, p02[1]}, {1, p12[1]}}));
+  }
+  Transport& At(Rank r) override { return *eps_[r]; }
+  void Shutdown() override {
+    // Destroying the sender endpoints closes their fds; bytes already in
+    // rank 0's kernel buffers stay readable (drain-then-closed).
+    eps_[1].reset();
+    eps_[2].reset();
+  }
+
+ private:
+  std::vector<std::unique_ptr<SocketEndpoint>> eps_;
+};
+
+class FaultWorld final : public World {
+ public:
+  FaultWorld() {
+    FaultConfig fc;  // all fault probabilities zero: a pass-through pump
+    fc.seed = 7;
+    for (Rank r = 0; r < 3; ++r) {
+      eps_.push_back(std::make_unique<FaultEndpoint>(hub_.Endpoint(r), fc));
+    }
+  }
+  Transport& At(Rank r) override { return *eps_[r]; }
+  void Shutdown() override { hub_.Shutdown(); }
+
+ private:
+  InProcHub hub_{3};
+  std::vector<std::unique_ptr<FaultEndpoint>> eps_;
+};
+
+struct BackendParam {
+  const char* name;
+  std::function<std::unique_ptr<World>()> make;
+};
+
+class TransportConformanceTest : public ::testing::TestWithParam<BackendParam> {
+ protected:
+  std::unique_ptr<World> world_ = GetParam().make();
+
+  /// Lets in-flight sends become visible (socket frames need to land in the
+  /// receiver's kernel buffer before a non-blocking poll can see them).
+  static void Settle() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  static std::int64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  }
+};
+
+TEST_P(TransportConformanceTest, ZeroTimeoutEmptyIsImmediateTimeout) {
+  const auto start = std::chrono::steady_clock::now();
+  RecvResult res = world_->At(0).RecvTimed(0);
+  EXPECT_EQ(res.status, RecvStatus::kTimeout);
+  // "Never waits": generous bound, but far below any real timeout wait.
+  EXPECT_LT(ElapsedUs(start), 250'000);
+  EXPECT_EQ(world_->At(0).RecvFromTimed(1, 0).status, RecvStatus::kTimeout);
+}
+
+TEST_P(TransportConformanceTest, ZeroTimeoutDeliversAlreadyQueued) {
+  world_->At(1).Send(0, Msg(MsgType::kAck, {42}));
+  Settle();
+  RecvResult res = world_->At(0).RecvTimed(0);
+  ASSERT_EQ(res.status, RecvStatus::kOk);
+  EXPECT_EQ(res.msg.from, 1u);
+  EXPECT_EQ(res.msg.payload, (std::vector<std::uint8_t>{42}));
+  EXPECT_EQ(world_->At(0).RecvTimed(0).status, RecvStatus::kTimeout);
+}
+
+TEST_P(TransportConformanceTest, ZeroTimeoutFromHuntsPastOtherPeers) {
+  world_->At(1).Send(0, Msg(MsgType::kAck, {1}));
+  Settle();
+  world_->At(2).Send(0, Msg(MsgType::kAck, {2}));
+  Settle();
+  // Poll for rank 2: rank 1's earlier message must be skipped (and kept).
+  RecvResult res = world_->At(0).RecvFromTimed(2, 0);
+  ASSERT_EQ(res.status, RecvStatus::kOk);
+  EXPECT_EQ(res.msg.from, 2u);
+  // The skipped message is stashed, not lost, and a poll finds it.
+  res = world_->At(0).RecvFromTimed(1, 0);
+  ASSERT_EQ(res.status, RecvStatus::kOk);
+  EXPECT_EQ(res.msg.from, 1u);
+  EXPECT_EQ(res.msg.payload, (std::vector<std::uint8_t>{1}));
+}
+
+TEST_P(TransportConformanceTest, PositiveTimeoutWaitsAtLeastThatLong) {
+  constexpr Duration kTimeoutUs = 30'000;
+  const auto start = std::chrono::steady_clock::now();
+  RecvResult res = world_->At(0).RecvTimed(kTimeoutUs);
+  EXPECT_EQ(res.status, RecvStatus::kTimeout);
+  EXPECT_GE(ElapsedUs(start), kTimeoutUs);
+
+  const auto start2 = std::chrono::steady_clock::now();
+  res = world_->At(0).RecvFromTimed(1, kTimeoutUs);
+  EXPECT_EQ(res.status, RecvStatus::kTimeout);
+  EXPECT_GE(ElapsedUs(start2), kTimeoutUs);
+}
+
+TEST_P(TransportConformanceTest, DelayedSenderDeliveredWithinTimeout) {
+  std::thread sender([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    world_->At(1).Send(0, Msg(MsgType::kAck, {7}));
+  });
+  RecvResult res = world_->At(0).RecvFromTimed(1, 5'000'000);
+  sender.join();
+  ASSERT_EQ(res.status, RecvStatus::kOk);
+  EXPECT_EQ(res.msg.from, 1u);
+  EXPECT_EQ(res.msg.payload, (std::vector<std::uint8_t>{7}));
+}
+
+TEST_P(TransportConformanceTest, ClosedOnlyAfterDrain) {
+  world_->At(1).Send(0, Msg(MsgType::kAck, {9}));
+  Settle();
+  world_->Shutdown();
+  // The queued message survives the shutdown...
+  RecvResult res = world_->At(0).RecvTimed(5'000'000);
+  ASSERT_EQ(res.status, RecvStatus::kOk);
+  EXPECT_EQ(res.msg.payload, (std::vector<std::uint8_t>{9}));
+  // ...and only then does the transport report closure.
+  res = world_->At(0).RecvTimed(5'000'000);
+  EXPECT_EQ(res.status, RecvStatus::kClosed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, TransportConformanceTest,
+    ::testing::Values(
+        BackendParam{"InProcMutex",
+                     [] {
+                       return std::unique_ptr<World>(
+                           new InProcWorld(MailboxMode::kMutex));
+                     }},
+        BackendParam{"InProcLockFree",
+                     [] {
+                       return std::unique_ptr<World>(
+                           new InProcWorld(MailboxMode::kLockFree));
+                     }},
+        BackendParam{"Socket", [] { return std::unique_ptr<World>(new SocketWorld()); }},
+        BackendParam{"FaultOverInProc",
+                     [] { return std::unique_ptr<World>(new FaultWorld()); }}),
+    [](const ::testing::TestParamInfo<BackendParam>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace sjoin
